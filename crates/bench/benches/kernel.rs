@@ -1,0 +1,91 @@
+//! Microbenchmarks of the SLDL simulation kernel: the cost of the
+//! token-passing co-routine handoff, event notification, timed waits, and
+//! `par` fan-out. These quantify the "simulation overhead" substrate the
+//! paper's RTOS model sits on.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sldl_sim::{Child, Simulation};
+
+/// Two processes ping-pong through events N times.
+fn event_ping_pong(rounds: u64) {
+    let mut sim = Simulation::new();
+    let ping = sim.event_new();
+    let pong = sim.event_new();
+    sim.spawn(Child::new("a", move |ctx| {
+        for _ in 0..rounds {
+            ctx.notify(ping);
+            ctx.wait(pong);
+        }
+    }));
+    sim.spawn(Child::new("b", move |ctx| {
+        for _ in 0..rounds {
+            ctx.wait(ping);
+            ctx.notify(pong);
+        }
+    }));
+    let report = sim.run().expect("ping-pong");
+    assert!(report.blocked.is_empty());
+}
+
+/// One process performing N timed waits.
+fn timed_waits(n: u64) {
+    let mut sim = Simulation::new();
+    sim.spawn(Child::new("t", move |ctx| {
+        for _ in 0..n {
+            ctx.waitfor(Duration::from_nanos(10));
+        }
+    }));
+    sim.run().expect("timed waits");
+}
+
+/// Fan out `width` children, each with a couple of waits.
+fn par_fan_out(width: usize) {
+    let mut sim = Simulation::new();
+    sim.spawn(Child::new("root", move |ctx| {
+        let kids = (0..width)
+            .map(|i| {
+                Child::new(format!("k{i}"), move |ctx: &sldl_sim::ProcCtx| {
+                    ctx.waitfor(Duration::from_micros((i % 7) as u64));
+                })
+            })
+            .collect();
+        ctx.par(kids);
+    }));
+    sim.run().expect("fan out");
+}
+
+/// Queue producer/consumer through the channel library.
+fn queue_throughput(items: u64) {
+    let mut sim = Simulation::new();
+    let q: sldl_sim::Queue<u64, _> = sldl_sim::Queue::bounded(8, sim.sync_layer());
+    let tx = q.clone();
+    sim.spawn(Child::new("producer", move |ctx| {
+        for i in 0..items {
+            tx.send(ctx, i);
+        }
+    }));
+    let sum = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let s = Arc::clone(&sum);
+    sim.spawn(Child::new("consumer", move |ctx| {
+        for _ in 0..items {
+            s.fetch_add(q.recv(ctx), std::sync::atomic::Ordering::Relaxed);
+        }
+    }));
+    sim.run().expect("queue");
+}
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel");
+    g.sample_size(10);
+    g.bench_function("event_ping_pong_1k", |b| b.iter(|| event_ping_pong(1_000)));
+    g.bench_function("timed_waits_1k", |b| b.iter(|| timed_waits(1_000)));
+    g.bench_function("par_fan_out_64", |b| b.iter(|| par_fan_out(64)));
+    g.bench_function("queue_throughput_1k", |b| b.iter(|| queue_throughput(1_000)));
+    g.finish();
+}
+
+criterion_group!(kernel, benches);
+criterion_main!(kernel);

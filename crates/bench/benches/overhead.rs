@@ -1,0 +1,75 @@
+//! Ablation **A3** — the paper's claim that "the simulation overhead
+//! introduced by the RTOS model is negligible" (Table 1: 24.0 s unscheduled
+//! vs. 24.4 s architecture, ~1.7 %).
+//!
+//! Benchmarks the *same* workload executed as an unscheduled model (plain
+//! SLDL processes) and as an RTOS-scheduled architecture model, over
+//! increasing task counts. The RTOS model should cost only a small constant
+//! factor over the raw kernel.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use model_refine::{
+    run_architecture, run_unscheduled, Action, Behavior, PeSpec, RunConfig, SystemSpec,
+};
+use rtos_model::{Priority, SchedAlg, TimeSlice};
+
+/// `tasks` parallel behaviors, each doing `steps` annotated delays.
+fn workload(tasks: usize, steps: usize) -> SystemSpec {
+    let mut spec = SystemSpec::new();
+    let mut priorities = HashMap::new();
+    let children = (0..tasks)
+        .map(|i| {
+            let name = format!("w{i}");
+            priorities.insert(name.clone(), Priority(i as u32));
+            Behavior::leaf(
+                name,
+                (0..steps)
+                    .map(|k| Action::compute(format!("s{k}"), Duration::from_micros(10)))
+                    .collect(),
+            )
+        })
+        .collect();
+    spec.add_pe(PeSpec {
+        name: "pe".into(),
+        root: Behavior::Par(children),
+        priorities,
+    });
+    spec
+}
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtos_model_overhead");
+    g.sample_size(10);
+    for tasks in [2usize, 8, 32] {
+        let spec = workload(tasks, 50);
+        g.bench_with_input(
+            BenchmarkId::new("unscheduled", tasks),
+            &spec,
+            |b, spec| {
+                b.iter(|| run_unscheduled(spec, &RunConfig::default()).expect("unsched"));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("architecture", tasks),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    run_architecture(
+                        spec,
+                        SchedAlg::PriorityPreemptive,
+                        TimeSlice::WholeDelay,
+                        &RunConfig::default(),
+                    )
+                    .expect("arch")
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(overhead, benches);
+criterion_main!(overhead);

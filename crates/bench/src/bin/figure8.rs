@@ -1,0 +1,92 @@
+//! Reproduces **Figure 8** of the paper: simulation traces of the Fig. 3
+//! example as (a) an unscheduled model with truly parallel behaviors and
+//! (b) a priority-scheduled architecture model with interleaved tasks and
+//! preemption delayed to the end of the running task's delay step.
+//!
+//! Run with `cargo run -p bench --bin figure8`.
+
+use model_refine::{figure3_spec, run_architecture, run_unscheduled, Figure3Delays, RunConfig};
+use rtos_model::{SchedAlg, TimeSlice};
+use sldl_sim::trace::render_gantt;
+use sldl_sim::SimTime;
+
+use bench::TextTable;
+
+fn print_model(title: &str, run: &model_refine::ModelRun, tracks: &[&str]) {
+    println!("--- {title} ---");
+    let segs = run.segments();
+    let mut table = TextTable::new();
+    table.row(["track", "segment", "start", "end"]);
+    for t in tracks {
+        if let Some(list) = segs.get(*t) {
+            for s in list {
+                table.row([
+                    (*t).to_string(),
+                    s.label.clone(),
+                    s.start.to_string(),
+                    s.end.to_string(),
+                ]);
+            }
+        }
+    }
+    print!("{}", table.render());
+    let end = run.end_time();
+    let seg_refs: Vec<(&str, &[sldl_sim::trace::Segment])> = tracks
+        .iter()
+        .filter_map(|t| segs.get(*t).map(|v| (*t, v.as_slice())))
+        .collect();
+    println!();
+    print!("{}", render_gantt(&seg_refs, SimTime::ZERO, end, 72));
+    let irq = sldl_sim::trace::markers(&run.records, "bus_irq");
+    for (t, label) in irq {
+        println!("{:>7} | {label} at {t}", "bus_irq");
+    }
+    println!(
+        "end = {end}, context switches = {}, overlap(B2,B3) = {:?}",
+        run.context_switches(),
+        run.overlap("task_b2", "task_b3"),
+    );
+    println!();
+}
+
+fn main() {
+    let delays = Figure3Delays::default();
+    let spec = figure3_spec(&delays);
+    let cfg = RunConfig::default();
+    let tracks = ["b1", "task_b2", "task_b3"];
+
+    let unsched = run_unscheduled(&spec, &cfg).expect("unscheduled run");
+    print_model("Figure 8(a): unscheduled model", &unsched, &tracks);
+
+    let arch = run_architecture(&spec, SchedAlg::PriorityPreemptive, TimeSlice::WholeDelay, &cfg)
+        .expect("architecture run");
+    print_model(
+        "Figure 8(b): architecture model (priority-preemptive)",
+        &arch,
+        &tracks,
+    );
+
+    println!("Paper shape checks:");
+    println!(
+        "  unscheduled B2/B3 overlap > 0:        {}",
+        unsched.overlap("task_b2", "task_b3") > std::time::Duration::ZERO
+    );
+    println!(
+        "  architecture B2/B3 overlap == 0:      {}",
+        arch.overlap("task_b2", "task_b3") == std::time::Duration::ZERO
+    );
+    let segs = arch.segments();
+    let d6_end = segs["task_b2"]
+        .iter()
+        .find(|s| s.label == "d6")
+        .map(|s| s.end);
+    let d3_start = segs["task_b3"]
+        .iter()
+        .find(|s| s.label == "d3")
+        .map(|s| s.start);
+    println!(
+        "  interrupt switch delayed to end of d6: {} (t4' = {})",
+        d6_end == d3_start,
+        d3_start.map_or_else(|| "?".into(), |t| t.to_string()),
+    );
+}

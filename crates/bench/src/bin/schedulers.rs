@@ -1,0 +1,155 @@
+//! Ablation **A2**: scheduling-algorithm comparison on synthetic periodic
+//! task sets — the RTOS model "supports all the key concepts found in
+//! modern RTOS … real time scheduling"; this harness shows the classic
+//! textbook behavior emerging from the model:
+//!
+//! * EDF schedules any set with utilization ≤ 1;
+//! * RMS is safe below the Liu–Layland bound and can miss above it;
+//! * naive FIFO degrades much earlier.
+//!
+//! For each target utilization, random task sets (log-uniform periods,
+//! UUniFast-style utilization split) run to a fixed horizon under each
+//! algorithm; we report deadline-miss rates and worst relative response
+//! times.
+//!
+//! Run with `cargo run -p bench --bin schedulers [-- --sets N]`.
+
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use rtos_model::{Priority, Rtos, SchedAlg, TaskParams, TimeSlice};
+use sldl_sim::{Child, SimTime, Simulation};
+
+use bench::TextTable;
+
+#[derive(Debug, Clone)]
+struct PeriodicTask {
+    period: Duration,
+    wcet: Duration,
+}
+
+/// UUniFast: splits `total_util` across `n` tasks uniformly.
+fn task_set(rng: &mut SmallRng, n: usize, total_util: f64) -> Vec<PeriodicTask> {
+    let mut utils = Vec::with_capacity(n);
+    let mut sum = total_util;
+    for i in 1..n {
+        let next = sum * rng.random_range(0.0f64..1.0).powf(1.0 / (n - i) as f64);
+        utils.push(sum - next);
+        sum = next;
+    }
+    utils.push(sum);
+    utils
+        .into_iter()
+        .map(|u| {
+            // Periods log-uniform in [2 ms, 50 ms].
+            let exp = rng.random_range(0.0f64..1.0);
+            let period_us = (2_000.0 * (25.0f64).powf(exp)) as u64;
+            let period = Duration::from_micros(period_us);
+            let wcet = Duration::from_nanos((period.as_nanos() as f64 * u) as u64).max(
+                Duration::from_micros(10),
+            );
+            PeriodicTask { period, wcet }
+        })
+        .collect()
+}
+
+struct Outcome {
+    misses: u64,
+    cycles: u64,
+    worst_rel_response: f64,
+}
+
+/// Runs one task set under `alg` to the horizon; returns miss statistics.
+fn run_set(tasks: &[PeriodicTask], alg: SchedAlg, horizon: SimTime) -> Outcome {
+    let mut sim = Simulation::new();
+    let os = Rtos::new("pe", sim.sync_layer());
+    os.start(alg);
+    os.set_time_slice(TimeSlice::Quantum(Duration::from_micros(100)));
+    for (i, t) in tasks.iter().enumerate() {
+        let os = os.clone();
+        let spec = t.clone();
+        // Under fixed-priority, assign rate-monotonic priorities manually
+        // (shorter period → more urgent) so the comparison is fair.
+        let prio = Priority(u32::try_from(spec.period.as_micros()).unwrap_or(u32::MAX));
+        sim.spawn(Child::new(format!("p{i}"), move |ctx| {
+            let mut params = TaskParams::periodic(format!("p{i}"), spec.period);
+            params.priority(prio).wcet(spec.wcet);
+            let me = os.task_create(&params);
+            os.task_activate(ctx, me);
+            loop {
+                os.time_wait(ctx, spec.wcet);
+                os.task_endcycle(ctx);
+            }
+        }));
+    }
+    let report = sim.run_until(horizon).expect("no panics");
+    let m = os.metrics_at(report.end_time);
+    let mut worst = 0.0f64;
+    for (stats, t) in m.tasks.iter().zip(tasks) {
+        for r in &stats.cycle_response_times {
+            worst = worst.max(r.as_secs_f64() / t.period.as_secs_f64());
+        }
+    }
+    Outcome {
+        misses: m.deadline_misses(),
+        cycles: m.tasks.iter().map(|t| t.cycle_response_times.len() as u64).sum(),
+        worst_rel_response: worst,
+    }
+}
+
+fn main() {
+    let mut sets_per_point = 10usize;
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--sets") {
+        sets_per_point = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--sets N");
+    }
+    let algs: [(&str, SchedAlg); 4] = [
+        ("RMS", SchedAlg::Rms),
+        ("EDF", SchedAlg::Edf),
+        ("fixed-prio (RM-assigned)", SchedAlg::PriorityPreemptive),
+        ("FIFO", SchedAlg::Fifo),
+    ];
+    let horizon = SimTime::from_millis(400);
+    let n_tasks = 5;
+    println!(
+        "A2: scheduler comparison — {n_tasks} periodic tasks, {sets_per_point} random sets/point, horizon {horizon}\n"
+    );
+    let mut table = TextTable::new();
+    table.row([
+        "utilization",
+        "algorithm",
+        "miss rate",
+        "worst resp/period",
+        "cycles run",
+    ]);
+    for util in [0.5, 0.69, 0.85, 0.95, 1.05] {
+        for (name, alg) in algs {
+            let mut misses = 0u64;
+            let mut cycles = 0u64;
+            let mut worst = 0.0f64;
+            for set_idx in 0..sets_per_point {
+                let mut rng = SmallRng::seed_from_u64(
+                    0xA2_0000 + set_idx as u64 + (util * 1000.0) as u64,
+                );
+                let tasks = task_set(&mut rng, n_tasks, util);
+                let out = run_set(&tasks, alg, horizon);
+                misses += out.misses;
+                cycles += out.cycles;
+                worst = worst.max(out.worst_rel_response);
+            }
+            table.row([
+                format!("{util:.2}"),
+                name.to_string(),
+                format!("{:.3}%", 100.0 * misses as f64 / cycles.max(1) as f64),
+                format!("{worst:.2}"),
+                cycles.to_string(),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    println!("\nShape checks: EDF misses ≈ 0 up to util 1.0; RMS safe ≤ 0.69 (Liu–Layland, n=5 bound 0.743); FIFO degrades first.");
+}

@@ -1,0 +1,73 @@
+//! # rtos-model — an abstract RTOS model for system-level design
+//!
+//! Reproduction of the primary contribution of *RTOS Modeling for System
+//! Level Design* (Gerstlauer, Yu, Gajski — DATE 2003): a high-level model
+//! of a real-time operating system written **on top of** an SLDL simulation
+//! kernel ([`sldl_sim`]), providing the key features of any RTOS — task
+//! management, real-time scheduling, preemption, task synchronization and
+//! interrupt handling — so that the dynamic behavior of multi-tasking
+//! systems can be validated in abstract architecture models, long before a
+//! real RTOS and instruction-set simulator exist.
+//!
+//! ## The interface (paper Figure 4)
+//!
+//! | Paper call          | This crate                                  |
+//! |---------------------|---------------------------------------------|
+//! | `init`              | [`Rtos::init`]                              |
+//! | `start(alg)`        | [`Rtos::start`]                             |
+//! | `interrupt_return`  | [`Rtos::interrupt_return`]                  |
+//! | `task_create`       | [`Rtos::task_create`] + [`TaskParams`]      |
+//! | `task_terminate`    | [`Rtos::task_terminate`]                    |
+//! | `task_sleep`        | [`Rtos::task_sleep`]                        |
+//! | `task_activate`     | [`Rtos::task_activate`]                     |
+//! | `task_endcycle`     | [`Rtos::task_endcycle`]                     |
+//! | `task_kill`         | [`Rtos::task_kill`]                         |
+//! | `par_start`         | [`Rtos::par_start`]                         |
+//! | `par_end`           | [`Rtos::par_end`]                           |
+//! | `event_new`         | [`Rtos::event_new`]                         |
+//! | `event_del`         | [`Rtos::event_del`]                         |
+//! | `event_wait`        | [`Rtos::event_wait`]                        |
+//! | `event_notify`      | [`Rtos::event_notify`]                      |
+//! | `time_wait`         | [`Rtos::time_wait`]                         |
+//!
+//! ## Example: two tasks under priority scheduling
+//!
+//! ```
+//! use rtos_model::{Priority, Rtos, SchedAlg, TaskParams};
+//! use sldl_sim::{Child, Simulation};
+//! use std::time::Duration;
+//!
+//! let mut sim = Simulation::new();
+//! let os = Rtos::new("pe0", sim.sync_layer());
+//! os.start(SchedAlg::PriorityPreemptive);
+//!
+//! for (name, prio, work_us) in [("hi", 1u32, 100u64), ("lo", 2, 300)] {
+//!     let os = os.clone();
+//!     sim.spawn(Child::new(name, move |ctx| {
+//!         let me = os.task_create(&TaskParams::aperiodic(name, Priority(prio)));
+//!         os.task_activate(ctx, me);
+//!         os.time_wait(ctx, Duration::from_micros(work_us));
+//!         os.task_terminate(ctx);
+//!     }));
+//! }
+//!
+//! let report = sim.run().unwrap();
+//! // Serialized: 100us + 300us, not max(100, 300).
+//! assert_eq!(report.end_time.as_micros(), 400);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+mod metrics;
+mod mutex;
+mod rtos;
+mod sched;
+mod task;
+
+pub use metrics::{MetricsSnapshot, TaskStats};
+pub use mutex::{InheritancePolicy, RtosMutex};
+pub use rtos::{Rtos, RtosEvent, TimeSlice};
+pub use sched::SchedAlg;
+pub use task::{Priority, TaskId, TaskKind, TaskParams, TaskState};

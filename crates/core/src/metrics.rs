@@ -1,0 +1,146 @@
+//! Scheduling metrics collected by the RTOS model.
+//!
+//! Table 1 of the paper reports *context switches* and *transcoding delay*
+//! (a response-time figure) for the refined architecture model; this module
+//! provides those measurements plus per-task detail.
+
+use std::time::Duration;
+
+use sldl_sim::SimTime;
+
+use crate::task::TaskId;
+
+/// Per-task accumulated statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TaskStats {
+    /// Task name (copied from the control block).
+    pub name: String,
+    /// Number of activations (periodic releases or explicit activations).
+    pub activations: u64,
+    /// Total CPU time consumed.
+    pub busy: Duration,
+    /// Number of times this task was dispatched onto the CPU.
+    pub dispatches: u64,
+    /// Number of times the task was preempted while still runnable.
+    pub preemptions: u64,
+    /// Response times: becoming ready → first dispatch of that activation.
+    pub dispatch_latencies: Vec<Duration>,
+    /// Periodic tasks: per-cycle response times (release → `task_endcycle`).
+    pub cycle_response_times: Vec<Duration>,
+    /// Periodic tasks: cycles that completed after their absolute deadline.
+    pub deadline_misses: u64,
+}
+
+impl TaskStats {
+    /// Worst observed cycle response time, if any cycle completed.
+    #[must_use]
+    pub fn worst_cycle_response(&self) -> Option<Duration> {
+        self.cycle_response_times.iter().copied().max()
+    }
+
+    /// Mean cycle response time, if any cycle completed.
+    #[must_use]
+    pub fn mean_cycle_response(&self) -> Option<Duration> {
+        if self.cycle_response_times.is_empty() {
+            return None;
+        }
+        let total: Duration = self.cycle_response_times.iter().sum();
+        Some(total / u32::try_from(self.cycle_response_times.len()).unwrap_or(u32::MAX))
+    }
+}
+
+/// Snapshot of all metrics of an [`Rtos`](crate::Rtos) instance.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[non_exhaustive]
+pub struct MetricsSnapshot {
+    /// Number of context switches (change of the dispatched task, counting
+    /// a switch from idle as a dispatch, not a context switch — matching
+    /// the paper's count of 0 for the unscheduled model).
+    pub context_switches: u64,
+    /// Total CPU busy time across all tasks.
+    pub cpu_busy: Duration,
+    /// Time at which the snapshot was taken.
+    pub taken_at: SimTime,
+    /// Per-task statistics, indexed by [`TaskId::index`].
+    pub tasks: Vec<TaskStats>,
+}
+
+impl MetricsSnapshot {
+    /// Statistics for one task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` was not created on the RTOS instance this snapshot
+    /// came from.
+    #[must_use]
+    pub fn task(&self, task: TaskId) -> &TaskStats {
+        &self.tasks[task.index()]
+    }
+
+    /// CPU utilization in `[0, 1]` relative to the snapshot time.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.taken_at == SimTime::ZERO {
+            return 0.0;
+        }
+        self.cpu_busy.as_nanos() as f64 / self.taken_at.as_nanos() as f64
+    }
+
+    /// Total deadline misses across all tasks.
+    #[must_use]
+    pub fn deadline_misses(&self) -> u64 {
+        self.tasks.iter().map(|t| t.deadline_misses).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_and_mean_cycle_response() {
+        let stats = TaskStats {
+            cycle_response_times: vec![
+                Duration::from_micros(10),
+                Duration::from_micros(30),
+                Duration::from_micros(20),
+            ],
+            ..TaskStats::default()
+        };
+        assert_eq!(stats.worst_cycle_response(), Some(Duration::from_micros(30)));
+        assert_eq!(stats.mean_cycle_response(), Some(Duration::from_micros(20)));
+        assert_eq!(TaskStats::default().worst_cycle_response(), None);
+        assert_eq!(TaskStats::default().mean_cycle_response(), None);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let snap = MetricsSnapshot {
+            cpu_busy: Duration::from_micros(50),
+            taken_at: SimTime::from_micros(100),
+            ..MetricsSnapshot::default()
+        };
+        assert!((snap.utilization() - 0.5).abs() < 1e-9);
+        assert_eq!(MetricsSnapshot::default().utilization(), 0.0);
+    }
+
+    #[test]
+    fn deadline_miss_total() {
+        let snap = MetricsSnapshot {
+            tasks: vec![
+                TaskStats {
+                    deadline_misses: 2,
+                    ..TaskStats::default()
+                },
+                TaskStats {
+                    deadline_misses: 3,
+                    ..TaskStats::default()
+                },
+            ],
+            ..MetricsSnapshot::default()
+        };
+        assert_eq!(snap.deadline_misses(), 5);
+    }
+}

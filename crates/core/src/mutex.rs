@@ -1,0 +1,217 @@
+//! RTOS-level mutual exclusion with optional priority inheritance.
+//!
+//! The paper's RTOS model covers "task synchronization" through events; a
+//! real RTOS also ships a mutex, and the classic hazard it guards against —
+//! *priority inversion* — is exactly the kind of dynamic behavior the
+//! abstract model exists to expose early. [`RtosMutex`] provides
+//! `lock`/`unlock` built on RTOS events, with the [basic priority
+//! inheritance protocol][pip]: while a more urgent task is blocked on the
+//! mutex, the owner runs at the blocked task's priority, bounding the
+//! inversion to the length of the critical section.
+//!
+//! [pip]: https://en.wikipedia.org/wiki/Priority_inheritance
+
+use std::sync::Arc;
+
+use parking_lot::Mutex as HostMutex;
+use sldl_sim::ProcCtx;
+
+use crate::rtos::{Rtos, RtosEvent};
+use crate::task::TaskId;
+
+/// Whether a mutex applies the priority-inheritance protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InheritancePolicy {
+    /// Owners inherit the priority of their most urgent waiter.
+    #[default]
+    Inherit,
+    /// Plain blocking mutex: priority inversion is possible.
+    None,
+}
+
+#[derive(Debug)]
+struct MutexState {
+    owner: Option<TaskId>,
+    /// Tasks currently blocked in `lock`.
+    waiters: Vec<TaskId>,
+    /// Recursion guard: depth of nested locks by the owner.
+    depth: u32,
+}
+
+/// A mutual-exclusion lock for RTOS tasks, with optional priority
+/// inheritance. Clonable; all clones share the same lock.
+///
+/// ```
+/// use rtos_model::{InheritancePolicy, Priority, Rtos, RtosMutex, SchedAlg, TaskParams};
+/// use sldl_sim::{Child, Simulation};
+/// use std::time::Duration;
+///
+/// let mut sim = Simulation::new();
+/// let os = Rtos::new("pe", sim.sync_layer());
+/// os.start(SchedAlg::PriorityPreemptive);
+/// let m = RtosMutex::new(os.clone(), InheritancePolicy::Inherit);
+///
+/// let os2 = os.clone();
+/// sim.spawn(Child::new("t", move |ctx| {
+///     let me = os2.task_create(&TaskParams::aperiodic("t", Priority(1)));
+///     os2.task_activate(ctx, me);
+///     m.lock(ctx);
+///     os2.time_wait(ctx, Duration::from_micros(10));
+///     m.unlock(ctx);
+///     os2.task_terminate(ctx);
+/// }));
+/// sim.run().unwrap();
+/// ```
+pub struct RtosMutex {
+    os: Rtos,
+    policy: InheritancePolicy,
+    freed: RtosEvent,
+    state: Arc<HostMutex<MutexState>>,
+}
+
+impl Clone for RtosMutex {
+    fn clone(&self) -> Self {
+        RtosMutex {
+            os: self.os.clone(),
+            policy: self.policy,
+            freed: self.freed,
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+impl core::fmt::Debug for RtosMutex {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("RtosMutex")
+            .field("owner", &st.owner)
+            .field("waiters", &st.waiters.len())
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+impl RtosMutex {
+    /// Creates a mutex on the given RTOS instance.
+    #[must_use]
+    pub fn new(os: Rtos, policy: InheritancePolicy) -> Self {
+        let freed = os.event_new();
+        RtosMutex {
+            os,
+            policy,
+            freed,
+            state: Arc::new(HostMutex::new(MutexState {
+                owner: None,
+                waiters: Vec::new(),
+                depth: 0,
+            })),
+        }
+    }
+
+    /// Acquires the mutex, blocking the calling task while another task
+    /// owns it. Recursive locking by the owner is allowed (unlock once per
+    /// lock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caller is not a running RTOS task.
+    pub fn lock(&self, ctx: &ProcCtx) {
+        let me = self
+            .os
+            .current_task(ctx)
+            .expect("mutex lock from a non-task process");
+        loop {
+            {
+                let mut st = self.state.lock();
+                match st.owner {
+                    None => {
+                        st.owner = Some(me);
+                        st.depth = 1;
+                        return;
+                    }
+                    Some(owner) if owner == me => {
+                        st.depth += 1;
+                        return;
+                    }
+                    Some(owner) => {
+                        st.waiters.push(me);
+                        drop(st);
+                        if self.policy == InheritancePolicy::Inherit {
+                            // The owner inherits our (current) priority.
+                            self.inherit(owner, me);
+                        }
+                    }
+                }
+            }
+            // Block until the owner releases, then re-contend.
+            self.os.event_wait(ctx, self.freed);
+            let mut st = self.state.lock();
+            st.waiters.retain(|&t| t != me);
+        }
+    }
+
+    /// Applies priority inheritance: `owner` runs at least as urgently as
+    /// `waiter`.
+    fn inherit(&self, owner: TaskId, waiter: TaskId) {
+        let waiter_prio = self.os.task_priority(waiter);
+        self.os.boost_priority(owner, waiter_prio);
+    }
+
+    /// Releases the mutex, restoring the caller's base priority and waking
+    /// all waiters to re-contend (the most urgent wins the CPU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caller does not own the mutex.
+    pub fn unlock(&self, ctx: &ProcCtx) {
+        let me = self
+            .os
+            .current_task(ctx)
+            .expect("mutex unlock from a non-task process");
+        let fully_released = {
+            let mut st = self.state.lock();
+            assert_eq!(st.owner, Some(me), "unlock by non-owner task");
+            st.depth -= 1;
+            if st.depth == 0 {
+                st.owner = None;
+                true
+            } else {
+                false
+            }
+        };
+        if fully_released {
+            if self.policy == InheritancePolicy::Inherit {
+                self.os.restore_priority(me);
+            }
+            // Wake every waiter; they re-contend, the scheduler picks the
+            // most urgent, and the unlocking task passes through the
+            // notify preemption point.
+            self.os.event_notify(ctx, self.freed);
+        }
+    }
+
+    /// Tries to acquire without blocking; `true` on success.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caller is not a running RTOS task.
+    pub fn try_lock(&self, ctx: &ProcCtx) -> bool {
+        let me = self
+            .os
+            .current_task(ctx)
+            .expect("mutex try_lock from a non-task process");
+        let mut st = self.state.lock();
+        match st.owner {
+            None => {
+                st.owner = Some(me);
+                st.depth = 1;
+                true
+            }
+            Some(owner) if owner == me => {
+                st.depth += 1;
+                true
+            }
+            Some(_) => false,
+        }
+    }
+}

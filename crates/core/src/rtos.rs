@@ -1,0 +1,1020 @@
+//! The abstract RTOS model (paper Figure 4 interface).
+//!
+//! An [`Rtos`] instance is the paper's "RTOS model channel": one per
+//! processing element, shared by the PE's tasks, interrupt handlers, and
+//! refined communication channels. It serializes task execution on top of
+//! the SLDL kernel — at any simulated instant at most one task of the
+//! instance is running; all others are blocked on per-task SLDL *dispatch
+//! events* — and re-implements SLDL synchronization (`event_wait` /
+//! `event_notify`) so that the internal task states stay consistent.
+//!
+//! Preemption is modeled at the granularity of task delay annotations: an
+//! interrupt that wakes a high-priority task takes effect when the running
+//! task's current [`time_wait`](Rtos::time_wait) step completes (paper
+//! Fig. 8(b): the switch at `t4` is delayed to `t4'`). An optional
+//! [`TimeSlice`] refines that granularity for accuracy studies.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use sldl_sim::{ProcCtx, ProcessId, RecordKind, SimTime, SldlSync, SyncLayer, TraceHandle};
+
+use crate::metrics::{MetricsSnapshot, TaskStats};
+use crate::sched::SchedAlg;
+use crate::task::{Priority, TaskId, TaskParams, TaskState, Tcb};
+
+/// Handle to an RTOS-level event (the `evt` of the paper's Figure 4).
+///
+/// RTOS events replace SLDL events during dynamic-scheduling refinement:
+/// blocking on one suspends the calling *task* in the RTOS ready/event
+/// queues, keeping the scheduler's bookkeeping consistent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RtosEvent(u32);
+
+impl RtosEvent {
+    /// Raw index of this event.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for RtosEvent {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "rtos-evt{}", self.0)
+    }
+}
+
+/// Granularity at which [`Rtos::time_wait`] models preemption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimeSlice {
+    /// One step per delay annotation (the paper's model): preemption takes
+    /// effect at the end of the current delay. Cheapest; accuracy bounded
+    /// by the granularity of the delay model (paper §4.3).
+    #[default]
+    WholeDelay,
+    /// Split delays into steps of at most the given quantum: a preempted
+    /// task retains the remainder of its delay and resumes it when
+    /// re-dispatched. More scheduler invocations, higher accuracy.
+    Quantum(Duration),
+}
+
+struct OsEvent {
+    alive: bool,
+    waiters: Vec<TaskId>,
+}
+
+struct OsState {
+    alg: SchedAlg,
+    started: bool,
+    slice: TimeSlice,
+    /// Modeled kernel overhead consumed by a task when it is dispatched
+    /// after a context switch (zero by default, as in the paper).
+    switch_cost: Duration,
+    tasks: Vec<Tcb>,
+    by_pid: HashMap<ProcessId, TaskId>,
+    ready: Vec<TaskId>,
+    running: Option<TaskId>,
+    last_dispatched: Option<TaskId>,
+    seq: u64,
+    events: Vec<OsEvent>,
+    trace: Option<TraceHandle>,
+    context_switches: u64,
+    cpu_busy: Duration,
+    stats: Vec<TaskStats>,
+}
+
+struct Inner {
+    name: String,
+    layer: SldlSync,
+    state: Mutex<OsState>,
+}
+
+/// The RTOS model: an abstract real-time operating system providing task
+/// management, dynamic scheduling, event synchronization, interrupt
+/// handling, and time modeling on top of the SLDL kernel.
+///
+/// Clonable (all clones share the instance) so it can be handed to every
+/// task process, ISR process, and refined channel of a processing element.
+///
+/// ```
+/// use rtos_model::{Priority, Rtos, SchedAlg, TaskParams};
+/// use sldl_sim::{Child, Simulation};
+/// use std::time::Duration;
+///
+/// let mut sim = Simulation::new();
+/// let os = Rtos::new("pe0", sim.sync_layer());
+/// os.start(SchedAlg::PriorityPreemptive);
+///
+/// let os2 = os.clone();
+/// sim.spawn(Child::new("task_main", move |ctx| {
+///     let me = os2.task_create(&TaskParams::aperiodic("main", Priority(1)));
+///     os2.task_activate(ctx, me);
+///     os2.time_wait(ctx, Duration::from_micros(500));
+///     os2.task_terminate(ctx);
+/// }));
+///
+/// sim.run().unwrap();
+/// assert_eq!(os.metrics().context_switches, 0);
+/// ```
+pub struct Rtos {
+    inner: Arc<Inner>,
+}
+
+impl Clone for Rtos {
+    fn clone(&self) -> Self {
+        Rtos {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl core::fmt::Debug for Rtos {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let st = self.inner.state.lock();
+        f.debug_struct("Rtos")
+            .field("name", &self.inner.name)
+            .field("alg", &st.alg)
+            .field("tasks", &st.tasks.len())
+            .field("running", &st.running)
+            .finish()
+    }
+}
+
+impl Rtos {
+    // -- OS management ------------------------------------------------------
+
+    /// Creates an RTOS model instance named `name` (typically the PE name)
+    /// on the given SLDL synchronization layer.
+    ///
+    /// The instance starts unconfigured; call [`start`](Rtos::start) before
+    /// activating tasks.
+    #[must_use]
+    pub fn new(name: impl Into<String>, layer: SldlSync) -> Self {
+        Rtos {
+            inner: Arc::new(Inner {
+                name: name.into(),
+                layer,
+                state: Mutex::new(OsState {
+                    alg: SchedAlg::PriorityPreemptive,
+                    started: false,
+                    slice: TimeSlice::WholeDelay,
+                    switch_cost: Duration::ZERO,
+                    tasks: Vec::new(),
+                    by_pid: HashMap::new(),
+                    ready: Vec::new(),
+                    running: None,
+                    last_dispatched: None,
+                    seq: 0,
+                    events: Vec::new(),
+                    trace: None,
+                    context_switches: 0,
+                    cpu_busy: Duration::ZERO,
+                    stats: Vec::new(),
+                }),
+            }),
+        }
+    }
+
+    /// The instance name (processing-element name).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Re-initializes the kernel data structures (the paper's `init`):
+    /// clears all tasks, events, and metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task is currently running.
+    pub fn init(&self) {
+        let mut st = self.inner.state.lock();
+        assert!(
+            st.running.is_none(),
+            "init() while a task is running on {}",
+            self.inner.name
+        );
+        st.started = false;
+        st.tasks.clear();
+        st.by_pid.clear();
+        st.ready.clear();
+        st.running = None;
+        st.last_dispatched = None;
+        st.events.clear();
+        st.context_switches = 0;
+        st.cpu_busy = Duration::ZERO;
+        st.stats.clear();
+    }
+
+    /// Starts multi-task scheduling with the given algorithm (the paper's
+    /// `start(sched_alg)`).
+    pub fn start(&self, alg: SchedAlg) {
+        let mut st = self.inner.state.lock();
+        st.alg = alg;
+        st.started = true;
+    }
+
+    /// Sets the preemption-modeling granularity of
+    /// [`time_wait`](Rtos::time_wait) (ablation A1 in `DESIGN.md`).
+    pub fn set_time_slice(&self, slice: TimeSlice) {
+        self.inner.state.lock().slice = slice;
+    }
+
+    /// Models a fixed kernel overhead per context switch: after every
+    /// switch, the newly dispatched task consumes `cost` of CPU time
+    /// before resuming its code. Zero by default (the paper's idealized
+    /// model); calibrate against a target kernel for back-annotation
+    /// (`cargo run -p bench --bin calibration`).
+    pub fn set_context_switch_cost(&self, cost: Duration) {
+        self.inner.state.lock().switch_cost = cost;
+    }
+
+    /// Attaches a trace: task execution segments (one track per task,
+    /// labeled by the `time_wait` annotation) and context-switch markers
+    /// are recorded to it.
+    pub fn attach_trace(&self, trace: TraceHandle) {
+        self.inner.state.lock().trace = Some(trace);
+    }
+
+    /// Notifies the kernel that an interrupt service routine has finished
+    /// (the paper's `interrupt_return`): if the CPU is idle, the most
+    /// urgent ready task — typically one the ISR just woke — is dispatched.
+    pub fn interrupt_return(&self, ctx: &ProcCtx) {
+        let mut st = self.inner.state.lock();
+        self.dispatch_if_idle(&mut st, ctx);
+    }
+
+    /// The scheduling algorithm currently in effect.
+    #[must_use]
+    pub fn algorithm(&self) -> SchedAlg {
+        self.inner.state.lock().alg
+    }
+
+    /// Snapshot of scheduling metrics (context switches, per-task response
+    /// times, CPU utilization).
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let st = self.inner.state.lock();
+        MetricsSnapshot {
+            context_switches: st.context_switches,
+            cpu_busy: st.cpu_busy,
+            taken_at: SimTime::ZERO, // patched below; needs a ctx-free time
+            tasks: st.stats.clone(),
+        }
+    }
+
+    /// Snapshot of scheduling metrics stamped with the current simulated
+    /// time (for utilization computations).
+    #[must_use]
+    pub fn metrics_at(&self, now: SimTime) -> MetricsSnapshot {
+        let mut m = self.metrics();
+        m.taken_at = now;
+        m
+    }
+
+    /// Current lifecycle state of `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` was not created on this instance.
+    #[must_use]
+    pub fn task_state(&self, task: TaskId) -> TaskState {
+        self.inner.state.lock().tasks[task.index()].state
+    }
+
+    /// Temporarily raises `task`'s priority to be at least as urgent as
+    /// `to` (it never lowers). Used by priority-inheritance protocols
+    /// ([`RtosMutex`](crate::RtosMutex)); undo with
+    /// [`restore_priority`](Rtos::restore_priority).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` was not created on this instance.
+    pub fn boost_priority(&self, task: TaskId, to: Priority) {
+        let mut st = self.inner.state.lock();
+        let tcb = &mut st.tasks[task.index()];
+        tcb.priority = tcb.priority.min(to);
+    }
+
+    /// Restores `task`'s priority to its assigned (base) value, ending any
+    /// inherited boost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` was not created on this instance.
+    pub fn restore_priority(&self, task: TaskId) {
+        let mut st = self.inner.state.lock();
+        let tcb = &mut st.tasks[task.index()];
+        tcb.priority = tcb.base_priority;
+    }
+
+    /// The task bound to the calling process, if any (tasks bind at their
+    /// first [`task_activate`](Rtos::task_activate)).
+    #[must_use]
+    pub fn current_task(&self, ctx: &ProcCtx) -> Option<TaskId> {
+        self.inner.state.lock().by_pid.get(&ctx.pid()).copied()
+    }
+
+    /// `task`'s current (possibly inherited) priority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` was not created on this instance.
+    #[must_use]
+    pub fn task_priority(&self, task: TaskId) -> Priority {
+        self.inner.state.lock().tasks[task.index()].priority
+    }
+
+    /// Planned processor utilization of the periodic task set:
+    /// `Σ wcet_i / period_i`. Under RMS the Liu–Layland bound
+    /// `n(2^(1/n) − 1)` guarantees schedulability; under EDF any value
+    /// ≤ 1 does.
+    #[must_use]
+    pub fn planned_utilization(&self) -> f64 {
+        let st = self.inner.state.lock();
+        st.tasks
+            .iter()
+            .filter_map(|t| {
+                let period = t.period()?;
+                if period.is_zero() {
+                    return None;
+                }
+                Some(t.wcet.as_nanos() as f64 / period.as_nanos() as f64)
+            })
+            .sum()
+    }
+
+    // -- Task management ----------------------------------------------------
+
+    /// Creates a task from `params` (the paper's `task_create`), returning
+    /// its handle. The task starts in [`TaskState::Created`]; the SLDL
+    /// process that will embody it must call
+    /// [`task_activate`](Rtos::task_activate) with the handle.
+    pub fn task_create(&self, params: &TaskParams) -> TaskId {
+        let dispatch_ev = self.inner.layer.ev_new();
+        let mut st = self.inner.state.lock();
+        let id = TaskId(u32::try_from(st.tasks.len()).expect("task ids exhausted"));
+        st.tasks.push(Tcb {
+            name: params.name.clone(),
+            kind: params.kind,
+            priority: params.priority,
+            base_priority: params.priority,
+            wcet: params.wcet,
+            deadline: params.deadline,
+            state: TaskState::Created,
+            dispatch_ev,
+            pid: None,
+            ready_seq: 0,
+            release_time: SimTime::ZERO,
+            abs_deadline: SimTime::MAX,
+            ready_since: None,
+            dispatched_at: None,
+            quantum_used: Duration::ZERO,
+            pending_overhead: Duration::ZERO,
+            last_cpu_end: SimTime::ZERO,
+        });
+        st.stats.push(TaskStats {
+            name: params.name.clone(),
+            ..TaskStats::default()
+        });
+        id
+    }
+
+    /// Activates a task (the paper's `task_activate`). Two uses:
+    ///
+    /// * **Self-activation** (first call, from the task's own SLDL
+    ///   process): binds the process to the task, inserts the task into the
+    ///   ready queue, and blocks until the scheduler dispatches it. For
+    ///   periodic tasks this is the first release.
+    /// * **Resumption** (from another task or an ISR): moves a
+    ///   [`TaskState::Sleeping`] task back to the ready queue; the caller —
+    ///   if it is a task — passes through a preemption point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if scheduling has not been [`start`](Rtos::start)ed, if the
+    /// task was terminated, or if a resumption targets a non-sleeping task.
+    pub fn task_activate(&self, ctx: &ProcCtx, task: TaskId) {
+        let mut st = self.inner.state.lock();
+        assert!(st.started, "{}: task_activate before start()", self.inner.name);
+        let tcb = &st.tasks[task.index()];
+        assert!(
+            tcb.state != TaskState::Terminated,
+            "{}: activating terminated {task}",
+            self.inner.name
+        );
+        let self_activation = tcb.pid.is_none();
+        if self_activation {
+            let now = ctx.now();
+            st.tasks[task.index()].pid = Some(ctx.pid());
+            st.by_pid.insert(ctx.pid(), task);
+            // First release: set release time and absolute deadline.
+            let tcb = &mut st.tasks[task.index()];
+            tcb.release_time = now;
+            tcb.abs_deadline = match tcb.relative_deadline() {
+                Some(d) => now + d,
+                None => SimTime::MAX,
+            };
+            st.stats[task.index()].activations += 1;
+            self.make_ready(&mut st, task, now, false);
+            self.dispatch_if_idle(&mut st, ctx);
+            drop(st);
+            self.wait_until_dispatched(ctx, task);
+        } else {
+            assert_ne!(
+                st.tasks[task.index()].pid,
+                Some(ctx.pid()),
+                "{}: {task} re-activated itself",
+                self.inner.name
+            );
+            assert_eq!(
+                st.tasks[task.index()].state,
+                TaskState::Sleeping,
+                "{}: resuming {task} which is not sleeping",
+                self.inner.name
+            );
+            let now = ctx.now();
+            st.stats[task.index()].activations += 1;
+            self.make_ready(&mut st, task, now, false);
+            self.dispatch_if_idle(&mut st, ctx);
+            drop(st);
+            self.preempt_point(ctx, false);
+        }
+    }
+
+    /// Terminates the calling task (the paper's `task_terminate`): frees
+    /// the CPU and dispatches the next ready task. The SLDL process should
+    /// return right after.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caller is not the running task.
+    pub fn task_terminate(&self, ctx: &ProcCtx) {
+        let mut st = self.inner.state.lock();
+        let tid = self.running_caller(&st, ctx);
+        let now = ctx.now();
+        self.undispatch(&mut st, tid, now, false);
+        st.tasks[tid.index()].state = TaskState::Terminated;
+        if let Some(pid) = st.tasks[tid.index()].pid {
+            st.by_pid.remove(&pid);
+        }
+        self.dispatch_best(&mut st, ctx);
+    }
+
+    /// Suspends the calling task until another task or ISR resumes it with
+    /// [`task_activate`](Rtos::task_activate) (the paper's `task_sleep`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caller is not the running task.
+    pub fn task_sleep(&self, ctx: &ProcCtx) {
+        let tid = {
+            let mut st = self.inner.state.lock();
+            let tid = self.running_caller(&st, ctx);
+            let now = ctx.now();
+            self.undispatch(&mut st, tid, now, false);
+            st.tasks[tid.index()].state = TaskState::Sleeping;
+            self.dispatch_best(&mut st, ctx);
+            tid
+        };
+        self.wait_until_dispatched(ctx, tid);
+    }
+
+    /// Kills another task (the paper's `task_kill`): removes it from all
+    /// queues, marks it terminated, and unwinds its SLDL process. A task
+    /// terminates *itself* with [`task_terminate`](Rtos::task_terminate).
+    ///
+    /// Killing an already-terminated task is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is the caller's own task or is currently running.
+    pub fn task_kill(&self, ctx: &ProcCtx, task: TaskId) {
+        let victim_pid = {
+            let mut st = self.inner.state.lock();
+            if st.tasks[task.index()].state == TaskState::Terminated {
+                return;
+            }
+            assert_ne!(
+                st.running,
+                Some(task),
+                "{}: task_kill on the running {task} (use task_terminate)",
+                self.inner.name
+            );
+            assert_ne!(
+                st.tasks[task.index()].pid,
+                Some(ctx.pid()),
+                "{}: task_kill on the caller's own task",
+                self.inner.name
+            );
+            st.ready.retain(|&t| t != task);
+            for e in &mut st.events {
+                e.waiters.retain(|&t| t != task);
+            }
+            st.tasks[task.index()].state = TaskState::Terminated;
+            let pid = st.tasks[task.index()].pid.take();
+            if let Some(pid) = pid {
+                st.by_pid.remove(&pid);
+            }
+            pid
+        };
+        if let Some(pid) = victim_pid {
+            ctx.cancel(pid);
+        }
+    }
+
+    /// Ends the current cycle of a periodic task (the paper's
+    /// `task_endcycle`): records the cycle's response time and deadline
+    /// status, then suspends until the next release. If the cycle overran
+    /// its period, the task is released again immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caller is not the running task or is not periodic.
+    pub fn task_endcycle(&self, ctx: &ProcCtx) {
+        let (tid, next_release) = {
+            let mut st = self.inner.state.lock();
+            let tid = self.running_caller(&st, ctx);
+            let now = ctx.now();
+            let period = st.tasks[tid.index()]
+                .period()
+                .unwrap_or_else(|| panic!("{}: task_endcycle on aperiodic task", self.inner.name));
+            let release = st.tasks[tid.index()].release_time;
+            let deadline = st.tasks[tid.index()].abs_deadline;
+            // The cycle completes when its computation does (end of the
+            // last time_wait step); preemption between that completion and
+            // this bookkeeping call is not part of the response.
+            let completion = st.tasks[tid.index()].last_cpu_end.max(release);
+            st.stats[tid.index()]
+                .cycle_response_times
+                .push(completion - release);
+            if completion > deadline {
+                st.stats[tid.index()].deadline_misses += 1;
+            }
+            let next_release = release + period;
+            {
+                let tcb = &mut st.tasks[tid.index()];
+                tcb.release_time = next_release;
+                tcb.abs_deadline = match tcb.relative_deadline() {
+                    Some(d) => next_release + d,
+                    None => SimTime::MAX,
+                };
+            }
+            self.undispatch(&mut st, tid, now, false);
+            st.tasks[tid.index()].state = TaskState::Sleeping;
+            st.stats[tid.index()].activations += 1;
+            self.dispatch_best(&mut st, ctx);
+            (tid, next_release)
+        };
+        // Wait (outside the RTOS: pure passage of time) for the release.
+        let now = ctx.now();
+        if next_release > now {
+            ctx.waitfor(next_release - now);
+        }
+        let mut st = self.inner.state.lock();
+        let now = ctx.now();
+        self.make_ready(&mut st, tid, now, false);
+        self.dispatch_if_idle(&mut st, ctx);
+        drop(st);
+        self.wait_until_dispatched(ctx, tid);
+    }
+
+    /// Suspends the calling task before it forks children with the SLDL
+    /// `par` (the paper's `par_start`): the CPU is released so the child
+    /// tasks can be scheduled. Follow with the `par` composition and then
+    /// [`par_end`](Rtos::par_end).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caller is not the running task.
+    pub fn par_start(&self, ctx: &ProcCtx) {
+        let mut st = self.inner.state.lock();
+        let tid = self.running_caller(&st, ctx);
+        let now = ctx.now();
+        self.undispatch(&mut st, tid, now, false);
+        st.tasks[tid.index()].state = TaskState::Forking;
+        self.dispatch_best(&mut st, ctx);
+        // Do not block here: the caller proceeds into the SLDL `par`, which
+        // suspends the process at the SLDL level until the children finish.
+    }
+
+    /// Resumes the calling task after its SLDL `par` completed (the paper's
+    /// `par_end`): re-enters the ready queue and blocks until dispatched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caller's task is not in the [`TaskState::Forking`]
+    /// state.
+    pub fn par_end(&self, ctx: &ProcCtx) {
+        let tid = {
+            let mut st = self.inner.state.lock();
+            let tid = *st
+                .by_pid
+                .get(&ctx.pid())
+                .unwrap_or_else(|| panic!("{}: par_end by unbound process", self.inner.name));
+            assert_eq!(
+                st.tasks[tid.index()].state,
+                TaskState::Forking,
+                "{}: par_end without par_start",
+                self.inner.name
+            );
+            let now = ctx.now();
+            self.make_ready(&mut st, tid, now, false);
+            self.dispatch_if_idle(&mut st, ctx);
+            tid
+        };
+        self.wait_until_dispatched(ctx, tid);
+    }
+
+    // -- Event handling -----------------------------------------------------
+
+    /// Allocates an RTOS event (the paper's `event_new`).
+    pub fn event_new(&self) -> RtosEvent {
+        let mut st = self.inner.state.lock();
+        let id = RtosEvent(u32::try_from(st.events.len()).expect("event ids exhausted"));
+        st.events.push(OsEvent {
+            alive: true,
+            waiters: Vec::new(),
+        });
+        id
+    }
+
+    /// Deletes an RTOS event (the paper's `event_del`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event was already deleted or still has waiting tasks.
+    pub fn event_del(&self, event: RtosEvent) {
+        let mut st = self.inner.state.lock();
+        let e = &mut st.events[event.index()];
+        assert!(e.alive, "{}: {event} deleted twice", self.inner.name);
+        assert!(
+            e.waiters.is_empty(),
+            "{}: deleting {event} with waiting tasks",
+            self.inner.name
+        );
+        e.alive = false;
+    }
+
+    /// Blocks the calling task until `event` is notified (the paper's
+    /// `event_wait`): the task is suspended into the event queue and the
+    /// next ready task is dispatched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caller is not the running task (ISRs must not block)
+    /// or the event has been deleted.
+    pub fn event_wait(&self, ctx: &ProcCtx, event: RtosEvent) {
+        let tid = {
+            let mut st = self.inner.state.lock();
+            assert!(
+                st.events[event.index()].alive,
+                "{}: event_wait on deleted {event}",
+                self.inner.name
+            );
+            let tid = self.running_caller(&st, ctx);
+            let now = ctx.now();
+            self.undispatch(&mut st, tid, now, false);
+            st.tasks[tid.index()].state = TaskState::Blocked;
+            st.events[event.index()].waiters.push(tid);
+            self.dispatch_best(&mut st, ctx);
+            tid
+        };
+        self.wait_until_dispatched(ctx, tid);
+    }
+
+    /// Notifies `event` (the paper's `event_notify`): **all** tasks waiting
+    /// on it move back to the ready queue. A task caller passes through a
+    /// preemption point (it may lose the CPU to a task it just woke); an
+    /// ISR caller triggers a dispatch only if the CPU is idle — a running
+    /// task is preempted at its next delay-step boundary, as in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event has been deleted.
+    pub fn event_notify(&self, ctx: &ProcCtx, event: RtosEvent) {
+        let caller_is_task = {
+            let mut st = self.inner.state.lock();
+            assert!(
+                st.events[event.index()].alive,
+                "{}: event_notify on deleted {event}",
+                self.inner.name
+            );
+            let now = ctx.now();
+            let waiters = std::mem::take(&mut st.events[event.index()].waiters);
+            for t in waiters {
+                self.make_ready(&mut st, t, now, false);
+            }
+            let is_task = st.by_pid.get(&ctx.pid()).copied() == st.running && st.running.is_some();
+            if !is_task {
+                self.dispatch_if_idle(&mut st, ctx);
+            }
+            is_task
+        };
+        if caller_is_task {
+            self.preempt_point(ctx, false);
+        }
+    }
+
+    // -- Time modeling ------------------------------------------------------
+
+    /// Models the calling task consuming `delay` of CPU time (the paper's
+    /// `time_wait`): wraps the SLDL `waitfor` so the scheduler can switch
+    /// tasks whenever time advances. Under [`TimeSlice::Quantum`] the delay
+    /// is split into steps and a preempted task retains the remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caller is not the running task.
+    pub fn time_wait(&self, ctx: &ProcCtx, delay: Duration) {
+        self.time_wait_as(ctx, delay, "busy");
+    }
+
+    /// Like [`time_wait`](Rtos::time_wait), labeling the trace segments
+    /// with `label` (the delay-annotation names `d1..d8` in Fig. 8).
+    pub fn time_wait_as(&self, ctx: &ProcCtx, delay: Duration, label: &str) {
+        {
+            // Validate caller state up front.
+            let st = self.inner.state.lock();
+            let _ = self.running_caller(&st, ctx);
+        }
+        let quantum = match self.inner.state.lock().slice {
+            TimeSlice::WholeDelay => None,
+            TimeSlice::Quantum(q) => Some(q),
+        };
+        // Let all activity of the current instant settle (tasks activated in
+        // later delta cycles of the same time step), then give a more urgent
+        // task the CPU before consuming any time — this is what makes the
+        // higher-priority child win at t0 in the paper's Fig. 8(b).
+        ctx.waitfor(Duration::ZERO);
+        self.preempt_point(ctx, false);
+        let mut remaining = delay;
+        while !remaining.is_zero() {
+            let step = quantum.map_or(remaining, |q| q.min(remaining));
+            self.span_begin(ctx, label);
+            ctx.waitfor(step);
+            self.span_end(ctx);
+            remaining -= step;
+            {
+                let mut st = self.inner.state.lock();
+                let tid = self.running_caller(&st, ctx);
+                st.tasks[tid.index()].quantum_used += step;
+                st.tasks[tid.index()].last_cpu_end = ctx.now();
+            }
+            ctx.waitfor(Duration::ZERO);
+            // Rotating out a task whose delay is fully consumed is pointless
+            // (it proceeds straight to its next RTOS call), so round-robin
+            // rotation only applies mid-delay.
+            self.preempt_point(ctx, !remaining.is_zero());
+        }
+    }
+
+    // -- Internals ----------------------------------------------------------
+
+    /// The caller's task id, asserting it is the running task.
+    fn running_caller(&self, st: &OsState, ctx: &ProcCtx) -> TaskId {
+        let tid = *st.by_pid.get(&ctx.pid()).unwrap_or_else(|| {
+            panic!(
+                "{}: process `{}` is not bound to a task",
+                self.inner.name,
+                ctx.name()
+            )
+        });
+        assert_eq!(
+            st.running,
+            Some(tid),
+            "{}: task-context call from `{}` while {tid} is not running",
+            self.inner.name,
+            ctx.name()
+        );
+        tid
+    }
+
+    /// Inserts `task` into the ready queue. `keep_seq` preserves the FIFO
+    /// position (used when requeueing a preempted task).
+    fn make_ready(&self, st: &mut OsState, task: TaskId, now: SimTime, keep_seq: bool) {
+        debug_assert!(!st.ready.contains(&task), "{task} already ready");
+        if !keep_seq {
+            st.seq += 1;
+            st.tasks[task.index()].ready_seq = st.seq;
+        }
+        let tcb = &mut st.tasks[task.index()];
+        tcb.state = TaskState::Ready;
+        if tcb.ready_since.is_none() {
+            tcb.ready_since = Some(now);
+        }
+        st.ready.push(task);
+    }
+
+    /// The most urgent ready task under the current algorithm.
+    fn select(&self, st: &OsState) -> Option<TaskId> {
+        st.ready
+            .iter()
+            .copied()
+            .min_by_key(|&t| st.alg.rank(&st.tasks[t.index()]))
+    }
+
+    /// Dispatches the most urgent ready task, if the CPU is idle.
+    fn dispatch_if_idle(&self, st: &mut OsState, ctx: &ProcCtx) {
+        if st.running.is_none() {
+            self.dispatch_best(st, ctx);
+        }
+    }
+
+    /// Dispatches the most urgent ready task (CPU must be idle).
+    fn dispatch_best(&self, st: &mut OsState, ctx: &ProcCtx) {
+        debug_assert!(st.running.is_none());
+        if let Some(next) = self.select(st) {
+            self.dispatch(st, next, ctx);
+        }
+    }
+
+    fn dispatch(&self, st: &mut OsState, task: TaskId, ctx: &ProcCtx) {
+        let now = ctx.now();
+        st.ready.retain(|&t| t != task);
+        let tcb = &mut st.tasks[task.index()];
+        tcb.state = TaskState::Running;
+        tcb.dispatched_at = Some(now);
+        tcb.quantum_used = Duration::ZERO;
+        if let Some(since) = tcb.ready_since.take() {
+            st.stats[task.index()].dispatch_latencies.push(now - since);
+        }
+        st.stats[task.index()].dispatches += 1;
+        if let Some(last) = st.last_dispatched {
+            if last != task {
+                st.context_switches += 1;
+                st.tasks[task.index()].pending_overhead = st.switch_cost;
+                if let Some(tr) = &st.trace {
+                    tr.record(
+                        now,
+                        RecordKind::Marker {
+                            track: format!("{}:switch", self.inner.name),
+                            label: format!("→{}", st.tasks[task.index()].name),
+                        },
+                    );
+                }
+            }
+        }
+        st.last_dispatched = Some(task);
+        st.running = Some(task);
+        let ev = st.tasks[task.index()].dispatch_ev;
+        ctx.notify(ev);
+    }
+
+    /// Consumes any pending kernel-overhead delay assigned at dispatch.
+    fn consume_switch_overhead(&self, ctx: &ProcCtx, task: TaskId) {
+        let overhead = {
+            let mut st = self.inner.state.lock();
+            std::mem::take(&mut st.tasks[task.index()].pending_overhead)
+        };
+        if !overhead.is_zero() {
+            ctx.waitfor(overhead);
+        }
+    }
+
+    /// Removes `task` from the CPU, accounting its busy time.
+    fn undispatch(&self, st: &mut OsState, task: TaskId, now: SimTime, preempted: bool) {
+        debug_assert_eq!(st.running, Some(task));
+        st.running = None;
+        let tcb = &mut st.tasks[task.index()];
+        if let Some(at) = tcb.dispatched_at.take() {
+            let busy = now - at;
+            st.cpu_busy += busy;
+            st.stats[task.index()].busy += busy;
+        }
+        if preempted {
+            st.stats[task.index()].preemptions += 1;
+        }
+    }
+
+    /// Blocks the calling process until the scheduler dispatches `task`,
+    /// then consumes any modeled context-switch overhead.
+    fn wait_until_dispatched(&self, ctx: &ProcCtx, task: TaskId) {
+        loop {
+            {
+                let st = self.inner.state.lock();
+                if st.running == Some(task) {
+                    break;
+                }
+            }
+            let ev = {
+                let st = self.inner.state.lock();
+                st.tasks[task.index()].dispatch_ev
+            };
+            ctx.wait(ev);
+        }
+        self.consume_switch_overhead(ctx, task);
+    }
+
+    /// Scheduler invocation at a delay-step boundary or notify-type call of
+    /// the running task: under a preemptive algorithm a more urgent ready
+    /// task takes the CPU; under round-robin an exhausted quantum rotates
+    /// the caller to the queue tail (only if `allow_rotation`).
+    fn preempt_point(&self, ctx: &ProcCtx, allow_rotation: bool) {
+        let tid = {
+            let mut st = self.inner.state.lock();
+            let tid = match st.by_pid.get(&ctx.pid()).copied() {
+                Some(t) if st.running == Some(t) => t,
+                // Not a task (ISR) or not running: nothing to preempt.
+                _ => return,
+            };
+            let now = ctx.now();
+            let switch = if st.alg.is_preemptive() {
+                match self.select(&st) {
+                    Some(best) => {
+                        st.alg.rank(&st.tasks[best.index()])
+                            < st.alg.rank(&st.tasks[tid.index()])
+                    }
+                    None => false,
+                }
+            } else if let Some(q) = st.alg.quantum() {
+                allow_rotation
+                    && st.tasks[tid.index()].quantum_used >= q
+                    && !st.ready.is_empty()
+            } else {
+                false
+            };
+            if !switch {
+                return;
+            }
+            self.undispatch(&mut st, tid, now, true);
+            // Round-robin rotation goes to the tail (fresh seq); a
+            // preempted task keeps its queue position.
+            let keep_seq = st.alg.quantum().is_none();
+            self.make_ready(&mut st, tid, now, keep_seq);
+            self.dispatch_best(&mut st, ctx);
+            tid
+        };
+        self.wait_until_dispatched(ctx, tid);
+    }
+
+    fn span_begin(&self, ctx: &ProcCtx, label: &str) {
+        let st = self.inner.state.lock();
+        if let (Some(tr), Some(tid)) = (&st.trace, st.by_pid.get(&ctx.pid())) {
+            tr.record(
+                ctx.now(),
+                RecordKind::SpanBegin {
+                    track: st.tasks[tid.index()].name.clone(),
+                    label: label.to_string(),
+                },
+            );
+        }
+    }
+
+    fn span_end(&self, ctx: &ProcCtx) {
+        let st = self.inner.state.lock();
+        if let (Some(tr), Some(tid)) = (&st.trace, st.by_pid.get(&ctx.pid())) {
+            tr.record(
+                ctx.now(),
+                RecordKind::SpanEnd {
+                    track: st.tasks[tid.index()].name.clone(),
+                },
+            );
+        }
+    }
+}
+
+/// RTOS events implement the channel synchronization interface, so the SLDL
+/// channel library ([`sldl_sim::channel`]) runs unmodified on top of the
+/// RTOS model — the paper's Figure 7 refinement.
+impl SyncLayer for Rtos {
+    type Ev = RtosEvent;
+
+    fn ev_new(&self) -> RtosEvent {
+        self.event_new()
+    }
+
+    fn ev_wait(&self, ctx: &ProcCtx, e: RtosEvent) {
+        self.event_wait(ctx, e);
+    }
+
+    fn ev_notify(&self, ctx: &ProcCtx, e: RtosEvent) {
+        self.event_notify(ctx, e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtos_event_display() {
+        assert_eq!(RtosEvent(2).to_string(), "rtos-evt2");
+        assert_eq!(RtosEvent(2).index(), 2);
+    }
+
+    #[test]
+    fn default_time_slice_is_whole_delay() {
+        assert_eq!(TimeSlice::default(), TimeSlice::WholeDelay);
+    }
+
+    #[test]
+    fn rtos_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Rtos>();
+    }
+}

@@ -1,0 +1,257 @@
+//! Task types, parameters and control blocks.
+
+use core::fmt;
+use std::time::Duration;
+
+use sldl_sim::{EventId, ProcessId, SimTime};
+
+/// Handle to an RTOS task (the `proc` handle of the paper's Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TaskId(pub(crate) u32);
+
+impl TaskId {
+    /// Raw index of this task, useful for metrics post-processing.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// Static priority of a task: **lower values are more urgent** (priority 0
+/// is the most urgent), following the µC/OS and POSIX `SCHED_FIFO`-inverse
+/// convention used throughout this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Priority(pub u32);
+
+impl Priority {
+    /// The most urgent priority.
+    pub const HIGHEST: Priority = Priority(0);
+    /// The least urgent priority.
+    pub const LOWEST: Priority = Priority(u32::MAX);
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prio{}", self.0)
+    }
+}
+
+/// Kind of real-time task, matching the paper's task model: "periodic hard
+/// real time tasks with a critical deadline and non-periodic real time
+/// tasks with a fixed priority".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum TaskKind {
+    /// Released every `period`; the implicit deadline is the next release.
+    /// Must call [`Rtos::task_endcycle`](crate::Rtos::task_endcycle) at the
+    /// end of each cycle.
+    Periodic {
+        /// Release period (also the implicit relative deadline).
+        period: Duration,
+    },
+    /// Activated on demand, scheduled by fixed priority (or by the optional
+    /// `deadline` under EDF).
+    Aperiodic,
+}
+
+/// Parameters for [`Rtos::task_create`](crate::Rtos::task_create)
+/// (non-consuming builder).
+///
+/// ```
+/// use rtos_model::{Priority, TaskParams};
+/// use std::time::Duration;
+///
+/// let mut p = TaskParams::periodic("encoder", Duration::from_millis(20));
+/// p.priority(Priority(2)).wcet(Duration::from_millis(9));
+/// assert_eq!(p.name(), "encoder");
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskParams {
+    pub(crate) name: String,
+    pub(crate) kind: TaskKind,
+    pub(crate) priority: Priority,
+    pub(crate) wcet: Duration,
+    pub(crate) deadline: Option<Duration>,
+}
+
+impl TaskParams {
+    /// Parameters for an aperiodic task with the given fixed `priority`.
+    pub fn aperiodic(name: impl Into<String>, priority: Priority) -> Self {
+        TaskParams {
+            name: name.into(),
+            kind: TaskKind::Aperiodic,
+            priority,
+            wcet: Duration::ZERO,
+            deadline: None,
+        }
+    }
+
+    /// Parameters for a periodic task released every `period`.
+    ///
+    /// The default priority is [`Priority::LOWEST`]; under RMS and EDF the
+    /// period/deadline dominates, under fixed-priority scheduling set one
+    /// explicitly with [`priority`](TaskParams::priority).
+    pub fn periodic(name: impl Into<String>, period: Duration) -> Self {
+        TaskParams {
+            name: name.into(),
+            kind: TaskKind::Periodic { period },
+            priority: Priority::LOWEST,
+            wcet: Duration::ZERO,
+            deadline: None,
+        }
+    }
+
+    /// Sets the static priority.
+    pub fn priority(&mut self, priority: Priority) -> &mut Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the worst-case execution time annotation (informational; used
+    /// for utilization reporting).
+    pub fn wcet(&mut self, wcet: Duration) -> &mut Self {
+        self.wcet = wcet;
+        self
+    }
+
+    /// Sets an explicit relative deadline (defaults to the period for
+    /// periodic tasks; aperiodic tasks without a deadline run as background
+    /// work under EDF).
+    pub fn deadline(&mut self, deadline: Duration) -> &mut Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The task name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The task kind.
+    #[must_use]
+    pub fn kind(&self) -> TaskKind {
+        self.kind
+    }
+}
+
+/// Lifecycle state of a task, as in a conventional RTOS ("tasks transition
+/// between different states and a task queue is associated with each
+/// state" — paper §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum TaskState {
+    /// Created but not yet activated.
+    Created,
+    /// In the ready queue, waiting for the CPU.
+    Ready,
+    /// Currently dispatched (at most one task per RTOS instance).
+    Running,
+    /// Blocked on an RTOS event queue.
+    Blocked,
+    /// Suspended (`task_sleep`) or waiting for its next periodic release.
+    Sleeping,
+    /// Suspended in `par_start`, waiting for its children to finish.
+    Forking,
+    /// Terminated or killed.
+    Terminated,
+}
+
+/// Task control block (crate internal).
+#[derive(Debug)]
+pub(crate) struct Tcb {
+    pub(crate) name: String,
+    pub(crate) kind: TaskKind,
+    /// Current (possibly inherited) priority used by the scheduler.
+    pub(crate) priority: Priority,
+    /// Assigned priority, restored when an inherited boost ends.
+    pub(crate) base_priority: Priority,
+    pub(crate) wcet: Duration,
+    pub(crate) deadline: Option<Duration>,
+    pub(crate) state: TaskState,
+    /// SLDL event used to block/dispatch this task's process.
+    pub(crate) dispatch_ev: EventId,
+    /// SLDL process bound to this task (set on first self-activation).
+    pub(crate) pid: Option<ProcessId>,
+    /// Sequence number of entry into the ready queue (FIFO/RR ordering).
+    pub(crate) ready_seq: u64,
+    /// Current release time (periodic) or activation time (aperiodic).
+    pub(crate) release_time: SimTime,
+    /// Current absolute deadline (EDF key); `SimTime::MAX` when none.
+    pub(crate) abs_deadline: SimTime,
+    /// Set when the task became ready, cleared at first dispatch of the
+    /// activation; used for response-time metrics.
+    pub(crate) ready_since: Option<SimTime>,
+    /// Time of last dispatch (for busy-time accounting).
+    pub(crate) dispatched_at: Option<SimTime>,
+    /// CPU time consumed in the current round-robin quantum.
+    pub(crate) quantum_used: Duration,
+    /// Kernel overhead to consume when this task resumes (set at dispatch
+    /// after a context switch).
+    pub(crate) pending_overhead: Duration,
+    /// End of the task's most recent `time_wait` step: the completion time
+    /// of its computation, used for cycle response times so preemption
+    /// between finishing work and calling `task_endcycle` is not charged.
+    pub(crate) last_cpu_end: SimTime,
+}
+
+impl Tcb {
+    pub(crate) fn period(&self) -> Option<Duration> {
+        match self.kind {
+            TaskKind::Periodic { period } => Some(period),
+            TaskKind::Aperiodic => None,
+        }
+    }
+
+    /// Relative deadline: explicit, else the period, else none.
+    pub(crate) fn relative_deadline(&self) -> Option<Duration> {
+        self.deadline.or_else(|| self.period())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_ordering_lower_is_more_urgent() {
+        assert!(Priority::HIGHEST < Priority::LOWEST);
+        assert!(Priority(1) < Priority(2));
+    }
+
+    #[test]
+    fn params_builder_chains() {
+        let mut p = TaskParams::aperiodic("isr-handler", Priority(1));
+        p.wcet(Duration::from_micros(50))
+            .deadline(Duration::from_millis(1));
+        assert_eq!(p.name(), "isr-handler");
+        assert_eq!(p.kind(), TaskKind::Aperiodic);
+        assert_eq!(p.deadline, Some(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn periodic_params_default_lowest_priority() {
+        let p = TaskParams::periodic("enc", Duration::from_millis(20));
+        assert_eq!(p.priority, Priority::LOWEST);
+        assert_eq!(
+            p.kind(),
+            TaskKind::Periodic {
+                period: Duration::from_millis(20)
+            }
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TaskId(4).to_string(), "task4");
+        assert_eq!(Priority(3).to_string(), "prio3");
+    }
+}

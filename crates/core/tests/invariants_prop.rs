@@ -1,0 +1,163 @@
+//! Property-based tests: under *any* scheduling algorithm, the RTOS model
+//! must serialize task execution (total makespan = sum of work, zero trace
+//! overlap), conserve CPU time, and simulate deterministically.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use rtos_model::{Priority, Rtos, SchedAlg, TaskParams, TimeSlice};
+use sldl_sim::{Child, SimTime, Simulation, TraceConfig};
+
+#[derive(Debug, Clone)]
+struct TaskSpec {
+    priority: u32,
+    steps: Vec<u64>, // microseconds per time_wait step
+}
+
+fn task_set_strategy() -> impl Strategy<Value = Vec<TaskSpec>> {
+    proptest::collection::vec(
+        ((0u32..8), proptest::collection::vec(1u64..400, 1..6))
+            .prop_map(|(priority, steps)| TaskSpec { priority, steps }),
+        1..6,
+    )
+}
+
+fn alg_strategy() -> impl Strategy<Value = SchedAlg> {
+    prop_oneof![
+        Just(SchedAlg::PriorityPreemptive),
+        Just(SchedAlg::PriorityCooperative),
+        Just(SchedAlg::Fifo),
+        Just(SchedAlg::RoundRobin {
+            quantum: Duration::from_micros(100)
+        }),
+        Just(SchedAlg::Edf),
+    ]
+}
+
+fn slice_strategy() -> impl Strategy<Value = TimeSlice> {
+    prop_oneof![
+        Just(TimeSlice::WholeDelay),
+        (10u64..200).prop_map(|q| TimeSlice::Quantum(Duration::from_micros(q))),
+    ]
+}
+
+/// Runs a task set; returns (end time, completion log, context switches,
+/// cpu busy time).
+fn run_set(
+    specs: &[TaskSpec],
+    alg: SchedAlg,
+    slice: TimeSlice,
+) -> (SimTime, Vec<(String, u64)>, u64, Duration) {
+    let mut sim = Simulation::new();
+    let trace = sim.enable_trace(TraceConfig::default());
+    let os = Rtos::new("pe", sim.sync_layer());
+    os.start(alg);
+    os.set_time_slice(slice);
+    os.attach_trace(trace.clone());
+    let log = Arc::new(Mutex::new(Vec::new()));
+    for (i, spec) in specs.iter().enumerate() {
+        let os = os.clone();
+        let spec = spec.clone();
+        let log = Arc::clone(&log);
+        let name = format!("t{i}");
+        sim.spawn(Child::new(name.clone(), move |ctx| {
+            let me = os.task_create(&TaskParams::aperiodic(&name, Priority(spec.priority)));
+            os.task_activate(ctx, me);
+            for d in &spec.steps {
+                os.time_wait(ctx, Duration::from_micros(*d));
+            }
+            log.lock().push((name.clone(), ctx.now().as_micros()));
+            os.task_terminate(ctx);
+        }));
+    }
+    let report = sim.run().expect("no panics");
+    assert!(report.blocked.is_empty(), "blocked: {:?}", report.blocked);
+
+    // Serialization invariant: no two task execution segments overlap.
+    let segs = sldl_sim::trace::segments(&trace.snapshot());
+    let tracks: Vec<&Vec<_>> = segs.values().collect();
+    for i in 0..tracks.len() {
+        for j in (i + 1)..tracks.len() {
+            assert_eq!(
+                sldl_sim::trace::overlap(tracks[i], tracks[j]),
+                Duration::ZERO,
+                "RTOS must serialize task execution"
+            );
+        }
+    }
+
+    let m = os.metrics();
+    let completions = log.lock().clone();
+    (report.end_time, completions, m.context_switches, m.cpu_busy)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn makespan_equals_total_work_and_time_is_conserved(
+        specs in task_set_strategy(),
+        alg in alg_strategy(),
+        slice in slice_strategy(),
+    ) {
+        let total: u64 = specs.iter().flat_map(|s| s.steps.iter()).sum();
+        let (end, log, _switches, busy) = run_set(&specs, alg, slice);
+        // All tasks start at t=0 and only consume modeled CPU time, so the
+        // serialized makespan is exactly the total work.
+        prop_assert_eq!(end, SimTime::from_micros(total));
+        prop_assert_eq!(busy, Duration::from_micros(total));
+        prop_assert_eq!(log.len(), specs.len());
+        // The last completion coincides with the makespan.
+        let last = log.iter().map(|(_, t)| *t).max().unwrap();
+        prop_assert_eq!(last, total);
+    }
+
+    #[test]
+    fn runs_are_deterministic(
+        specs in task_set_strategy(),
+        alg in alg_strategy(),
+        slice in slice_strategy(),
+    ) {
+        let a = run_set(&specs, alg, slice);
+        let b = run_set(&specs, alg, slice);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn priority_preemptive_highest_priority_finishes_no_later_than_others(
+        specs in task_set_strategy(),
+    ) {
+        let (_, log, _, _) = run_set(&specs, SchedAlg::PriorityPreemptive, TimeSlice::WholeDelay);
+        // Find the set of most urgent tasks; each must finish no later than
+        // any strictly less urgent task *that has no earlier queue position*.
+        let best = specs.iter().map(|s| s.priority).min().unwrap();
+        let best_work_max: u64 = specs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.priority == best)
+            .map(|(i, _)| log.iter().find(|(n, _)| n == &format!("t{i}")).unwrap().1)
+            .max()
+            .unwrap();
+        let best_total: u64 = specs
+            .iter()
+            .filter(|s| s.priority == best)
+            .flat_map(|s| s.steps.iter())
+            .sum();
+        // All most-urgent tasks complete within their own total work span.
+        prop_assert_eq!(best_work_max, best_total);
+    }
+
+    #[test]
+    fn slicing_never_changes_total_time(
+        specs in task_set_strategy(),
+        alg in alg_strategy(),
+    ) {
+        let whole = run_set(&specs, alg, TimeSlice::WholeDelay);
+        let sliced = run_set(&specs, alg, TimeSlice::Quantum(Duration::from_micros(37)));
+        // Slicing refines *when* switches happen, not how much work exists.
+        prop_assert_eq!(whole.0, sliced.0);
+        prop_assert_eq!(whole.3, sliced.3);
+    }
+}

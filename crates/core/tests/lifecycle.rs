@@ -1,0 +1,205 @@
+//! Lifecycle and corner-case tests: instance reuse via `init`, ISR-driven
+//! task resumption, EDF deadline rollover across cycles, and misuse
+//! diagnostics.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rtos_model::{Priority, Rtos, SchedAlg, TaskParams, TaskState};
+use sldl_sim::{Child, SimTime, Simulation};
+
+fn us(n: u64) -> Duration {
+    Duration::from_micros(n)
+}
+
+#[test]
+fn init_resets_the_instance_for_reuse() {
+    // First simulation on the instance.
+    {
+        let mut sim = Simulation::new();
+        let os = Rtos::new("pe", sim.sync_layer());
+        os.start(SchedAlg::PriorityPreemptive);
+        let os2 = os.clone();
+        sim.spawn(Child::new("t", move |ctx| {
+            let me = os2.task_create(&TaskParams::aperiodic("t", Priority(1)));
+            os2.task_activate(ctx, me);
+            os2.time_wait(ctx, us(100));
+            os2.task_terminate(ctx);
+        }));
+        sim.run().unwrap();
+        assert_eq!(os.metrics().tasks.len(), 1);
+        // The paper's `init`: clear all kernel structures.
+        os.init();
+        assert_eq!(os.metrics().tasks.len(), 0);
+        assert_eq!(os.metrics().context_switches, 0);
+    }
+}
+
+#[test]
+fn isr_resumes_a_sleeping_task() {
+    // `task_activate` from interrupt context (not a task) must move the
+    // sleeper back to ready and dispatch it if the CPU is idle.
+    let mut sim = Simulation::new();
+    let os = Rtos::new("pe", sim.sync_layer());
+    os.start(SchedAlg::PriorityPreemptive);
+    let tid_cell = Arc::new(Mutex::new(None));
+    let woke_at = Arc::new(Mutex::new(None));
+
+    let os_t = os.clone();
+    let tc = Arc::clone(&tid_cell);
+    let w = Arc::clone(&woke_at);
+    sim.spawn(Child::new("sleeper", move |ctx| {
+        let me = os_t.task_create(&TaskParams::aperiodic("sleeper", Priority(1)));
+        *tc.lock() = Some(me);
+        os_t.task_activate(ctx, me);
+        os_t.task_sleep(ctx);
+        *w.lock() = Some(ctx.now());
+        os_t.task_terminate(ctx);
+    }));
+    let os_isr = os.clone();
+    let tc = Arc::clone(&tid_cell);
+    sim.spawn(Child::new("wake_isr", move |ctx| {
+        ctx.waitfor(us(75));
+        let tid = tc.lock().expect("sleeper registered");
+        os_isr.task_activate(ctx, tid); // ISR-context resume
+        os_isr.interrupt_return(ctx);
+    }));
+
+    let report = sim.run().unwrap();
+    assert!(report.blocked.is_empty());
+    assert_eq!(*woke_at.lock(), Some(SimTime::from_micros(75)));
+}
+
+#[test]
+fn edf_deadline_rolls_over_each_cycle() {
+    // Two periodic tasks under EDF: the one whose *current* deadline is
+    // nearer runs first, and that flips as cycles advance.
+    let mut sim = Simulation::new();
+    let os = Rtos::new("pe", sim.sync_layer());
+    os.start(SchedAlg::Edf);
+    let order = Arc::new(Mutex::new(Vec::new()));
+    for (name, period_us, work_us) in [("a", 1_000u64, 100u64), ("b", 1_500, 200)] {
+        let os = os.clone();
+        let order = Arc::clone(&order);
+        sim.spawn(Child::new(name, move |ctx| {
+            let me = os.task_create(&TaskParams::periodic(name, us(period_us)));
+            os.task_activate(ctx, me);
+            for _ in 0..4 {
+                os.time_wait(ctx, us(work_us));
+                order.lock().push((name, ctx.now().as_micros()));
+                os.task_endcycle(ctx);
+            }
+            os.task_terminate(ctx);
+        }));
+    }
+    let report = sim.run().unwrap();
+    assert!(report.blocked.is_empty());
+    let order = order.lock().clone();
+    // t=0: deadlines 1000 (a) vs 1500 (b): a first.
+    assert_eq!(order[0], ("a", 100));
+    assert_eq!(order[1], ("b", 300));
+    // At t=3000: a's release (deadline 4000); b's third release at 3000
+    // (deadline 4500) → a wins again; but at t=1500 b (deadline 3000) vs
+    // a's release at 2000 (deadline 3000)… verify the trace is consistent
+    // and nobody misses.
+    let m = os.metrics();
+    assert_eq!(m.deadline_misses(), 0);
+    assert_eq!(order.len(), 8);
+}
+
+#[test]
+fn terminated_task_cannot_be_activated() {
+    let mut sim = Simulation::new();
+    let os = Rtos::new("pe", sim.sync_layer());
+    os.start(SchedAlg::PriorityPreemptive);
+    let tid_cell = Arc::new(Mutex::new(None));
+    let os_a = os.clone();
+    let tc = Arc::clone(&tid_cell);
+    sim.spawn(Child::new("short", move |ctx| {
+        let me = os_a.task_create(&TaskParams::aperiodic("short", Priority(1)));
+        *tc.lock() = Some(me);
+        os_a.task_activate(ctx, me);
+        os_a.task_terminate(ctx);
+    }));
+    let os_b = os.clone();
+    let tc = Arc::clone(&tid_cell);
+    sim.spawn(Child::new("necromancer", move |ctx| {
+        let me = os_b.task_create(&TaskParams::aperiodic("necromancer", Priority(2)));
+        os_b.task_activate(ctx, me);
+        os_b.time_wait(ctx, us(10));
+        let dead = tc.lock().expect("short ran");
+        assert_eq!(os_b.task_state(dead), TaskState::Terminated);
+        os_b.task_activate(ctx, dead); // must panic
+    }));
+    assert!(matches!(
+        sim.run(),
+        Err(sldl_sim::RunError::ProcessPanicked { .. })
+    ));
+}
+
+#[test]
+fn time_wait_from_unbound_process_panics() {
+    let mut sim = Simulation::new();
+    let os = Rtos::new("pe", sim.sync_layer());
+    os.start(SchedAlg::PriorityPreemptive);
+    let os2 = os.clone();
+    sim.spawn(Child::new("not_a_task", move |ctx| {
+        os2.time_wait(ctx, us(10));
+    }));
+    match sim.run() {
+        Err(sldl_sim::RunError::ProcessPanicked { message, .. }) => {
+            assert!(message.contains("not bound to a task"), "{message}");
+        }
+        other => panic!("expected panic, got {other:?}"),
+    }
+}
+
+#[test]
+fn event_del_with_waiters_panics() {
+    let mut sim = Simulation::new();
+    let os = Rtos::new("pe", sim.sync_layer());
+    os.start(SchedAlg::PriorityPreemptive);
+    let e = os.event_new();
+    let os_w = os.clone();
+    sim.spawn(Child::new("waiter", move |ctx| {
+        let me = os_w.task_create(&TaskParams::aperiodic("waiter", Priority(1)));
+        os_w.task_activate(ctx, me);
+        os_w.event_wait(ctx, e);
+    }));
+    let os_d = os.clone();
+    sim.spawn(Child::new("deleter", move |ctx| {
+        let me = os_d.task_create(&TaskParams::aperiodic("deleter", Priority(2)));
+        os_d.task_activate(ctx, me);
+        os_d.time_wait(ctx, us(5));
+        os_d.event_del(e); // waiter still queued → panic
+    }));
+    assert!(matches!(
+        sim.run(),
+        Err(sldl_sim::RunError::ProcessPanicked { .. })
+    ));
+}
+
+#[test]
+fn dispatch_latency_includes_switch_cost_position() {
+    // With a modeled switch cost, the makespan stretches but per-task busy
+    // time still counts the overhead against the dispatched task.
+    let mut sim = Simulation::new();
+    let os = Rtos::new("pe", sim.sync_layer());
+    os.start(SchedAlg::PriorityPreemptive);
+    os.set_context_switch_cost(us(20));
+    for (name, prio, work) in [("a", 1u32, 100u64), ("b", 2, 100)] {
+        let os = os.clone();
+        sim.spawn(Child::new(name, move |ctx| {
+            let me = os.task_create(&TaskParams::aperiodic(name, Priority(prio)));
+            os.task_activate(ctx, me);
+            os.time_wait(ctx, us(work));
+            os.task_terminate(ctx);
+        }));
+    }
+    let report = sim.run().unwrap();
+    assert_eq!(report.end_time, SimTime::from_micros(220));
+    let m = os.metrics_at(report.end_time);
+    // All simulated time was CPU-busy (work + kernel overhead).
+    assert_eq!(m.cpu_busy, us(220));
+}

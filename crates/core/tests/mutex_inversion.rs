@@ -1,0 +1,201 @@
+//! Priority-inversion tests for the RTOS mutex: the classic H/M/L scenario
+//! (the Mars Pathfinder failure mode) with and without priority
+//! inheritance, plus basic mutex semantics.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rtos_model::{
+    InheritancePolicy, Priority, Rtos, RtosMutex, SchedAlg, TaskParams, TimeSlice,
+};
+use sldl_sim::{Child, Simulation};
+
+fn us(n: u64) -> Duration {
+    Duration::from_micros(n)
+}
+
+/// The classic scenario:
+/// * L (low) takes the mutex at t=0 and holds it for 100 µs of work;
+/// * H (high) arrives at t=20 and blocks on the mutex;
+/// * M (medium) arrives at t=20 with 500 µs of CPU-bound work.
+///
+/// Without inheritance, M preempts L, so H waits for *all* of M's work.
+/// With inheritance, L runs at H's priority until it releases.
+///
+/// Returns H's completion time in microseconds.
+fn run_inversion(policy: InheritancePolicy) -> u64 {
+    let mut sim = Simulation::new();
+    let os = Rtos::new("pe", sim.sync_layer());
+    os.start(SchedAlg::PriorityPreemptive);
+    // Fine slicing so preemption decisions are prompt.
+    os.set_time_slice(TimeSlice::Quantum(us(10)));
+    let m = RtosMutex::new(os.clone(), policy);
+    let h_done = Arc::new(Mutex::new(0u64));
+
+    // L: locks immediately, works 100 µs inside the critical section.
+    let os_l = os.clone();
+    let m_l = m.clone();
+    sim.spawn(Child::new("low", move |ctx| {
+        let me = os_l.task_create(&TaskParams::aperiodic("low", Priority(9)));
+        os_l.task_activate(ctx, me);
+        m_l.lock(ctx);
+        os_l.time_wait(ctx, us(100));
+        m_l.unlock(ctx);
+        os_l.task_terminate(ctx);
+    }));
+
+    // H: arrives at 20 µs, needs the mutex for 50 µs of work.
+    let os_h = os.clone();
+    let m_h = m.clone();
+    let done = Arc::clone(&h_done);
+    sim.spawn(Child::new("high", move |ctx| {
+        let me = os_h.task_create(&TaskParams::aperiodic("high", Priority(1)));
+        os_h.task_activate(ctx, me);
+        os_h.time_wait(ctx, us(20)); // arrival offset
+        m_h.lock(ctx);
+        os_h.time_wait(ctx, us(50));
+        m_h.unlock(ctx);
+        *done.lock() = ctx.now().as_micros();
+        os_h.task_terminate(ctx);
+    }));
+
+    // M: arrives at 20 µs, hogs the CPU for 500 µs, never touches the mutex.
+    let os_m = os.clone();
+    sim.spawn(Child::new("medium", move |ctx| {
+        let me = os_m.task_create(&TaskParams::aperiodic("medium", Priority(5)));
+        os_m.task_activate(ctx, me);
+        os_m.time_wait(ctx, us(20));
+        os_m.time_wait(ctx, us(500));
+        os_m.task_terminate(ctx);
+    }));
+
+    let report = sim.run().unwrap();
+    assert!(report.blocked.is_empty(), "{:?}", report.blocked);
+    let done = *h_done.lock();
+    done
+}
+
+#[test]
+fn priority_inversion_without_inheritance_is_unbounded_by_m() {
+    let h_done = run_inversion(InheritancePolicy::None);
+    // H must wait for M's entire 500 µs: completion well after 570 µs.
+    assert!(h_done >= 570, "H completed at {h_done} µs");
+}
+
+#[test]
+fn inheritance_bounds_inversion_to_the_critical_section() {
+    let h_done = run_inversion(InheritancePolicy::Inherit);
+    // L (boosted) finishes its 100 µs critical section, then H runs 50 µs:
+    // H completes around 170 µs — long before M's 500 µs of work.
+    assert!(h_done <= 200, "H completed at {h_done} µs");
+}
+
+#[test]
+fn inheritance_strictly_improves_high_priority_latency() {
+    let without = run_inversion(InheritancePolicy::None);
+    let with = run_inversion(InheritancePolicy::Inherit);
+    assert!(
+        with + 300 <= without,
+        "with={with} µs, without={without} µs"
+    );
+}
+
+#[test]
+fn mutex_provides_mutual_exclusion() {
+    let mut sim = Simulation::new();
+    let os = Rtos::new("pe", sim.sync_layer());
+    os.start(SchedAlg::PriorityPreemptive);
+    os.set_time_slice(TimeSlice::Quantum(us(7)));
+    let m = RtosMutex::new(os.clone(), InheritancePolicy::Inherit);
+    let in_section = Arc::new(Mutex::new((0u32, 0u32))); // (current, max seen)
+
+    for i in 0..4u32 {
+        let os = os.clone();
+        let m = m.clone();
+        let counter = Arc::clone(&in_section);
+        sim.spawn(Child::new(format!("t{i}"), move |ctx| {
+            let me = os.task_create(&TaskParams::aperiodic(format!("t{i}"), Priority(i)));
+            os.task_activate(ctx, me);
+            for _ in 0..3 {
+                m.lock(ctx);
+                {
+                    let mut c = counter.lock();
+                    c.0 += 1;
+                    c.1 = c.1.max(c.0);
+                }
+                os.time_wait(ctx, us(30));
+                counter.lock().0 -= 1;
+                m.unlock(ctx);
+                os.time_wait(ctx, us(10));
+            }
+            os.task_terminate(ctx);
+        }));
+    }
+    let report = sim.run().unwrap();
+    assert!(report.blocked.is_empty());
+    assert_eq!(in_section.lock().1, 1, "critical sections overlapped");
+}
+
+#[test]
+fn recursive_lock_by_owner() {
+    let mut sim = Simulation::new();
+    let os = Rtos::new("pe", sim.sync_layer());
+    os.start(SchedAlg::PriorityPreemptive);
+    let m = RtosMutex::new(os.clone(), InheritancePolicy::Inherit);
+    let os2 = os.clone();
+    sim.spawn(Child::new("t", move |ctx| {
+        let me = os2.task_create(&TaskParams::aperiodic("t", Priority(1)));
+        os2.task_activate(ctx, me);
+        m.lock(ctx);
+        m.lock(ctx); // recursive
+        assert!(m.try_lock(ctx));
+        m.unlock(ctx);
+        m.unlock(ctx);
+        m.unlock(ctx);
+        os2.task_terminate(ctx);
+    }));
+    sim.run().unwrap();
+}
+
+#[test]
+fn try_lock_fails_when_contended() {
+    // The holder takes the mutex and then blocks on an event (DMA wait)
+    // *inside* the critical section; the prober runs meanwhile and must
+    // see the mutex taken.
+    let mut sim = Simulation::new();
+    let os = Rtos::new("pe", sim.sync_layer());
+    os.start(SchedAlg::PriorityPreemptive);
+    let m = RtosMutex::new(os.clone(), InheritancePolicy::None);
+    let dma_done = os.event_new();
+    let outcome = Arc::new(Mutex::new(None));
+
+    let os_a = os.clone();
+    let m_a = m.clone();
+    sim.spawn(Child::new("holder", move |ctx| {
+        let me = os_a.task_create(&TaskParams::aperiodic("holder", Priority(1)));
+        os_a.task_activate(ctx, me);
+        m_a.lock(ctx);
+        os_a.event_wait(ctx, dma_done); // blocks while holding the mutex
+        m_a.unlock(ctx);
+        os_a.task_terminate(ctx);
+    }));
+    let os_b = os.clone();
+    let o = Arc::clone(&outcome);
+    sim.spawn(Child::new("prober", move |ctx| {
+        let me = os_b.task_create(&TaskParams::aperiodic("prober", Priority(2)));
+        os_b.task_activate(ctx, me);
+        os_b.time_wait(ctx, us(10));
+        *o.lock() = Some(m.try_lock(ctx)); // holder still owns it
+        os_b.task_terminate(ctx);
+    }));
+    let os_isr = os.clone();
+    sim.spawn(Child::new("dma_isr", move |ctx| {
+        ctx.waitfor(us(50));
+        os_isr.event_notify(ctx, dma_done);
+        os_isr.interrupt_return(ctx);
+    }));
+    let report = sim.run().unwrap();
+    assert!(report.blocked.is_empty(), "{:?}", report.blocked);
+    assert_eq!(*outcome.lock(), Some(false));
+}

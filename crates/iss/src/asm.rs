@@ -1,0 +1,675 @@
+//! Two-pass assembler for the toy DSP ISA.
+//!
+//! Syntax (one statement per line, `;` comments):
+//!
+//! ```text
+//! .equ FRAMES, 20          ; named constant
+//! entry:                   ; code label (text address)
+//!     movi r1, FRAMES
+//!     mov  r2, r1          ; pseudo: addi r2, r1, 0
+//! loop:
+//!     addi r1, r1, -1
+//!     bne  r1, r0, loop
+//!     jal  helper
+//!     halt
+//! helper:
+//!     push r5              ; pseudo: addi r14,r14,-1 ; st r5,r14,0
+//!     pop  r5
+//!     jr   r15
+//! counter:                 ; data label (data address)
+//!     .word 0, 1, 2
+//! buf:
+//!     .space 8
+//! ```
+//!
+//! Code labels resolve to instruction indices, data labels to data-memory
+//! addresses; either may be used wherever an immediate is expected.
+
+use std::collections::HashMap;
+
+use crate::isa::{AluOp, Cond, Instr, Reg, NUM_REGS};
+
+/// An assembled program image.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Text segment (instruction memory).
+    pub text: Vec<Instr>,
+    /// Initial data memory image.
+    pub data: Vec<i32>,
+    /// All labels and `.equ` constants, for host-side inspection.
+    pub symbols: HashMap<String, i64>,
+}
+
+impl Program {
+    /// Address of a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol is unknown (programming error in the host
+    /// harness).
+    #[must_use]
+    pub fn symbol(&self, name: &str) -> i64 {
+        *self
+            .symbols
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown symbol `{name}`"))
+    }
+}
+
+impl Program {
+    /// Renders a full disassembly listing: one instruction per line with
+    /// its text address, followed by the data image.
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for (addr, instr) in self.text.iter().enumerate() {
+            out.push_str(&format!("{addr:5}: {instr}\n"));
+        }
+        if !self.data.is_empty() {
+            out.push_str("; data:\n");
+            for (addr, word) in self.data.iter().enumerate() {
+                out.push_str(&format!("{addr:5}: .word {word}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Assembly error with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl core::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// A statement after pass-1 classification.
+enum Stmt<'a> {
+    Instr {
+        line: usize,
+        mnemonic: &'a str,
+        operands: Vec<&'a str>,
+    },
+    Word {
+        line: usize,
+        values: Vec<&'a str>,
+    },
+    Space {
+        line: usize,
+        count: &'a str,
+    },
+}
+
+/// Assembles `source` into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for syntax errors,
+/// unknown mnemonics/registers/symbols, duplicate labels, or out-of-range
+/// operands.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut symbols: HashMap<String, i64> = HashMap::new();
+    let mut stmts: Vec<Stmt<'_>> = Vec::new();
+    let mut text_len: u32 = 0;
+    let mut data_len: i64 = 0;
+    // Labels awaiting their binding statement (a label binds to the next
+    // emitted item, which decides its segment).
+    let mut pending: Vec<(String, usize)> = Vec::new();
+
+    // Pass 1: strip comments, record labels/equs, measure segments.
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut line = raw;
+        if let Some(pos) = line.find(';') {
+            line = &line[..pos];
+        }
+        let mut rest = line.trim();
+        // Labels (possibly several) at line start.
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || !is_ident(label) {
+                return Err(err(line_no, format!("invalid label `{label}`")));
+            }
+            pending.push((label.to_string(), line_no));
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        if let Some(equ) = rest.strip_prefix(".equ") {
+            let parts: Vec<&str> = equ.split(',').map(str::trim).collect();
+            if parts.len() != 2 || !is_ident(parts[0]) {
+                return Err(err(line_no, ".equ NAME, value"));
+            }
+            let value = parse_int(parts[1])
+                .ok_or_else(|| err(line_no, format!("bad .equ value `{}`", parts[1])))?;
+            if symbols.insert(parts[0].to_string(), value).is_some() {
+                return Err(err(line_no, format!("duplicate symbol `{}`", parts[0])));
+            }
+            continue;
+        }
+        if let Some(words) = rest.strip_prefix(".word") {
+            bind_labels(&mut pending, &mut symbols, data_len)?;
+            let values: Vec<&str> = words.split(',').map(str::trim).collect();
+            if values.iter().any(|v| v.is_empty()) {
+                return Err(err(line_no, ".word needs comma-separated values"));
+            }
+            data_len += values.len() as i64;
+            stmts.push(Stmt::Word {
+                line: line_no,
+                values,
+            });
+            continue;
+        }
+        if let Some(count) = rest.strip_prefix(".space") {
+            bind_labels(&mut pending, &mut symbols, data_len)?;
+            let count = count.trim();
+            let n = parse_int(count)
+                .ok_or_else(|| err(line_no, format!("bad .space count `{count}`")))?;
+            if n < 0 {
+                return Err(err(line_no, "negative .space"));
+            }
+            data_len += n;
+            stmts.push(Stmt::Space {
+                line: line_no,
+                count,
+            });
+            continue;
+        }
+        // Instruction (possibly pseudo, which may expand to several).
+        let (mnemonic, ops) = split_operands(rest);
+        let size = pseudo_size(mnemonic)
+            .ok_or_else(|| err(line_no, format!("unknown mnemonic `{mnemonic}`")))?;
+        bind_labels(&mut pending, &mut symbols, i64::from(text_len))?;
+        text_len += size;
+        stmts.push(Stmt::Instr {
+            line: line_no,
+            mnemonic,
+            operands: ops,
+        });
+    }
+    // Trailing labels bind to the end of the text segment.
+    bind_labels(&mut pending, &mut symbols, i64::from(text_len))?;
+
+    // Pass 2: encode.
+    let mut prog = Program {
+        text: Vec::new(),
+        data: Vec::new(),
+        symbols: symbols.clone(),
+    };
+    let lookup = |name: &str, line: usize| -> Result<i64, AsmError> {
+        symbols
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(line, format!("unknown symbol `{name}`")))
+    };
+    for stmt in &stmts {
+        match stmt {
+            Stmt::Word { line, values } => {
+                for v in values {
+                    let value = match parse_int(v) {
+                        Some(x) => x,
+                        None => lookup(v, *line)?,
+                    };
+                    prog.data.push(i32::try_from(value).map_err(|_| {
+                        err(*line, format!("word value out of range `{v}`"))
+                    })?);
+                }
+            }
+            Stmt::Space { line, count } => {
+                let n = parse_int(count).ok_or_else(|| err(*line, "bad .space"))?;
+                prog.data.extend(std::iter::repeat_n(0, n as usize));
+            }
+            Stmt::Instr {
+                line,
+                mnemonic,
+                operands,
+            } => {
+                encode(&mut prog.text, mnemonic, operands, *line, &symbols)?;
+            }
+        }
+    }
+    Ok(prog)
+}
+
+/// Binds all pending labels to `value` (the address of the statement that
+/// follows them).
+fn bind_labels(
+    pending: &mut Vec<(String, usize)>,
+    symbols: &mut HashMap<String, i64>,
+    value: i64,
+) -> Result<(), AsmError> {
+    for (label, line_no) in pending.drain(..) {
+        if symbols.insert(label.clone(), value).is_some() {
+            return Err(err(line_no, format!("duplicate label `{label}`")));
+        }
+    }
+    Ok(())
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !s.chars().next().is_some_and(|c| c.is_ascii_digit())
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        return i64::from_str_radix(hex, 16).ok();
+    }
+    if let Some(neg) = s.strip_prefix("-0x") {
+        return i64::from_str_radix(neg, 16).ok().map(|v| -v);
+    }
+    s.parse().ok()
+}
+
+fn split_operands(rest: &str) -> (&str, Vec<&str>) {
+    match rest.find(char::is_whitespace) {
+        None => (rest, Vec::new()),
+        Some(pos) => {
+            let (m, ops) = rest.split_at(pos);
+            (m, ops.split(',').map(str::trim).collect())
+        }
+    }
+}
+
+/// Number of real instructions a (pseudo-)mnemonic expands to, or `None`
+/// if unknown.
+fn pseudo_size(mnemonic: &str) -> Option<u32> {
+    Some(match mnemonic {
+        "push" | "pop" => 2,
+        "movi" | "li" | "mov" | "add" | "sub" | "mul" | "and" | "or" | "xor" | "shl" | "shr"
+        | "addi" | "mac" | "ld" | "st" | "beq" | "bne" | "blt" | "bge" | "jmp" | "jal" | "jr"
+        | "trap" | "rti" | "cli" | "sti" | "wait" | "nop" | "halt" => 1,
+        _ => return None,
+    })
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
+    let num = s
+        .strip_prefix('r')
+        .and_then(|n| n.parse::<usize>().ok())
+        .filter(|&n| n < NUM_REGS)
+        .ok_or_else(|| err(line, format!("bad register `{s}`")))?;
+    Ok(Reg(num as u8))
+}
+
+fn parse_imm(
+    s: &str,
+    line: usize,
+    symbols: &HashMap<String, i64>,
+) -> Result<i64, AsmError> {
+    // `SYM+const` / `SYM+SYM` sums, e.g. `sv+3` (no leading `-` split, so
+    // negative literals still parse).
+    if let Some((a, b)) = s.split_once('+') {
+        return Ok(parse_imm(a.trim(), line, symbols)?
+            .wrapping_add(parse_imm(b.trim(), line, symbols)?));
+    }
+    if let Some(v) = parse_int(s) {
+        return Ok(v);
+    }
+    symbols
+        .get(s)
+        .copied()
+        .ok_or_else(|| err(line, format!("unknown symbol `{s}`")))
+}
+
+fn encode(
+    text: &mut Vec<Instr>,
+    mnemonic: &str,
+    ops: &[&str],
+    line: usize,
+    symbols: &HashMap<String, i64>,
+) -> Result<(), AsmError> {
+    let need = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(
+                line,
+                format!("`{mnemonic}` needs {n} operand(s), got {}", ops.len()),
+            ))
+        }
+    };
+    let reg = |i: usize| parse_reg(ops[i], line);
+    let imm32 = |i: usize| -> Result<i32, AsmError> {
+        let v = parse_imm(ops[i], line, symbols)?;
+        i32::try_from(v).map_err(|_| err(line, format!("immediate out of range `{}`", ops[i])))
+    };
+    let target = |i: usize| -> Result<u32, AsmError> {
+        let v = parse_imm(ops[i], line, symbols)?;
+        u32::try_from(v).map_err(|_| err(line, format!("bad code address `{}`", ops[i])))
+    };
+    let alu = |op: AluOp, text: &mut Vec<Instr>| -> Result<(), AsmError> {
+        need(3)?;
+        text.push(Instr::Alu {
+            op,
+            rd: reg(0)?,
+            rs: reg(1)?,
+            rt: reg(2)?,
+        });
+        Ok(())
+    };
+    let branch = |cond: Cond, text: &mut Vec<Instr>| -> Result<(), AsmError> {
+        need(3)?;
+        text.push(Instr::Branch {
+            cond,
+            rs: reg(0)?,
+            rt: reg(1)?,
+            target: target(2)?,
+        });
+        Ok(())
+    };
+    match mnemonic {
+        "movi" | "li" => {
+            need(2)?;
+            text.push(Instr::Movi {
+                rd: reg(0)?,
+                imm: imm32(1)?,
+            });
+        }
+        "mov" => {
+            need(2)?;
+            text.push(Instr::Addi {
+                rd: reg(0)?,
+                rs: reg(1)?,
+                imm: 0,
+            });
+        }
+        "add" => alu(AluOp::Add, text)?,
+        "sub" => alu(AluOp::Sub, text)?,
+        "mul" => alu(AluOp::Mul, text)?,
+        "and" => alu(AluOp::And, text)?,
+        "or" => alu(AluOp::Or, text)?,
+        "xor" => alu(AluOp::Xor, text)?,
+        "shl" => alu(AluOp::Shl, text)?,
+        "shr" => alu(AluOp::Shr, text)?,
+        "addi" => {
+            need(3)?;
+            text.push(Instr::Addi {
+                rd: reg(0)?,
+                rs: reg(1)?,
+                imm: imm32(2)?,
+            });
+        }
+        "mac" => {
+            need(3)?;
+            text.push(Instr::Mac {
+                rd: reg(0)?,
+                rs: reg(1)?,
+                rt: reg(2)?,
+            });
+        }
+        "ld" => {
+            // ld rd, base, offset  |  ld rd, symbol (base r0)
+            if ops.len() == 3 {
+                text.push(Instr::Ld {
+                    rd: reg(0)?,
+                    rs: reg(1)?,
+                    offset: imm32(2)?,
+                });
+            } else {
+                need(2)?;
+                text.push(Instr::Ld {
+                    rd: reg(0)?,
+                    rs: Reg(0),
+                    offset: imm32(1)?,
+                });
+            }
+        }
+        "st" => {
+            // st rs, base, offset  |  st rs, symbol (base r0)
+            if ops.len() == 3 {
+                text.push(Instr::St {
+                    rs: reg(0)?,
+                    rd: reg(1)?,
+                    offset: imm32(2)?,
+                });
+            } else {
+                need(2)?;
+                text.push(Instr::St {
+                    rs: reg(0)?,
+                    rd: Reg(0),
+                    offset: imm32(1)?,
+                });
+            }
+        }
+        "beq" => branch(Cond::Eq, text)?,
+        "bne" => branch(Cond::Ne, text)?,
+        "blt" => branch(Cond::Lt, text)?,
+        "bge" => branch(Cond::Ge, text)?,
+        "jmp" => {
+            need(1)?;
+            text.push(Instr::Jmp { target: target(0)? });
+        }
+        "jal" => {
+            need(1)?;
+            text.push(Instr::Jal { target: target(0)? });
+        }
+        "jr" => {
+            need(1)?;
+            text.push(Instr::Jr { rs: reg(0)? });
+        }
+        "trap" => {
+            need(1)?;
+            let v = parse_imm(ops[0], line, symbols)?;
+            text.push(Instr::Trap {
+                cause: u32::try_from(v).map_err(|_| err(line, "bad trap cause"))?,
+            });
+        }
+        "rti" => {
+            need(0)?;
+            text.push(Instr::Rti);
+        }
+        "cli" => {
+            need(0)?;
+            text.push(Instr::Cli);
+        }
+        "sti" => {
+            need(0)?;
+            text.push(Instr::Sti);
+        }
+        "wait" => {
+            need(0)?;
+            text.push(Instr::Wait);
+        }
+        "nop" => {
+            need(0)?;
+            text.push(Instr::Nop);
+        }
+        "halt" => {
+            need(0)?;
+            text.push(Instr::Halt);
+        }
+        "push" => {
+            need(1)?;
+            let r = reg(0)?;
+            text.push(Instr::Addi {
+                rd: crate::isa::SP,
+                rs: crate::isa::SP,
+                imm: -1,
+            });
+            text.push(Instr::St {
+                rs: r,
+                rd: crate::isa::SP,
+                offset: 0,
+            });
+        }
+        "pop" => {
+            need(1)?;
+            let r = reg(0)?;
+            text.push(Instr::Ld {
+                rd: r,
+                rs: crate::isa::SP,
+                offset: 0,
+            });
+            text.push(Instr::Addi {
+                rd: crate::isa::SP,
+                rs: crate::isa::SP,
+                imm: 1,
+            });
+        }
+        other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::SP;
+
+    #[test]
+    fn assembles_basic_program() {
+        let prog = assemble(
+            r"
+            .equ N, 3
+            entry:
+                movi r1, N
+            loop:
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(prog.text.len(), 4);
+        assert_eq!(prog.symbol("entry"), 0);
+        assert_eq!(prog.symbol("loop"), 1);
+        assert_eq!(
+            prog.text[2],
+            Instr::Branch {
+                cond: Cond::Ne,
+                rs: Reg(1),
+                rt: Reg(0),
+                target: 1
+            }
+        );
+    }
+
+    #[test]
+    fn data_labels_resolve_to_data_addresses() {
+        let prog = assemble(
+            r"
+                ld r1, r0, table
+                ld r2, buf
+                halt
+            table: .word 10, 20, 30
+            buf:   .space 4
+            ",
+        )
+        .unwrap();
+        assert_eq!(prog.symbol("table"), 0);
+        assert_eq!(prog.symbol("buf"), 3);
+        assert_eq!(prog.data, vec![10, 20, 30, 0, 0, 0, 0]);
+        assert_eq!(
+            prog.text[1],
+            Instr::Ld {
+                rd: Reg(2),
+                rs: Reg(0),
+                offset: 3
+            }
+        );
+    }
+
+    #[test]
+    fn three_operand_ld_requires_register_base() {
+        let e = assemble("ld r1, table, 0\ntable: .word 1\n").unwrap_err();
+        assert!(e.message.contains("bad register"), "{e}");
+    }
+
+    #[test]
+    fn push_pop_expand() {
+        let prog = assemble("push r3\npop r3\nhalt\n").unwrap();
+        assert_eq!(prog.text.len(), 5);
+        assert_eq!(
+            prog.text[0],
+            Instr::Addi {
+                rd: SP,
+                rs: SP,
+                imm: -1
+            }
+        );
+        assert_eq!(
+            prog.text[4],
+            Instr::Halt
+        );
+    }
+
+    #[test]
+    fn labels_account_for_pseudo_expansion() {
+        let prog = assemble(
+            r"
+                push r1
+            after:
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(prog.symbol("after"), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("unknown mnemonic"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("a:\nnop\na:\nnop\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn unknown_symbol_rejected() {
+        let e = assemble("jmp nowhere\n").unwrap_err();
+        assert!(e.message.contains("unknown symbol"));
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let prog = assemble("movi r1, 0xFF00\nmovi r2, -42\nhalt\n").unwrap();
+        assert_eq!(
+            prog.text[0],
+            Instr::Movi {
+                rd: Reg(1),
+                imm: 0xFF00
+            }
+        );
+        assert_eq!(
+            prog.text[1],
+            Instr::Movi {
+                rd: Reg(2),
+                imm: -42
+            }
+        );
+    }
+
+    #[test]
+    fn mnemonic_only_line_with_label() {
+        let prog = assemble("start: halt\n").unwrap();
+        assert_eq!(prog.symbol("start"), 0);
+        assert_eq!(prog.text, vec![Instr::Halt]);
+    }
+}

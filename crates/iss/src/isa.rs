@@ -1,0 +1,339 @@
+//! The toy DSP instruction set.
+//!
+//! A small load/store register machine standing in for the Motorola
+//! DSP56600 of the paper's case study (Table 1, "implementation model").
+//! Sixteen 32-bit registers (`r0` hardwired to zero, `r14` conventional
+//! stack pointer, `r15` link register), Harvard text/data memories, two
+//! interrupt lines, and per-instruction cycle costs at a 60 MHz clock.
+//!
+//! Instructions are represented as decoded structs rather than packed
+//! bits — the simulator models *timing and control flow*, not binary
+//! encodings.
+
+use core::fmt;
+
+/// Number of general-purpose registers.
+pub const NUM_REGS: usize = 16;
+
+/// Register name (r0 is hardwired to zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(pub u8);
+
+/// Conventional stack pointer.
+pub const SP: Reg = Reg(14);
+/// Link register written by `jal`.
+pub const LR: Reg = Reg(15);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Binary ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (2 cycles).
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left by `rt & 31`.
+    Shl,
+    /// Arithmetic shift right by `rt & 31`.
+    Shr,
+}
+
+/// Branch conditions comparing two registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+/// A decoded instruction. `u32` operands holding addresses refer to text
+/// addresses (instruction indices) for control flow and data addresses for
+/// loads/stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `rd ← imm`.
+    Movi {
+        /// Destination.
+        rd: Reg,
+        /// Immediate value.
+        imm: i32,
+    },
+    /// `rd ← rs op rt`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        rs: Reg,
+        /// Right operand.
+        rt: Reg,
+    },
+    /// `rd ← rs + imm`.
+    Addi {
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rs: Reg,
+        /// Immediate addend.
+        imm: i32,
+    },
+    /// Multiply-accumulate: `rd ← rd + rs·rt` (the DSP flavor; 2 cycles).
+    Mac {
+        /// Accumulator.
+        rd: Reg,
+        /// Left factor.
+        rs: Reg,
+        /// Right factor.
+        rt: Reg,
+    },
+    /// `rd ← data[rs + offset]`.
+    Ld {
+        /// Destination.
+        rd: Reg,
+        /// Base address register.
+        rs: Reg,
+        /// Word offset.
+        offset: i32,
+    },
+    /// `data[rd + offset] ← rs`.
+    St {
+        /// Value to store.
+        rs: Reg,
+        /// Base address register.
+        rd: Reg,
+        /// Word offset.
+        offset: i32,
+    },
+    /// Conditional branch to text address `target`.
+    Branch {
+        /// Condition.
+        cond: Cond,
+        /// Left comparand.
+        rs: Reg,
+        /// Right comparand.
+        rt: Reg,
+        /// Text address.
+        target: u32,
+    },
+    /// Unconditional jump.
+    Jmp {
+        /// Text address.
+        target: u32,
+    },
+    /// Call: `lr ← pc+1; pc ← target`.
+    Jal {
+        /// Text address.
+        target: u32,
+    },
+    /// Indirect jump: `pc ← rs` (returns, jump tables).
+    Jr {
+        /// Register holding the text address.
+        rs: Reg,
+    },
+    /// Software trap into the kernel with a cause code.
+    Trap {
+        /// Cause code readable at `ports::CAUSE`.
+        cause: u32,
+    },
+    /// Return from interrupt/trap: `pc ← EPC`, re-enable interrupts.
+    Rti,
+    /// Disable interrupts.
+    Cli,
+    /// Enable interrupts.
+    Sti,
+    /// Idle until the next interrupt (burns simulated cycles, not host
+    /// time).
+    Wait,
+    /// No operation.
+    Nop,
+    /// Stop the machine.
+    Halt,
+}
+
+impl Instr {
+    /// Cycle cost of the instruction at the modeled clock.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        match self {
+            Instr::Movi { .. } | Instr::Addi { .. } | Instr::Nop => 1,
+            Instr::Alu { op, .. } => match op {
+                AluOp::Mul => 2,
+                _ => 1,
+            },
+            Instr::Mac { .. } => 2,
+            Instr::Ld { .. } | Instr::St { .. } => 2,
+            Instr::Branch { .. } | Instr::Jmp { .. } | Instr::Jal { .. } | Instr::Jr { .. } => 2,
+            Instr::Trap { .. } | Instr::Rti => 8,
+            Instr::Cli | Instr::Sti => 1,
+            // `wait` and `halt` cost is determined by the machine.
+            Instr::Wait | Instr::Halt => 0,
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+        })
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+        })
+    }
+}
+
+/// Disassembly: renders the instruction in the assembler's input syntax,
+/// so `assemble(format!("{instr}"))` round-trips (addresses print as
+/// numeric literals).
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Movi { rd, imm } => write!(f, "movi {rd}, {imm}"),
+            Instr::Alu { op, rd, rs, rt } => write!(f, "{op} {rd}, {rs}, {rt}"),
+            Instr::Addi { rd, rs, imm } => write!(f, "addi {rd}, {rs}, {imm}"),
+            Instr::Mac { rd, rs, rt } => write!(f, "mac {rd}, {rs}, {rt}"),
+            Instr::Ld { rd, rs, offset } => write!(f, "ld {rd}, {rs}, {offset}"),
+            Instr::St { rs, rd, offset } => write!(f, "st {rs}, {rd}, {offset}"),
+            Instr::Branch {
+                cond,
+                rs,
+                rt,
+                target,
+            } => write!(f, "b{cond} {rs}, {rt}, {target}"),
+            Instr::Jmp { target } => write!(f, "jmp {target}"),
+            Instr::Jal { target } => write!(f, "jal {target}"),
+            Instr::Jr { rs } => write!(f, "jr {rs}"),
+            Instr::Trap { cause } => write!(f, "trap {cause}"),
+            Instr::Rti => f.write_str("rti"),
+            Instr::Cli => f.write_str("cli"),
+            Instr::Sti => f.write_str("sti"),
+            Instr::Wait => f.write_str("wait"),
+            Instr::Nop => f.write_str("nop"),
+            Instr::Halt => f.write_str("halt"),
+        }
+    }
+}
+
+/// Clock frequency of the modeled DSP (60 MHz, as in the paper's case
+/// study).
+pub const CLOCK_HZ: u64 = 60_000_000;
+
+/// Converts cycles at [`CLOCK_HZ`] to simulated time.
+#[must_use]
+pub fn cycles_to_duration(cycles: u64) -> std::time::Duration {
+    // 60 cycles per microsecond.
+    std::time::Duration::from_nanos(cycles.saturating_mul(1_000) / 60)
+}
+
+/// Converts a duration to cycles at [`CLOCK_HZ`].
+#[must_use]
+pub fn duration_to_cycles(d: std::time::Duration) -> u64 {
+    (d.as_nanos() as u64).saturating_mul(60) / 1_000
+}
+
+/// Memory-mapped I/O ports (data addresses).
+pub mod ports {
+    /// Timer period in cycles (write; 0 disables). IRQ 0.
+    pub const TIMER_PERIOD: u32 = 0xFF00;
+    /// Frame-source period in cycles (write). IRQ 1.
+    pub const FRAME_PERIOD: u32 = 0xFF01;
+    /// Number of frames the source will deliver (write; arms the device).
+    pub const FRAME_COUNT: u32 = 0xFF02;
+    /// Kernel writes the dispatched task id here; the host counts context
+    /// switches.
+    pub const CSWITCH: u32 = 0xFF03;
+    /// Application writes a frame sequence number here when its decode
+    /// completes; the host records the transcoding delay.
+    pub const FRAME_DONE: u32 = 0xFF04;
+    /// Debug: write a value for the host to log.
+    pub const DEBUG: u32 = 0xFF05;
+    /// Interrupt vector for IRQ 0 (timer): write the handler text address.
+    pub const IVEC_TIMER: u32 = 0xFF06;
+    /// Interrupt vector for IRQ 1 (frame source).
+    pub const IVEC_FRAME: u32 = 0xFF07;
+    /// Trap vector: write the handler text address.
+    pub const IVEC_TRAP: u32 = 0xFF08;
+    /// Read: pc saved at the last interrupt/trap. Write: return target for
+    /// `rti`.
+    pub const EPC: u32 = 0xFF09;
+    /// Read: cause code of the last trap.
+    pub const CAUSE: u32 = 0xFF0A;
+    /// Read: current cycle count (low 31 bits).
+    pub const CYCLES: u32 = 0xFF0B;
+    /// First MMIO address; loads/stores at or above this go to devices.
+    pub const MMIO_BASE: u32 = 0xFF00;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn cycle_costs() {
+        assert_eq!(Instr::Nop.cycles(), 1);
+        assert_eq!(
+            Instr::Alu {
+                op: AluOp::Mul,
+                rd: Reg(1),
+                rs: Reg(2),
+                rt: Reg(3)
+            }
+            .cycles(),
+            2
+        );
+        assert_eq!(Instr::Trap { cause: 1 }.cycles(), 8);
+        assert_eq!(Instr::Wait.cycles(), 0);
+    }
+
+    #[test]
+    fn cycle_time_conversion_round_trip() {
+        assert_eq!(cycles_to_duration(60), Duration::from_micros(1));
+        assert_eq!(duration_to_cycles(Duration::from_millis(20)), 1_200_000);
+        assert_eq!(
+            duration_to_cycles(cycles_to_duration(132_000)),
+            132_000
+        );
+    }
+
+    #[test]
+    fn register_display() {
+        assert_eq!(Reg(3).to_string(), "r3");
+        assert_eq!(SP.to_string(), "r14");
+        assert_eq!(LR.to_string(), "r15");
+    }
+}

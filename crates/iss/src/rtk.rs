@@ -1,0 +1,752 @@
+//! RTK — a custom real-time kernel written in the toy DSP assembly.
+//!
+//! This is the implementation-model counterpart of the abstract RTOS model
+//! (the paper replaced its RTOS model "by a small custom RTOS kernel" for
+//! the Table 1 implementation column). The kernel is genuinely guest code:
+//! fixed-priority preemptive scheduling over a task-control-block table,
+//! counting semaphores with priority-ordered wakeup, full register
+//! save/restore context switching, and an ISR that posts a semaphore from
+//! interrupt context — so every context switch the host counts crosses a
+//! real trap/interrupt boundary with real cycle costs.
+//!
+//! [`kernel_asm`] generates the kernel source for a given task set; the
+//! application's task bodies are appended by the caller and referenced by
+//! entry label.
+
+use core::fmt;
+
+/// Syscall numbers (the `trap` causes the kernel decodes).
+pub mod sys {
+    /// `r1` = semaphore id; blocks while the count is zero.
+    pub const SEM_WAIT: u32 = 1;
+    /// `r1` = semaphore id; wakes the highest-priority waiter or increments.
+    pub const SEM_POST: u32 = 2;
+    /// Round-robin courtesy: re-enter the ready queue.
+    pub const YIELD: u32 = 3;
+    /// Terminate the calling task.
+    pub const EXIT: u32 = 4;
+}
+
+/// Task-control-block layout (word offsets inside one TCB).
+pub mod tcb {
+    /// 0 = ready, 1 = running, 2 = blocked, 3 = exited.
+    pub const STATE: u32 = 0;
+    /// Static priority; lower is more urgent.
+    pub const PRIO: u32 = 1;
+    /// Saved program counter.
+    pub const PC: u32 = 2;
+    /// Saved `r1..r15` occupy offsets `3..=17`.
+    pub const REGS: u32 = 3;
+    /// Semaphore the task is blocked on (−1 = none).
+    pub const WAIT_SEM: u32 = 18;
+    /// Words per TCB.
+    pub const SIZE: u32 = 19;
+}
+
+/// One guest task.
+#[derive(Debug, Clone)]
+pub struct TaskDef {
+    /// Task name (for diagnostics).
+    pub name: String,
+    /// Code label of the task entry point (defined by the appended
+    /// application source).
+    pub entry: String,
+    /// Static priority; lower is more urgent.
+    pub priority: i32,
+    /// Stack words to reserve (`r14` starts at its top).
+    pub stack_words: u32,
+}
+
+/// Kernel build configuration.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// The static task set.
+    pub tasks: Vec<TaskDef>,
+    /// Number of counting semaphores (ids `0..num_sems`).
+    pub num_sems: u32,
+    /// Semaphore posted by the frame-device ISR, if the device is used.
+    pub frame_sem: Option<u32>,
+    /// Frame-device period in cycles.
+    pub frame_period_cycles: u64,
+    /// Number of frames the device delivers.
+    pub frame_count: u32,
+    /// Timer-tick period in cycles; each tick preempts the running task
+    /// and re-runs the scheduler, giving round-robin among equal
+    /// priorities. `None` disables the tick (pure priority kernel).
+    pub tick_period_cycles: Option<u64>,
+}
+
+impl fmt::Display for KernelConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rtk: {} tasks, {} sems, frame irq: {}",
+            self.tasks.len(),
+            self.num_sems,
+            self.frame_sem.is_some()
+        )
+    }
+}
+
+/// Emits the 15 absolute stores saving `r1..r15` into the kernel save area.
+fn save_block() -> String {
+    (1..=15)
+        .map(|i| format!("    st   r{i}, r0, sv+{}\n", i - 1))
+        .collect()
+}
+
+/// Emits the 15 absolute loads restoring `r1..r15` from the save area.
+fn restore_block() -> String {
+    (1..=15)
+        .map(|i| format!("    ld   r{i}, r0, sv+{}\n", i - 1))
+        .collect()
+}
+
+/// Generates the kernel assembly for `cfg`. Append the application source
+/// (task bodies labeled as per [`TaskDef::entry`]) and assemble.
+///
+/// # Panics
+///
+/// Panics if the task set is empty or a `frame_sem` id is out of range.
+#[must_use]
+pub fn kernel_asm(cfg: &KernelConfig) -> String {
+    assert!(!cfg.tasks.is_empty(), "kernel needs at least one task");
+    if let Some(s) = cfg.frame_sem {
+        assert!(s < cfg.num_sems, "frame_sem out of range");
+    }
+    let num_tasks = cfg.tasks.len();
+    let mut out = String::new();
+
+    out.push_str(&format!(
+        r"; ---- RTK: fixed-priority preemptive kernel ({num_tasks} tasks) ----
+.equ NUM_TASKS, {num_tasks}
+.equ TCB_SIZE, {tcb_size}
+.equ SYS_SEM_WAIT, {sw}
+.equ SYS_SEM_POST, {sp}
+.equ SYS_YIELD, {sy}
+.equ SYS_EXIT, {sx}
+",
+        tcb_size = tcb::SIZE,
+        sw = sys::SEM_WAIT,
+        sp = sys::SEM_POST,
+        sy = sys::YIELD,
+        sx = sys::EXIT,
+    ));
+
+    // ---- Boot ----
+    out.push_str(
+        r"_start:
+    movi r1, trap_handler
+    st   r1, r0, 0xFF08        ; IVEC_TRAP
+    movi r1, frame_handler
+    st   r1, r0, 0xFF07        ; IVEC_FRAME
+    movi r1, timer_handler
+    st   r1, r0, 0xFF06        ; IVEC_TIMER
+",
+    );
+    if let Some(tick) = cfg.tick_period_cycles {
+        out.push_str(&format!(
+            "    movi r1, {tick}\n    st   r1, r0, 0xFF00        ; TIMER_PERIOD (tick)\n"
+        ));
+    }
+    if cfg.frame_sem.is_some() {
+        out.push_str(&format!(
+            r"    movi r1, {period}
+    st   r1, r0, 0xFF01        ; FRAME_PERIOD
+    movi r1, {count}
+    st   r1, r0, 0xFF02        ; FRAME_COUNT (arms the device)
+",
+            period = cfg.frame_period_cycles,
+            count = cfg.frame_count,
+        ));
+    }
+    out.push_str("    jmp  schedule\n\n");
+
+    // ---- Trap entry ----
+    out.push_str("trap_handler:\n");
+    out.push_str(&save_block());
+    out.push_str(
+        r"    jal  save_context
+    ld   r1, r0, 0xFF0A        ; CAUSE
+    movi r2, SYS_SEM_WAIT
+    beq  r1, r2, sys_sem_wait
+    movi r2, SYS_SEM_POST
+    beq  r1, r2, sys_sem_post
+    movi r2, SYS_YIELD
+    beq  r1, r2, sys_yield
+    jmp  sys_exit              ; SYS_EXIT / unknown
+
+; Copies the save area + EPC into the current task's TCB. Clobbers r1-r7.
+save_context:
+    ld   r1, current
+    movi r2, TCB_SIZE
+    mul  r2, r1, r2
+    addi r2, r2, tcb_table     ; r2 = &tcb[current]
+    ld   r3, r0, 0xFF09        ; EPC (interrupted / resume pc)
+    st   r3, r2, 2
+    movi r4, 0
+sc_loop:
+    movi r5, 15
+    beq  r4, r5, sc_done
+    addi r7, r4, sv
+    ld   r6, r7, 0
+    add  r7, r2, r4
+    st   r6, r7, 3
+    addi r4, r4, 1
+    jmp  sc_loop
+sc_done:
+    jr   r15
+
+; r2 = &tcb[current]. Clobbers r1.
+cur_tcb:
+    ld   r1, current
+    movi r2, TCB_SIZE
+    mul  r2, r1, r2
+    addi r2, r2, tcb_table
+    jr   r15
+
+sys_yield:
+    jal  cur_tcb
+    st   r0, r2, 0             ; READY
+    jmp  schedule
+
+sys_exit:
+    jal  cur_tcb
+    movi r3, 3
+    st   r3, r2, 0             ; EXITED
+    movi r3, -1
+    st   r3, current
+    jmp  schedule
+
+sys_sem_wait:
+    ld   r3, r0, sv+0          ; caller r1 = sem id
+    addi r4, r3, sem_counts
+    ld   r5, r4, 0
+    beq  r5, r0, sw_block
+    addi r5, r5, -1
+    st   r5, r4, 0
+    jmp  restore_current       ; fast path: no switch
+sw_block:
+    jal  cur_tcb
+    movi r5, 2
+    st   r5, r2, 0             ; BLOCKED
+    st   r3, r2, 18            ; wait_sem
+    movi r5, -1
+    st   r5, current
+    jmp  schedule
+
+sys_sem_post:
+    ld   r3, r0, sv+0
+    jal  do_post
+    jal  cur_tcb
+    st   r0, r2, 0             ; caller becomes READY: preemption point
+    jmp  schedule
+
+; Wakes the most urgent task blocked on sem r3, or bumps the count.
+; Clobbers r4-r10.
+do_post:
+    movi r4, -1
+    movi r5, 0x7FFFFFFF
+    movi r6, 0
+dp_scan:
+    movi r7, NUM_TASKS
+    beq  r6, r7, dp_done
+    movi r7, TCB_SIZE
+    mul  r8, r6, r7
+    addi r8, r8, tcb_table
+    ld   r9, r8, 0
+    movi r10, 2
+    bne  r9, r10, dp_next      ; only BLOCKED
+    ld   r9, r8, 18
+    bne  r9, r3, dp_next       ; on this sem
+    ld   r9, r8, 1
+    bge  r9, r5, dp_next
+    mov  r5, r9
+    mov  r4, r6
+dp_next:
+    addi r6, r6, 1
+    jmp  dp_scan
+dp_done:
+    movi r6, -1
+    beq  r4, r6, dp_incr
+    movi r7, TCB_SIZE
+    mul  r8, r4, r7
+    addi r8, r8, tcb_table
+    st   r0, r8, 0             ; READY
+    st   r6, r8, 18            ; wait_sem = -1
+    jr   r15
+dp_incr:
+    addi r4, r3, sem_counts
+    ld   r5, r4, 0
+    addi r5, r5, 1
+    st   r5, r4, 0
+    jr   r15
+
+",
+    );
+
+    // ---- Timer tick ISR: preempt and round-robin. ----
+    out.push_str("timer_handler:\n");
+    out.push_str(&save_block());
+    out.push_str(
+        r"    ld   r1, current
+    movi r2, -1
+    beq  r1, r2, th_nosave
+    jal  save_context
+    jal  cur_tcb
+    st   r0, r2, 0             ; ticked task back to READY
+    movi r1, -1
+    st   r1, current
+th_nosave:
+    jmp  schedule
+
+",
+    );
+
+    // ---- Frame ISR ----
+    out.push_str("frame_handler:\n");
+    out.push_str(&save_block());
+    out.push_str(
+        r"    ld   r1, current
+    movi r2, -1
+    beq  r1, r2, fh_nosave
+    jal  save_context
+    jal  cur_tcb
+    st   r0, r2, 0             ; preempted task stays READY
+    movi r1, -1
+    st   r1, current
+fh_nosave:
+",
+    );
+    if let Some(sem) = cfg.frame_sem {
+        out.push_str(&format!("    movi r3, {sem}\n    jal  do_post\n"));
+    }
+    out.push_str("    jmp  schedule\n\n");
+
+    // ---- Scheduler ----
+    out.push_str(
+        r"schedule:
+    movi r1, -1                ; best task
+    movi r2, 0x7FFFFFFF        ; best prio
+    ld   r3, last_disp
+    addi r3, r3, 1             ; scan starts after the last dispatch, so
+    movi r11, 0                ; equal priorities round-robin
+sch_scan:
+    movi r4, NUM_TASKS
+    beq  r11, r4, sch_done
+    blt  r3, r4, sch_nowrap
+    movi r3, 0
+sch_nowrap:
+    movi r4, TCB_SIZE
+    mul  r5, r3, r4
+    addi r5, r5, tcb_table
+    ld   r6, r5, 0
+    bne  r6, r0, sch_next      ; only READY
+    ld   r7, r5, 1
+    bge  r7, r2, sch_next      ; strict <: earlier-scanned task keeps ties
+    mov  r2, r7
+    mov  r1, r3
+sch_next:
+    addi r3, r3, 1
+    addi r11, r11, 1
+    jmp  sch_scan
+sch_done:
+    movi r4, -1
+    beq  r1, r4, sch_idle
+    st   r1, current
+    movi r4, TCB_SIZE
+    mul  r5, r1, r4
+    addi r5, r5, tcb_table
+    movi r6, 1
+    st   r6, r5, 0             ; RUNNING
+    ld   r7, last_disp
+    beq  r7, r1, sch_restore
+    st   r1, last_disp
+    st   r1, r0, 0xFF03        ; CSWITCH: host counts the switch
+sch_restore:
+    ld   r6, r5, 2
+    st   r6, r0, 0xFF09        ; EPC = resume pc
+    movi r6, 0
+sr_loop:
+    movi r7, 15
+    beq  r6, r7, sr_done
+    add  r8, r5, r6
+    ld   r9, r8, 3
+    addi r8, r6, sv
+    st   r9, r8, 0
+    addi r6, r6, 1
+    jmp  sr_loop
+sr_done:
+",
+    );
+    out.push_str(&restore_block());
+    out.push_str(
+        r"    rti
+
+; Resume the trapping task without a switch (registers still in sv, EPC
+; untouched since trap entry).
+restore_current:
+",
+    );
+    out.push_str(&restore_block());
+    out.push_str(
+        r"    rti
+
+sch_idle:
+    movi r1, -1
+    st   r1, current
+    ; If every task has exited, stop the tick so `wait` can halt the CPU.
+    movi r3, 0
+si_scan:
+    movi r4, NUM_TASKS
+    beq  r3, r4, si_all_done
+    movi r4, TCB_SIZE
+    mul  r5, r3, r4
+    addi r5, r5, tcb_table
+    ld   r6, r5, 0
+    movi r7, 3
+    bne  r6, r7, si_wait       ; a live task remains: keep ticking
+    addi r3, r3, 1
+    jmp  si_scan
+si_all_done:
+    st   r0, r0, 0xFF00        ; TIMER_PERIOD = 0 (off)
+si_wait:
+    sti
+    wait                       ; an IRQ redirects; no devices left => halt
+    jmp  sch_idle
+
+",
+    );
+
+    // ---- Kernel data ----
+    out.push_str("current:   .word -1\nlast_disp: .word -1\nsv:        .space 15\n");
+    let sem_words = (0..cfg.num_sems.max(1))
+        .map(|_| "0")
+        .collect::<Vec<_>>()
+        .join(", ");
+    out.push_str(&format!("sem_counts: .word {sem_words}\n"));
+    // TCBs: state READY, prio, pc = entry, r1..r13 = 0, r14 = stack top,
+    // r15 = 0, wait_sem = -1.
+    out.push_str("tcb_table:\n");
+    for (i, t) in cfg.tasks.iter().enumerate() {
+        let zeros13 = std::iter::repeat_n("0", 13).collect::<Vec<_>>().join(", ");
+        out.push_str(&format!(
+            "; task {i}: {name}\n    .word 0, {prio}, {entry}, {zeros13}, stack{i}_top, 0, -1\n",
+            name = t.name,
+            prio = t.priority,
+            entry = t.entry,
+        ));
+    }
+    for (i, t) in cfg.tasks.iter().enumerate() {
+        out.push_str(&format!(
+            "stack{i}_base: .space {}\nstack{i}_top: .word 0\n",
+            t.stack_words
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::cpu::{ExitReason, HostEvent, Machine};
+
+    fn run_kernel(cfg: &KernelConfig, app: &str, max_cycles: u64) -> Machine {
+        let src = format!("{}\n{app}", kernel_asm(cfg));
+        let prog = assemble(&src).unwrap_or_else(|e| panic!("assembly failed: {e}\n{src}"));
+        let mut m = Machine::new(&prog);
+        assert_eq!(m.run(max_cycles), ExitReason::Halted, "guest did not halt");
+        m
+    }
+
+    fn two_tasks(prio_a: i32, prio_b: i32, num_sems: u32) -> KernelConfig {
+        KernelConfig {
+            tasks: vec![
+                TaskDef {
+                    name: "a".into(),
+                    entry: "task_a".into(),
+                    priority: prio_a,
+                    stack_words: 16,
+                },
+                TaskDef {
+                    name: "b".into(),
+                    entry: "task_b".into(),
+                    priority: prio_b,
+                    stack_words: 16,
+                },
+            ],
+            num_sems,
+            frame_sem: None,
+            frame_period_cycles: 0,
+            frame_count: 0,
+            tick_period_cycles: None,
+        }
+    }
+
+    /// Re-assembles the same source to find a data symbol's address, then
+    /// peeks it in the executed machine.
+    fn peek_symbol(m: &Machine, cfg: &KernelConfig, app: &str, sym: &str) -> i32 {
+        let src = format!("{}\n{app}", kernel_asm(cfg));
+        let prog = assemble(&src).unwrap();
+        m.peek(u32::try_from(prog.symbol(sym)).unwrap())
+    }
+
+    #[test]
+    fn priority_order_decides_first_dispatch() {
+        // Both tasks append a digit to `out`; task b is more urgent and
+        // must write first: 0 → 2 → 21 (a-then-b would give 12).
+        let cfg = two_tasks(5, 1, 1);
+        let app = r"
+task_a:
+    ld   r1, out
+    movi r2, 10
+    mul  r1, r1, r2
+    addi r1, r1, 1
+    st   r1, out
+    trap SYS_EXIT
+task_b:
+    ld   r1, out
+    movi r2, 10
+    mul  r1, r1, r2
+    addi r1, r1, 2
+    st   r1, out
+    trap SYS_EXIT
+out: .word 0
+        ";
+        let m = run_kernel(&cfg, app, 1_000_000);
+        assert_eq!(peek_symbol(&m, &cfg, app, "out"), 21);
+    }
+
+    #[test]
+    fn semaphore_ping_pong_alternates() {
+        let cfg = two_tasks(1, 2, 2);
+        let app = r"
+; a waits sem0, appends 1; posts sem1 — 3 rounds.
+task_a:
+    movi r9, 3
+a_loop:
+    movi r1, 0
+    trap SYS_SEM_WAIT
+    ld   r2, trace_v
+    movi r3, 10
+    mul  r2, r2, r3
+    addi r2, r2, 1
+    st   r2, trace_v
+    movi r1, 1
+    trap SYS_SEM_POST
+    addi r9, r9, -1
+    bne  r9, r0, a_loop
+    trap SYS_EXIT
+; b posts sem0, waits sem1, appends 2 — 3 rounds.
+task_b:
+    movi r9, 3
+b_loop:
+    movi r1, 0
+    trap SYS_SEM_POST
+    movi r1, 1
+    trap SYS_SEM_WAIT
+    ld   r2, trace_v
+    movi r3, 10
+    mul  r2, r2, r3
+    addi r2, r2, 2
+    st   r2, trace_v
+    addi r9, r9, -1
+    bne  r9, r0, b_loop
+    trap SYS_EXIT
+trace_v: .word 0
+        ";
+        let m = run_kernel(&cfg, app, 1_000_000);
+        let v = peek_symbol(&m, &cfg, app, "trace_v");
+        assert_eq!(v, 121_212);
+    }
+
+    #[test]
+    fn yield_round_robins_equal_priorities() {
+        let cfg = two_tasks(3, 3, 1);
+        let app = r"
+task_a:
+    movi r9, 2
+a_loop:
+    ld   r2, order
+    movi r3, 10
+    mul  r2, r2, r3
+    addi r2, r2, 1
+    st   r2, order
+    trap SYS_YIELD
+    addi r9, r9, -1
+    bne  r9, r0, a_loop
+    trap SYS_EXIT
+task_b:
+    movi r9, 2
+b_loop:
+    ld   r2, order
+    movi r3, 10
+    mul  r2, r2, r3
+    addi r2, r2, 2
+    st   r2, order
+    trap SYS_YIELD
+    addi r9, r9, -1
+    bne  r9, r0, b_loop
+    trap SYS_EXIT
+order: .word 0
+        ";
+        let m = run_kernel(&cfg, app, 1_000_000);
+        let v = peek_symbol(&m, &cfg, app, "order");
+        // a, b, a, b (ties broken by scan order; yield requeues as READY).
+        assert_eq!(v, 1212);
+    }
+
+    #[test]
+    fn frame_isr_wakes_blocked_task_and_preempts() {
+        let cfg = KernelConfig {
+            tasks: vec![
+                TaskDef {
+                    name: "worker".into(),
+                    entry: "task_w".into(),
+                    priority: 1,
+                    stack_words: 16,
+                },
+                TaskDef {
+                    name: "background".into(),
+                    entry: "task_bg".into(),
+                    priority: 5,
+                    stack_words: 16,
+                },
+            ],
+            num_sems: 1,
+            frame_sem: Some(0),
+            frame_period_cycles: 5_000,
+            frame_count: 3,
+            tick_period_cycles: None,
+        };
+        let app = r"
+task_w:
+    movi r9, 3
+w_loop:
+    movi r1, 0
+    trap SYS_SEM_WAIT
+    ld   r2, got
+    addi r2, r2, 1
+    st   r2, got
+    st   r2, r0, 0xFF04        ; FRAME_DONE
+    addi r9, r9, -1
+    bne  r9, r0, w_loop
+    trap SYS_EXIT
+task_bg:
+    ; spins forever at low priority; exits when told
+bg_loop:
+    ld   r2, got
+    movi r3, 3
+    beq  r2, r3, bg_done
+    jmp  bg_loop
+bg_done:
+    trap SYS_EXIT
+got: .word 0
+        ";
+        let mut m = run_kernel(&cfg, app, 10_000_000);
+        let v = peek_symbol(&m, &cfg, app, "got");
+        assert_eq!(v, 3);
+        let events = m.drain_events();
+        let dones: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                HostEvent::FrameDone { cycle, .. } => Some(*cycle),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dones.len(), 3);
+        // Each wake happens shortly after the 5000-cycle-period interrupt
+        // (kernel entry + dispatch overhead ≪ one period).
+        let arrivals = m.frame_arrivals().to_vec();
+        for (done, arr) in dones.iter().zip(&arrivals) {
+            let latency = done - arr;
+            assert!(latency < 1_000, "wake latency {latency} cycles");
+        }
+        // Context switches were reported.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, HostEvent::ContextSwitch { .. })));
+    }
+
+    #[test]
+    fn timer_tick_round_robins_spinning_tasks() {
+        // Two equal-priority tasks spin-increment their own counters until
+        // a shared total is reached. Without a tick, the first dispatched
+        // task would hog the CPU to completion; with a 2000-cycle tick both
+        // make progress concurrently.
+        let cfg = KernelConfig {
+            tick_period_cycles: Some(2_000),
+            ..two_tasks(3, 3, 1)
+        };
+        let app = r"
+task_a:
+    ld   r2, a_count
+    addi r2, r2, 1
+    st   r2, a_count
+    jal  check_done
+    jmp  task_a
+task_b:
+    ld   r2, b_count
+    addi r2, r2, 1
+    st   r2, b_count
+    jal  check_done
+    jmp  task_b
+; exits the calling task when a_count + b_count >= 600
+check_done:
+    ld   r3, a_count
+    ld   r4, b_count
+    add  r3, r3, r4
+    movi r4, 600
+    bge  r3, r4, cd_exit
+    jr   r15
+cd_exit:
+    trap SYS_EXIT
+a_count: .word 0
+b_count: .word 0
+        ";
+        let m = run_kernel(&cfg, app, 10_000_000);
+        let a = peek_symbol(&m, &cfg, app, "a_count");
+        let b = peek_symbol(&m, &cfg, app, "b_count");
+        assert!(a + b >= 600, "a={a} b={b}");
+        // Both made substantial progress: fair sharing within 3x.
+        assert!(a > 100 && b > 100, "unfair: a={a} b={b}");
+    }
+
+    #[test]
+    fn without_tick_first_task_hogs_the_cpu() {
+        let cfg = two_tasks(3, 3, 1);
+        let app = r"
+task_a:
+    movi r9, 300
+a_spin:
+    ld   r2, a_count
+    addi r2, r2, 1
+    st   r2, a_count
+    addi r9, r9, -1
+    bne  r9, r0, a_spin
+    trap SYS_EXIT
+task_b:
+    ld   r2, a_count
+    st   r2, b_saw             ; how far a got before b first ran
+    trap SYS_EXIT
+b_saw:    .word -1
+a_count:  .word 0
+        ";
+        let m = run_kernel(&cfg, app, 10_000_000);
+        // b only ran after a exited: it saw a's full count.
+        assert_eq!(peek_symbol(&m, &cfg, app, "b_saw"), 300);
+    }
+
+    #[test]
+    fn all_tasks_exit_halts_machine() {
+        let cfg = two_tasks(1, 2, 1);
+        let m = run_kernel(
+            &cfg,
+            "task_a:\n    trap SYS_EXIT\ntask_b:\n    trap SYS_EXIT\n",
+            100_000,
+        );
+        assert!(m.is_halted());
+    }
+}

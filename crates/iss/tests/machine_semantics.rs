@@ -1,0 +1,254 @@
+//! Integration tests for ISS corner cases: interrupt masking, pending-IRQ
+//! delivery after `sti`, indirect jumps, stack discipline, wrapping
+//! arithmetic, and assembler diagnostics.
+
+use dsp_iss::{assemble, ExitReason, Machine};
+
+fn run(src: &str, max: u64) -> Machine {
+    let prog = assemble(src).expect("assembles");
+    let mut m = Machine::new(&prog);
+    assert_eq!(m.run(max), ExitReason::Halted, "guest did not halt");
+    m
+}
+
+fn peek_sym(m: &Machine, src: &str, sym: &str) -> i32 {
+    let prog = assemble(src).expect("assembles");
+    m.peek(u32::try_from(prog.symbol(sym)).unwrap())
+}
+
+#[test]
+fn cli_masks_interrupts_until_sti() {
+    let src = r"
+        movi r1, handler
+        st   r1, r0, 0xFF06    ; IVEC_TIMER
+        movi r1, 100
+        st   r1, r0, 0xFF00    ; TIMER_PERIOD: fires at 100, 200, ...
+        cli
+        ; Busy work past several timer periods with interrupts masked.
+        movi r2, 200
+    spin:
+        addi r2, r2, -1
+        bne  r2, r0, spin      ; 600 cycles > 5 periods
+        ld   r3, count
+        st   r3, premask_count
+        sti
+    idle:
+        wait
+        jmp  idle
+    handler:
+        ld   r3, count
+        addi r3, r3, 1
+        st   r3, count
+        movi r4, 3
+        beq  r3, r4, done
+        rti
+    done:
+        halt
+    count:         .word 0
+    premask_count: .word 0
+    ";
+    let m = run(src, 1_000_000);
+    // No handler ran while masked…
+    assert_eq!(peek_sym(&m, src, "premask_count"), 0);
+    // …and the pending interrupt was delivered right after sti.
+    assert_eq!(peek_sym(&m, src, "count"), 3);
+}
+
+#[test]
+fn jr_implements_a_jump_table() {
+    let src = r"
+        movi r1, 1             ; select case 1
+        addi r2, r1, table
+        ld   r3, r2, 0
+        jr   r3
+    case0:
+        movi r4, 100
+        jmp  store
+    case1:
+        movi r4, 200
+        jmp  store
+    case2:
+        movi r4, 300
+    store:
+        st   r4, out
+        halt
+    table: .word case0, case1, case2
+    out:   .word 0
+    ";
+    let m = run(src, 10_000);
+    assert_eq!(peek_sym(&m, src, "out"), 200);
+}
+
+#[test]
+fn push_pop_preserve_values_lifo() {
+    let src = r"
+        movi r14, 0x200        ; stack
+        movi r1, 11
+        movi r2, 22
+        push r1
+        push r2
+        movi r1, 0
+        movi r2, 0
+        pop  r2                ; LIFO: r2 gets 22 back
+        pop  r1
+        st   r1, a
+        st   r2, b
+        halt
+    a: .word 0
+    b: .word 0
+    ";
+    let m = run(src, 10_000);
+    assert_eq!(peek_sym(&m, src, "a"), 11);
+    assert_eq!(peek_sym(&m, src, "b"), 22);
+}
+
+#[test]
+fn arithmetic_wraps_like_hardware() {
+    let src = r"
+        movi r1, 0x7FFFFFFF
+        movi r2, 1
+        add  r3, r1, r2        ; wraps to i32::MIN
+        st   r3, out
+        halt
+    out: .word 0
+    ";
+    let m = run(src, 1_000);
+    assert_eq!(peek_sym(&m, src, "out"), i32::MIN);
+}
+
+#[test]
+fn shifts_mask_their_amount() {
+    let src = r"
+        movi r1, 1
+        movi r2, 33            ; & 31 = 1
+        shl  r3, r1, r2
+        st   r3, out
+        movi r1, -8
+        movi r2, 2
+        shr  r4, r1, r2        ; arithmetic: -8 >> 2 = -2
+        st   r4, out2
+        halt
+    out:  .word 0
+    out2: .word 0
+    ";
+    let m = run(src, 1_000);
+    assert_eq!(peek_sym(&m, src, "out"), 2);
+    assert_eq!(peek_sym(&m, src, "out2"), -2);
+}
+
+#[test]
+fn nested_calls_with_stack_saved_lr() {
+    let src = r"
+        movi r14, 0x300
+        jal  outer
+        st   r1, out
+        halt
+    outer:
+        push r15
+        jal  inner
+        addi r1, r1, 1
+        pop  r15
+        jr   r15
+    inner:
+        movi r1, 41
+        jr   r15
+    out: .word 0
+    ";
+    let m = run(src, 10_000);
+    assert_eq!(peek_sym(&m, src, "out"), 42);
+}
+
+#[test]
+fn symbol_plus_offset_operands() {
+    let src = r"
+        ld   r1, r0, table+2
+        st   r1, out
+        halt
+    table: .word 5, 6, 7
+    out:   .word 0
+    ";
+    let m = run(src, 1_000);
+    assert_eq!(peek_sym(&m, src, "out"), 7);
+}
+
+#[test]
+fn assembler_rejects_wrong_operand_counts() {
+    let e = assemble("add r1, r2\n").unwrap_err();
+    assert!(e.message.contains("needs 3 operand"), "{e}");
+    let e = assemble("halt r1\n").unwrap_err();
+    assert!(e.message.contains("needs 0 operand"), "{e}");
+}
+
+#[test]
+fn assembler_rejects_out_of_range_register() {
+    let e = assemble("movi r16, 1\n").unwrap_err();
+    assert!(e.message.contains("bad register"), "{e}");
+}
+
+#[test]
+fn falling_off_text_halts() {
+    let prog = assemble("nop\nnop\n").unwrap();
+    let mut m = Machine::new(&prog);
+    assert_eq!(m.run(100), ExitReason::Halted);
+    assert_eq!(m.instructions, 2);
+}
+
+#[test]
+fn mmio_cycle_counter_readable() {
+    let src = r"
+        movi r1, 50
+    spin:
+        addi r1, r1, -1
+        bne  r1, r0, spin
+        ld   r2, r0, 0xFF0B    ; CYCLES
+        st   r2, out
+        halt
+    out: .word 0
+    ";
+    let m = run(src, 10_000);
+    let reported = peek_sym(&m, src, "out") as u64;
+    // movi(1) + 50 * (addi+bne = 3) = 151 cycles at the ld.
+    assert_eq!(reported, 151);
+}
+
+#[test]
+fn disassembly_round_trips_through_the_assembler() {
+    let src = r"
+        movi r1, 5
+    loop:
+        addi r1, r1, -1
+        mac  r2, r1, r1
+        bne  r1, r0, loop
+        st   r2, out
+        halt
+    out: .word 0
+    ";
+    let prog = assemble(src).unwrap();
+    // Re-assemble the disassembly (addresses become numeric literals).
+    let listing = prog.disassemble();
+    let text_only: String = listing
+        .lines()
+        .take_while(|l| !l.starts_with("; data"))
+        .map(|l| l.split_once(": ").map_or(l, |(_, i)| i))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let reassembled = assemble(&format!("{text_only}\nout: .word 0\n")).unwrap();
+    assert_eq!(prog.text, reassembled.text);
+
+    // And both images compute the same result.
+    let mut m1 = Machine::new(&prog);
+    let mut m2 = Machine::new(&reassembled);
+    m1.run(10_000);
+    m2.run(10_000);
+    assert_eq!(m1.peek(0), m2.peek(0));
+    assert_eq!(m1.peek(0), 1 + 4 + 9 + 16); // Σ i² for i=4..1
+}
+
+#[test]
+fn disassembly_lists_data_segment() {
+    let prog = assemble("halt\nv: .word 7, -3\n").unwrap();
+    let listing = prog.disassemble();
+    assert!(listing.contains("0: halt"));
+    assert!(listing.contains(".word 7"));
+    assert!(listing.contains(".word -3"));
+}

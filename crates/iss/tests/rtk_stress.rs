@@ -1,0 +1,231 @@
+//! RTK stress: four tasks, a semaphore pipeline, and interrupt pressure —
+//! the kernel's scheduler and context-switch machinery under sustained
+//! contention.
+
+use dsp_iss::rtk::{kernel_asm, KernelConfig, TaskDef};
+use dsp_iss::{assemble, ExitReason, HostEvent, Machine};
+
+fn config(n: usize, tick: Option<u64>) -> KernelConfig {
+    KernelConfig {
+        tasks: (0..n)
+            .map(|i| TaskDef {
+                name: format!("t{i}"),
+                entry: format!("task_{i}"),
+                priority: (i as i32) + 1,
+                stack_words: 16,
+            })
+            .collect(),
+        num_sems: 4,
+        frame_sem: None,
+        frame_period_cycles: 0,
+        frame_count: 0,
+        tick_period_cycles: tick,
+    }
+}
+
+#[test]
+fn four_stage_semaphore_pipeline() {
+    // t0 → sem0 → t1 → sem1 → t2 → sem2 → t3; 10 tokens flow through.
+    // Downstream stages get *higher* priority so every post cascades the
+    // token through the pipeline immediately (many real context switches).
+    let mut cfg = config(4, None);
+    for (i, t) in cfg.tasks.iter_mut().enumerate() {
+        t.priority = 4 - i as i32;
+    }
+    let mut app = String::new();
+    // Stage 0: source.
+    app.push_str(
+        r"
+task_0:
+    movi r9, 10
+s0_loop:
+    movi r1, 0
+    trap SYS_SEM_POST
+    addi r9, r9, -1
+    bne  r9, r0, s0_loop
+    trap SYS_EXIT
+",
+    );
+    // Stages 1..2: relay.
+    for i in 1..3 {
+        app.push_str(&format!(
+            r"
+task_{i}:
+    movi r9, 10
+s{i}_loop:
+    movi r1, {prev}
+    trap SYS_SEM_WAIT
+    movi r1, {next}
+    trap SYS_SEM_POST
+    addi r9, r9, -1
+    bne  r9, r0, s{i}_loop
+    trap SYS_EXIT
+",
+            prev = i - 1,
+            next = i,
+        ));
+    }
+    // Stage 3: sink, counts arrivals.
+    app.push_str(
+        r"
+task_3:
+    movi r9, 10
+s3_loop:
+    movi r1, 2
+    trap SYS_SEM_WAIT
+    ld   r2, sunk
+    addi r2, r2, 1
+    st   r2, sunk
+    addi r9, r9, -1
+    bne  r9, r0, s3_loop
+    trap SYS_EXIT
+sunk: .word 0
+",
+    );
+
+    let src = format!("{}\n{app}", kernel_asm(&cfg));
+    let prog = assemble(&src).unwrap_or_else(|e| panic!("assembly: {e}"));
+    let mut m = Machine::new(&prog);
+    assert_eq!(m.run(10_000_000), ExitReason::Halted);
+    let sunk = m.peek(u32::try_from(prog.symbol("sunk")).unwrap());
+    assert_eq!(sunk, 10, "all tokens must reach the sink");
+    // The pipeline forces many real context switches.
+    let switches = m
+        .drain_events()
+        .iter()
+        .filter(|e| matches!(e, HostEvent::ContextSwitch { .. }))
+        .count();
+    assert!(switches >= 30, "switches {switches}");
+}
+
+#[test]
+fn tick_preempted_pipeline_still_delivers_everything() {
+    // Same pipeline under a 5000-cycle timer tick: constant preemption must
+    // not lose semaphore tokens or corrupt contexts. (The tick must exceed
+    // the kernel's ~550-cycle switch path — see `tick_storm_livelocks`.)
+    let cfg = config(4, Some(5_000));
+    let mut app = String::new();
+    app.push_str(
+        r"
+task_0:
+    movi r9, 10
+s0_loop:
+    movi r1, 0
+    trap SYS_SEM_POST
+    addi r9, r9, -1
+    bne  r9, r0, s0_loop
+    trap SYS_EXIT
+",
+    );
+    for i in 1..3 {
+        app.push_str(&format!(
+            r"
+task_{i}:
+    movi r9, 10
+s{i}_loop:
+    movi r1, {prev}
+    trap SYS_SEM_WAIT
+    ; busy work between relay hops so ticks land mid-task
+    movi r2, 300
+s{i}_burn:
+    addi r2, r2, -1
+    bne  r2, r0, s{i}_burn
+    movi r1, {next}
+    trap SYS_SEM_POST
+    addi r9, r9, -1
+    bne  r9, r0, s{i}_loop
+    trap SYS_EXIT
+",
+            prev = i - 1,
+            next = i,
+        ));
+    }
+    app.push_str(
+        r"
+task_3:
+    movi r9, 10
+s3_loop:
+    movi r1, 2
+    trap SYS_SEM_WAIT
+    ld   r2, sunk
+    addi r2, r2, 1
+    st   r2, sunk
+    addi r9, r9, -1
+    bne  r9, r0, s3_loop
+    trap SYS_EXIT
+sunk: .word 0
+",
+    );
+
+    let src = format!("{}\n{app}", kernel_asm(&cfg));
+    let prog = assemble(&src).unwrap_or_else(|e| panic!("assembly: {e}"));
+    let mut m = Machine::new(&prog);
+    assert_eq!(m.run(50_000_000), ExitReason::Halted);
+    let sunk = m.peek(u32::try_from(prog.symbol("sunk")).unwrap());
+    assert_eq!(sunk, 10);
+}
+
+#[test]
+fn tick_storm_livelocks_when_tick_is_shorter_than_the_kernel_path() {
+    // A 500-cycle tick is *shorter* than RTK's save/schedule/restore path
+    // (~550 cycles), so the pending tick re-fires before a single user
+    // instruction executes: the guest makes no progress — a real embedded
+    // failure mode the ISS reproduces faithfully.
+    let mut cfg = config(2, Some(500));
+    for (i, t) in cfg.tasks.iter_mut().enumerate() {
+        t.priority = 2 - i as i32;
+    }
+    let app = r"
+task_0:
+    ld   r2, progress
+    addi r2, r2, 1
+    st   r2, progress
+    jmp  task_0
+task_1:
+    trap SYS_EXIT
+progress: .word 0
+";
+    let src = format!("{}
+{app}", kernel_asm(&cfg));
+    let prog = assemble(&src).unwrap();
+    let mut m = Machine::new(&prog);
+    assert_eq!(m.run(500_000), ExitReason::CycleLimit);
+    let progress = m.peek(u32::try_from(prog.symbol("progress")).unwrap());
+    // Hundreds of thousands of cycles, almost no user progress.
+    assert!(progress < 50, "unexpected progress {progress}");
+}
+
+#[test]
+fn stress_runs_are_deterministic() {
+    let run_once = || {
+        let cfg = config(4, Some(700));
+        let app = r"
+task_0:
+    movi r1, 0
+    trap SYS_SEM_POST
+    trap SYS_EXIT
+task_1:
+    movi r1, 0
+    trap SYS_SEM_WAIT
+    movi r1, 1
+    trap SYS_SEM_POST
+    trap SYS_EXIT
+task_2:
+    movi r1, 1
+    trap SYS_SEM_WAIT
+    movi r1, 2
+    trap SYS_SEM_POST
+    trap SYS_EXIT
+task_3:
+    movi r1, 2
+    trap SYS_SEM_WAIT
+    trap SYS_EXIT
+";
+        let src = format!("{}\n{app}", kernel_asm(&cfg));
+        let prog = assemble(&src).unwrap();
+        let mut m = Machine::new(&prog);
+        m.run(1_000_000);
+        (m.cycles(), m.instructions, m.drain_events())
+    };
+    assert_eq!(run_once(), run_once());
+}

@@ -1,0 +1,358 @@
+//! The dynamic-scheduling refinement: executes a [`SystemSpec`] as an
+//! *architecture model* (paper Fig. 3(b)).
+//!
+//! This is the automated counterpart of the paper's manual refinement steps
+//! (§4.2) — the paper notes "we have developed a tool that performs the
+//! refinement of unscheduled specification models into RTOS-based
+//! architecture models automatically"; this module is that tool:
+//!
+//! * one [`Rtos`] instance is created per PE and every `par` branch becomes
+//!   a task (`task_create` / `task_activate` / `task_terminate`, with
+//!   `par_start`/`par_end` around the fork — Fig. 6);
+//! * `Compute` delays become `time_wait` calls (Fig. 5);
+//! * channels are re-layered onto RTOS events (Fig. 7), with cross-PE
+//!   rendezvous mapped to [`CrossRendezvous`];
+//! * interrupt sources become ISR processes that release a semaphore and
+//!   call `interrupt_return` (Fig. 3(b)).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rtos_model::{Priority, Rtos, SchedAlg, TaskId, TaskParams, TimeSlice};
+use sldl_sim::{Child, Handshake, ProcCtx, RecordKind, Semaphore, Simulation, TraceConfig};
+
+use crate::cross::CrossRendezvous;
+use crate::run::{ModelRun, PeMetrics, RunConfig, RunModelError};
+use crate::spec::{Action, Behavior, ChannelKind, SystemSpec};
+
+enum ArchChan {
+    Rendezvous(Handshake<Rtos>),
+    Cross(CrossRendezvous),
+    Sem(Semaphore<Rtos>),
+}
+
+impl ArchChan {
+    fn send(&self, ctx: &ProcCtx) {
+        match self {
+            ArchChan::Rendezvous(h) => h.send(ctx),
+            ArchChan::Cross(c) => c.send(ctx),
+            ArchChan::Sem(_) => panic!("send on semaphore channel"),
+        }
+    }
+
+    fn recv(&self, ctx: &ProcCtx) {
+        match self {
+            ArchChan::Rendezvous(h) => h.recv(ctx),
+            ArchChan::Cross(c) => c.recv(ctx),
+            ArchChan::Sem(_) => panic!("recv on semaphore channel"),
+        }
+    }
+
+    fn sem(&self) -> &Semaphore<Rtos> {
+        match self {
+            ArchChan::Sem(s) => s,
+            _ => panic!("semaphore operation on rendezvous channel"),
+        }
+    }
+}
+
+/// Per-channel usage sites discovered in the spec.
+#[derive(Default, Clone)]
+struct ChanUse {
+    sender_pes: Vec<usize>,
+    receiver_pes: Vec<usize>,
+    acquirer_pes: Vec<usize>,
+}
+
+struct Env {
+    os: Rtos,
+    chans: Arc<Vec<ArchChan>>,
+    priorities: HashMap<String, Priority>,
+}
+
+/// Executes `spec` as an RTOS-based architecture model under scheduling
+/// algorithm `alg`, modeling preemption at granularity `slice`.
+///
+/// # Errors
+///
+/// Returns [`RunModelError::Invalid`] if the spec fails validation and
+/// [`RunModelError::Sim`] if a process panics during simulation.
+///
+/// # Panics
+///
+/// Panics if a rendezvous channel has senders (or receivers) on more than
+/// one PE, or a semaphore has acquirers on more than one PE — such specs
+/// need an explicit communication architecture first.
+pub fn run_architecture(
+    spec: &SystemSpec,
+    alg: SchedAlg,
+    slice: TimeSlice,
+    cfg: &RunConfig,
+) -> Result<ModelRun, RunModelError> {
+    run_architecture_inner(spec, alg, slice, std::time::Duration::ZERO, cfg)
+}
+
+/// [`run_architecture`] with a modeled kernel cost per context switch
+/// (used by the exploration driver).
+pub(crate) fn run_architecture_configured(
+    spec: &SystemSpec,
+    alg: SchedAlg,
+    slice: TimeSlice,
+    switch_cost: std::time::Duration,
+) -> Result<ModelRun, RunModelError> {
+    run_architecture_inner(spec, alg, slice, switch_cost, &RunConfig::default())
+}
+
+fn run_architecture_inner(
+    spec: &SystemSpec,
+    alg: SchedAlg,
+    slice: TimeSlice,
+    switch_cost: std::time::Duration,
+    cfg: &RunConfig,
+) -> Result<ModelRun, RunModelError> {
+    spec.validate()?;
+    let mut sim = Simulation::new();
+    let trace = sim.enable_trace(TraceConfig::default());
+    let layer = sim.sync_layer();
+
+    // One RTOS instance per PE.
+    let oses: Vec<Rtos> = spec
+        .pes
+        .iter()
+        .map(|pe| {
+            let os = Rtos::new(pe.name.clone(), layer.clone());
+            os.start(alg);
+            os.set_time_slice(slice);
+            os.set_context_switch_cost(switch_cost);
+            os.attach_trace(trace.clone());
+            os
+        })
+        .collect();
+
+    // Discover which PEs use each channel to place its refined instance.
+    let mut uses = vec![ChanUse::default(); spec.channels.len()];
+    for (pe_idx, pe) in spec.pes.iter().enumerate() {
+        collect_uses(&pe.root, pe_idx, &mut uses);
+    }
+
+    let chans: Arc<Vec<ArchChan>> = Arc::new(
+        spec.channels
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let u = &uses[i];
+                match c.kind {
+                    ChannelKind::Rendezvous => {
+                        let s = unique_pe(&u.sender_pes, &c.name, "senders");
+                        let r = unique_pe(&u.receiver_pes, &c.name, "receivers");
+                        match (s, r) {
+                            (Some(s), Some(r)) if s != r => ArchChan::Cross(
+                                CrossRendezvous::new(oses[s].clone(), oses[r].clone()),
+                            ),
+                            (sr, _) => {
+                                let pe = sr.unwrap_or(0);
+                                ArchChan::Rendezvous(Handshake::new(oses[pe].clone()))
+                            }
+                        }
+                    }
+                    ChannelKind::Semaphore { initial } => {
+                        let pe = unique_pe(&u.acquirer_pes, &c.name, "acquirers").unwrap_or(0);
+                        ArchChan::Sem(Semaphore::new(initial, oses[pe].clone()))
+                    }
+                }
+            })
+            .collect(),
+    );
+
+    // One main task per PE running the root behavior.
+    for (pe_idx, pe) in spec.pes.iter().enumerate() {
+        let env = Arc::new(Env {
+            os: oses[pe_idx].clone(),
+            chans: Arc::clone(&chans),
+            priorities: pe.priorities.clone(),
+        });
+        let root = pe.root.clone();
+        let main_name = format!("{}_main", pe.name);
+        sim.spawn(Child::new(main_name.clone(), move |ctx| {
+            // A periodic root becomes the PE's periodic main task.
+            let task_name = match &root {
+                Behavior::Periodic { name, .. } => name.clone(),
+                _ => main_name.clone(),
+            };
+            let prio = priority_of(&env.priorities, &task_name);
+            let me = env.os.task_create(&task_params_for(&root, &task_name, prio));
+            env.os.task_activate(ctx, me);
+            exec(&root, ctx, &env, &task_name);
+            env.os.task_terminate(ctx);
+        }));
+    }
+
+    // Interrupt sources → ISR processes.
+    for irq in &spec.interrupts {
+        let chans = Arc::clone(&chans);
+        let os = oses[irq.pe].clone();
+        let name = irq.name.clone();
+        let mut times = irq.fire_times.clone();
+        times.sort();
+        let target = irq.target;
+        sim.spawn(Child::new(format!("isr_{name}"), move |ctx| {
+            for t in times {
+                let now = ctx.now();
+                if t > now {
+                    ctx.waitfor(t - now);
+                }
+                ctx.record(RecordKind::Marker {
+                    track: name.clone(),
+                    label: "interrupt".into(),
+                });
+                chans[target.0].sem().release(ctx);
+                os.interrupt_return(ctx);
+            }
+        }));
+    }
+
+    let report = match cfg.run_until {
+        Some(t) => sim.run_until(t)?,
+        None => sim.run()?,
+    };
+    let end = report.end_time;
+    Ok(ModelRun {
+        report,
+        records: trace.snapshot(),
+        pe_metrics: spec
+            .pes
+            .iter()
+            .zip(&oses)
+            .map(|(pe, os)| PeMetrics {
+                pe: pe.name.clone(),
+                metrics: os.metrics_at(end),
+            })
+            .collect(),
+    })
+}
+
+fn collect_uses(b: &Behavior, pe: usize, uses: &mut [ChanUse]) {
+    match b {
+        Behavior::Leaf { actions, .. } | Behavior::Periodic { actions, .. } => {
+            for a in actions {
+                match a {
+                    Action::Send(c) => uses[c.0].sender_pes.push(pe),
+                    Action::Recv(c) => uses[c.0].receiver_pes.push(pe),
+                    Action::Acquire(c) => uses[c.0].acquirer_pes.push(pe),
+                    // Releases may come from any PE or ISR context; computes
+                    // touch no channel.
+                    Action::Release(_) | Action::Compute { .. } => {}
+                }
+            }
+        }
+        Behavior::Seq(children) | Behavior::Par(children) => {
+            for c in children {
+                collect_uses(c, pe, uses);
+            }
+        }
+    }
+}
+
+/// All users of one role must sit on a single PE; returns it.
+fn unique_pe(pes: &[usize], chan: &str, role: &str) -> Option<usize> {
+    let mut it = pes.iter().copied();
+    let first = it.next()?;
+    assert!(
+        it.all(|p| p == first),
+        "channel `{chan}` has {role} on multiple PEs; refine the communication architecture first"
+    );
+    Some(first)
+}
+
+fn priority_of(map: &HashMap<String, Priority>, name: &str) -> Priority {
+    map.get(name).copied().unwrap_or(Priority::LOWEST)
+}
+
+/// Task parameters for a behavior placed at task position: periodic
+/// behaviors become periodic RTOS tasks with their per-cycle compute as the
+/// WCET annotation.
+fn task_params_for(b: &Behavior, name: &str, prio: Priority) -> TaskParams {
+    match b {
+        Behavior::Periodic { period, cycles, .. } => {
+            let mut p = TaskParams::periodic(name, *period);
+            let per_cycle = if *cycles == 0 {
+                std::time::Duration::ZERO
+            } else {
+                b.total_compute() / *cycles
+            };
+            p.priority(prio).wcet(per_cycle);
+            p
+        }
+        _ => TaskParams::aperiodic(name, prio),
+    }
+}
+
+/// Walks the behavior tree in task context. `path` provides unique names
+/// for composite par branches.
+fn exec(b: &Behavior, ctx: &ProcCtx, env: &Arc<Env>, path: &str) {
+    match b {
+        Behavior::Leaf { actions, .. } => run_actions(actions, ctx, env),
+        Behavior::Periodic { cycles, actions, .. } => {
+            // The enclosing task was created periodic (validated placement):
+            // run the body and end the cycle, letting the RTOS release the
+            // task again at the next period (Fig. 4 `task_endcycle`).
+            for _ in 0..*cycles {
+                run_actions(actions, ctx, env);
+                env.os.task_endcycle(ctx);
+            }
+        }
+        Behavior::Seq(children) => {
+            for (i, c) in children.iter().enumerate() {
+                exec(c, ctx, env, &format!("{path}.{i}"));
+            }
+        }
+        Behavior::Par(children) => {
+            // Fig. 6: create child tasks, suspend the parent in the RTOS,
+            // fork at the SLDL level, then resume the parent.
+            let named: Vec<(String, TaskId, Behavior)> = children
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let name = match c {
+                        Behavior::Leaf { name, .. } | Behavior::Periodic { name, .. } => {
+                            name.clone()
+                        }
+                        _ => format!("{path}.par{i}"),
+                    };
+                    let prio = priority_of(&env.priorities, &name);
+                    let tid = env.os.task_create(&task_params_for(c, &name, prio));
+                    (name, tid, c.clone())
+                })
+                .collect();
+            env.os.par_start(ctx);
+            let kids = named
+                .into_iter()
+                .map(|(name, tid, c)| {
+                    let env = Arc::clone(env);
+                    let child_path = name.clone();
+                    Child::new(name, move |ctx: &ProcCtx| {
+                        env.os.task_activate(ctx, tid);
+                        exec(&c, ctx, &env, &child_path);
+                        env.os.task_terminate(ctx);
+                    })
+                })
+                .collect();
+            ctx.par(kids);
+            env.os.par_end(ctx);
+        }
+    }
+}
+
+fn run_actions(actions: &[Action], ctx: &ProcCtx, env: &Arc<Env>) {
+    for a in actions {
+        match a {
+            Action::Compute { label, duration } => {
+                env.os.time_wait_as(ctx, *duration, label);
+            }
+            Action::Send(c) => env.chans[c.0].send(ctx),
+            Action::Recv(c) => env.chans[c.0].recv(ctx),
+            Action::Acquire(c) => env.chans[c.0].sem().acquire(ctx),
+            Action::Release(c) => env.chans[c.0].sem().release(ctx),
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Cross-PE rendezvous channel for architecture models.
+//!
+//! When dynamic-scheduling refinement maps the two parties of a rendezvous
+//! channel onto *different* processing elements, each side must block
+//! through its own RTOS instance while waking the partner through the
+//! partner's instance — the abstract equivalent of the paper's bus channel
+//! with an interrupt on the receiving side: the cross-notify arrives on the
+//! remote RTOS in interrupt context (it dispatches immediately only if that
+//! CPU is idle; a running task is preempted at its next delay boundary).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rtos_model::{Rtos, RtosEvent};
+use sldl_sim::ProcCtx;
+
+struct CrossState {
+    pending_senders: u64,
+    pending_receivers: u64,
+    grants_to_senders: u64,
+    grants_to_receivers: u64,
+}
+
+/// A rendezvous whose sender tasks live on `sender_os` and receiver tasks
+/// on `receiver_os`. Clonable; all clones share the same state.
+pub struct CrossRendezvous {
+    sender_os: Rtos,
+    receiver_os: Rtos,
+    sender_wake: RtosEvent,
+    receiver_wake: RtosEvent,
+    state: Arc<Mutex<CrossState>>,
+}
+
+impl Clone for CrossRendezvous {
+    fn clone(&self) -> Self {
+        CrossRendezvous {
+            sender_os: self.sender_os.clone(),
+            receiver_os: self.receiver_os.clone(),
+            sender_wake: self.sender_wake,
+            receiver_wake: self.receiver_wake,
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+impl core::fmt::Debug for CrossRendezvous {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("CrossRendezvous")
+            .field("sender_os", &self.sender_os.name())
+            .field("receiver_os", &self.receiver_os.name())
+            .field("pending_senders", &st.pending_senders)
+            .field("pending_receivers", &st.pending_receivers)
+            .finish()
+    }
+}
+
+impl CrossRendezvous {
+    /// Creates a cross-PE rendezvous between the two RTOS instances.
+    #[must_use]
+    pub fn new(sender_os: Rtos, receiver_os: Rtos) -> Self {
+        let sender_wake = sender_os.event_new();
+        let receiver_wake = receiver_os.event_new();
+        CrossRendezvous {
+            sender_os,
+            receiver_os,
+            sender_wake,
+            receiver_wake,
+            state: Arc::new(Mutex::new(CrossState {
+                pending_senders: 0,
+                pending_receivers: 0,
+                grants_to_senders: 0,
+                grants_to_receivers: 0,
+            })),
+        }
+    }
+
+    /// Blocks the calling task (on the sender PE) until a receiver arrives.
+    pub fn send(&self, ctx: &ProcCtx) {
+        {
+            let mut st = self.state.lock();
+            if st.pending_receivers > 0 {
+                st.pending_receivers -= 1;
+                st.grants_to_receivers += 1;
+                drop(st);
+                // Wakes the partner through *its* RTOS: from this PE's point
+                // of view that is an interrupt-context notify.
+                self.receiver_os.event_notify(ctx, self.receiver_wake);
+                return;
+            }
+            st.pending_senders += 1;
+        }
+        loop {
+            self.sender_os.event_wait(ctx, self.sender_wake);
+            let mut st = self.state.lock();
+            if st.grants_to_senders > 0 {
+                st.grants_to_senders -= 1;
+                return;
+            }
+        }
+    }
+
+    /// Blocks the calling task (on the receiver PE) until a sender arrives.
+    pub fn recv(&self, ctx: &ProcCtx) {
+        {
+            let mut st = self.state.lock();
+            if st.pending_senders > 0 {
+                st.pending_senders -= 1;
+                st.grants_to_senders += 1;
+                drop(st);
+                self.sender_os.event_notify(ctx, self.sender_wake);
+                return;
+            }
+            st.pending_receivers += 1;
+        }
+        loop {
+            self.receiver_os.event_wait(ctx, self.receiver_wake);
+            let mut st = self.state.lock();
+            if st.grants_to_receivers > 0 {
+                st.grants_to_receivers -= 1;
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Design-space exploration over scheduling configurations.
+//!
+//! The paper's closing argument is that the RTOS model enables "early and
+//! rapid design space exploration": many candidate dynamic-scheduling
+//! configurations can be simulated and compared in seconds. This module is
+//! the exploration driver: it sweeps candidate configurations (scheduling
+//! algorithm × preemption granularity × kernel overhead) over one spec,
+//! checks each against the design's timing constraints, and ranks the
+//! survivors.
+
+use std::time::Duration;
+
+use rtos_model::{SchedAlg, TimeSlice};
+
+use crate::check::{check, Constraint, Violation};
+use crate::run::{ModelRun, RunModelError};
+use crate::spec::SystemSpec;
+
+/// One scheduling configuration to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Scheduling algorithm.
+    pub alg: SchedAlg,
+    /// Preemption-modeling granularity.
+    pub slice: TimeSlice,
+    /// Modeled kernel cost per context switch.
+    pub switch_cost: Duration,
+}
+
+impl Candidate {
+    /// A candidate with the paper's defaults (whole-delay preemption, zero
+    /// kernel cost).
+    #[must_use]
+    pub fn new(alg: SchedAlg) -> Self {
+        Candidate {
+            alg,
+            slice: TimeSlice::WholeDelay,
+            switch_cost: Duration::ZERO,
+        }
+    }
+}
+
+impl core::fmt::Display for Candidate {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.alg)?;
+        match self.slice {
+            TimeSlice::WholeDelay => write!(f, ", whole-delay")?,
+            TimeSlice::Quantum(q) => write!(f, ", {}us slices", q.as_micros())?,
+        }
+        if !self.switch_cost.is_zero() {
+            write!(f, ", {}ns/switch", self.switch_cost.as_nanos())?;
+        }
+        Ok(())
+    }
+}
+
+/// Evaluation of one candidate.
+#[derive(Debug)]
+pub struct Evaluation {
+    /// The configuration evaluated.
+    pub candidate: Candidate,
+    /// The architecture-model run (for further inspection).
+    pub run: ModelRun,
+    /// Constraint violations (empty = feasible).
+    pub violations: Vec<Violation>,
+    /// Total context switches (a cost proxy: scheduling overhead on the
+    /// real target).
+    pub context_switches: u64,
+}
+
+impl Evaluation {
+    /// Whether the candidate met every constraint.
+    #[must_use]
+    pub fn feasible(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Simulates every candidate against `spec`, checks `constraints`, and
+/// returns the evaluations **sorted best-first**: feasible candidates
+/// before infeasible ones, fewer violations first, then fewer context
+/// switches (less kernel overhead on the eventual target).
+///
+/// # Errors
+///
+/// Returns the first simulation error encountered (an invalid spec fails
+/// on the first candidate).
+pub fn explore(
+    spec: &SystemSpec,
+    candidates: &[Candidate],
+    constraints: &[Constraint],
+) -> Result<Vec<Evaluation>, RunModelError> {
+    let mut evaluations = Vec::with_capacity(candidates.len());
+    for &candidate in candidates {
+        let run = run_with(spec, candidate)?;
+        let violations = check(&run, constraints);
+        let context_switches = run.context_switches();
+        evaluations.push(Evaluation {
+            candidate,
+            run,
+            violations,
+            context_switches,
+        });
+    }
+    evaluations.sort_by_key(|e| (e.violations.len(), e.context_switches));
+    Ok(evaluations)
+}
+
+fn run_with(spec: &SystemSpec, c: Candidate) -> Result<ModelRun, RunModelError> {
+    crate::architecture::run_architecture_configured(spec, c.alg, c.slice, c.switch_cost)
+}

@@ -1,0 +1,143 @@
+//! The paper's running example (Fig. 3): a single PE executing `B1`
+//! followed by `par { B2, B3 }`, with rendezvous channels `c1`/`c2` between
+//! B2 and B3 and an external interrupt signalling a semaphore that B3's bus
+//! driver blocks on.
+//!
+//! The delay values default to a set that reproduces the *shape* of the
+//! simulation traces in Fig. 8 (the paper does not give absolute numbers).
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use rtos_model::Priority;
+use sldl_sim::SimTime;
+
+use crate::spec::{Action, Behavior, ChannelKind, InterruptSpec, PeSpec, SystemSpec};
+
+/// Delay annotations of the Fig. 3 example (the `d1..d8` of Fig. 8), plus
+/// the interrupt time `t4` and the initial `B1` delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Figure3Delays {
+    /// B1's execution time (runs before the par in the refined model).
+    pub b1: Duration,
+    /// B3: first compute segment (before receiving on `c1`).
+    pub d1: Duration,
+    /// B3: second segment (between `c1` and the interrupt wait).
+    pub d2: Duration,
+    /// B3: third segment (after the interrupt, before sending on `c2`).
+    pub d3: Duration,
+    /// B3: final segment.
+    pub d4: Duration,
+    /// B2: first segment (before sending on `c1`).
+    pub d5: Duration,
+    /// B2: second segment.
+    pub d6: Duration,
+    /// B2: third segment (B2 then waits for `c2`).
+    pub d7: Duration,
+    /// B2: final segment.
+    pub d8: Duration,
+    /// Absolute time of the external interrupt, relative to the start of
+    /// the par (the paper's `t4`). Must land while B3 waits for it in the
+    /// unscheduled model.
+    pub interrupt_at: Duration,
+}
+
+impl Default for Figure3Delays {
+    fn default() -> Self {
+        let us = Duration::from_micros;
+        Figure3Delays {
+            b1: us(100),
+            d1: us(200),
+            d2: us(150),
+            d3: us(100),
+            d4: us(150),
+            d5: us(300),
+            d6: us(300),
+            d7: us(200),
+            d8: us(250),
+            interrupt_at: us(700),
+        }
+    }
+}
+
+/// Builds the Fig. 3 system spec with the given delays.
+///
+/// Task priorities follow the paper: B3 is the highest-priority task, then
+/// B2, then the main task — "since task B3 has the higher priority, it
+/// executes unless it is blocked".
+#[must_use]
+pub fn figure3_spec(d: &Figure3Delays) -> SystemSpec {
+    let mut spec = SystemSpec::new();
+    let c1 = spec.add_channel("c1", ChannelKind::Rendezvous);
+    let c2 = spec.add_channel("c2", ChannelKind::Rendezvous);
+    let sem = spec.add_channel("sem", ChannelKind::Semaphore { initial: 0 });
+
+    let b2 = Behavior::leaf(
+        "task_b2",
+        vec![
+            Action::compute("d5", d.d5),
+            Action::Send(c1),
+            Action::compute("d6", d.d6),
+            Action::compute("d7", d.d7),
+            Action::Recv(c2),
+            Action::compute("d8", d.d8),
+        ],
+    );
+    let b3 = Behavior::leaf(
+        "task_b3",
+        vec![
+            Action::compute("d1", d.d1),
+            Action::Recv(c1),
+            Action::compute("d2", d.d2),
+            // The bus-driver side of the interrupt interface.
+            Action::Acquire(sem),
+            Action::compute("d3", d.d3),
+            Action::Send(c2),
+            Action::compute("d4", d.d4),
+        ],
+    );
+    let root = Behavior::Seq(vec![
+        Behavior::leaf("b1", vec![Action::compute("b1", d.b1)]),
+        Behavior::Par(vec![b2, b3]),
+    ]);
+
+    let mut priorities = HashMap::new();
+    priorities.insert("task_b3".to_string(), Priority(1));
+    priorities.insert("task_b2".to_string(), Priority(2));
+    priorities.insert("pe_main".to_string(), Priority(3));
+
+    spec.add_pe(PeSpec {
+        name: "pe".into(),
+        root,
+        priorities,
+    });
+    spec.add_interrupt(InterruptSpec {
+        name: "bus_irq".into(),
+        pe: 0,
+        target: sem,
+        fire_times: vec![SimTime::ZERO + d.b1 + d.interrupt_at],
+    });
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_validates() {
+        let spec = figure3_spec(&Figure3Delays::default());
+        assert_eq!(spec.validate(), Ok(()));
+        assert_eq!(spec.pes.len(), 1);
+        assert_eq!(spec.channels.len(), 3);
+        assert_eq!(spec.interrupts.len(), 1);
+    }
+
+    #[test]
+    fn total_compute_is_sum_of_annotations() {
+        let d = Figure3Delays::default();
+        let spec = figure3_spec(&d);
+        let total = d.b1 + d.d1 + d.d2 + d.d3 + d.d4 + d.d5 + d.d6 + d.d7 + d.d8;
+        assert_eq!(spec.total_compute(), total);
+    }
+}

@@ -1,0 +1,111 @@
+//! Exploration-driver tests: sweeping scheduling configurations over the
+//! Fig. 3 design and ranking them against an interrupt-response budget.
+
+use std::time::Duration;
+
+use model_refine::{explore, figure3_spec, Candidate, Constraint, Figure3Delays};
+use rtos_model::{SchedAlg, TimeSlice};
+
+fn us(n: u64) -> Duration {
+    Duration::from_micros(n)
+}
+
+fn candidates() -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for alg in [SchedAlg::PriorityPreemptive, SchedAlg::Fifo] {
+        for slice in [
+            TimeSlice::WholeDelay,
+            TimeSlice::Quantum(us(100)),
+            TimeSlice::Quantum(us(25)),
+        ] {
+            out.push(Candidate {
+                alg,
+                slice,
+                switch_cost: Duration::ZERO,
+            });
+        }
+    }
+    out
+}
+
+fn irq_budget(max_us: u64) -> Vec<Constraint> {
+    vec![Constraint::ResponseWithin {
+        marker_track: "bus_irq".into(),
+        track: "task_b3".into(),
+        label: "d3".into(),
+        max: us(max_us),
+    }]
+}
+
+#[test]
+fn exploration_ranks_feasible_candidates_first() {
+    let spec = figure3_spec(&Figure3Delays::default());
+    let evals = explore(&spec, &candidates(), &irq_budget(60)).unwrap();
+    assert_eq!(evals.len(), 6);
+    // At least the finely-sliced preemptive candidate meets a 60 us budget
+    // (interrupt at 800; 25 us slices inside d6 starting at 750 → response
+    // 0 us at the 800 boundary).
+    assert!(evals[0].feasible(), "best: {}", evals[0].candidate);
+    assert_eq!(evals[0].candidate.alg, SchedAlg::PriorityPreemptive);
+    assert!(matches!(
+        evals[0].candidate.slice,
+        TimeSlice::Quantum(q) if q <= us(100)
+    ));
+    // Ranking is monotone: once infeasible candidates start, they continue.
+    let first_infeasible = evals.iter().position(|e| !e.feasible());
+    if let Some(i) = first_infeasible {
+        assert!(evals[i..].iter().all(|e| !e.feasible()));
+    }
+    // FIFO (non-preemptive) can never meet a tight interrupt budget here.
+    for e in &evals {
+        if e.candidate.alg == SchedAlg::Fifo {
+            assert!(!e.feasible(), "FIFO met the budget?! {}", e.candidate);
+        }
+    }
+}
+
+#[test]
+fn looser_budget_admits_more_candidates() {
+    let spec = figure3_spec(&Figure3Delays::default());
+    let tight = explore(&spec, &candidates(), &irq_budget(30)).unwrap();
+    let loose = explore(&spec, &candidates(), &irq_budget(300)).unwrap();
+    let n_tight = tight.iter().filter(|e| e.feasible()).count();
+    let n_loose = loose.iter().filter(|e| e.feasible()).count();
+    assert!(n_loose >= n_tight, "tight {n_tight} loose {n_loose}");
+    assert!(n_loose >= 3, "loose budget admits whole-delay too: {n_loose}");
+}
+
+#[test]
+fn switch_cost_increases_makespan_in_evaluations() {
+    let spec = figure3_spec(&Figure3Delays::default());
+    let zero = Candidate::new(SchedAlg::PriorityPreemptive);
+    let costly = Candidate {
+        switch_cost: us(10),
+        ..zero
+    };
+    let evals = explore(&spec, &[zero, costly], &[]).unwrap();
+    // Both feasible (no constraints); the costly one ends later.
+    let end_of = |c: &Candidate| {
+        evals
+            .iter()
+            .find(|e| e.candidate == *c)
+            .unwrap()
+            .run
+            .end_time()
+    };
+    assert!(end_of(&costly) > end_of(&zero));
+}
+
+#[test]
+fn candidate_display_is_informative() {
+    let c = Candidate {
+        alg: SchedAlg::Edf,
+        slice: TimeSlice::Quantum(us(50)),
+        switch_cost: Duration::from_nanos(9_500),
+    };
+    assert_eq!(c.to_string(), "edf, 50us slices, 9500ns/switch");
+    assert_eq!(
+        Candidate::new(SchedAlg::Fifo).to_string(),
+        "fifo, whole-delay"
+    );
+}

@@ -1,0 +1,146 @@
+//! Property-based tests on the refinement: for randomly generated
+//! single-PE specs, the architecture model serializes (makespan = total
+//! compute, zero overlap), the unscheduled model never finishes later than
+//! the architecture model, and both executors are deterministic.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use model_refine::{
+    run_architecture, run_unscheduled, Action, Behavior, PeSpec, RunConfig, SystemSpec,
+};
+use proptest::prelude::*;
+use rtos_model::{Priority, SchedAlg, TimeSlice};
+use sldl_sim::SimTime;
+
+/// Random compute-only behavior trees (no channels: always deadlock-free).
+fn behavior_strategy(depth: u32) -> BoxedStrategy<Behavior> {
+    let leaf = (0u32..1000, proptest::collection::vec(1u64..300, 1..4)).prop_map(
+        move |(salt, durs)| {
+            Behavior::Leaf {
+                name: format!("leaf{salt}"), // renamed later for uniqueness
+                actions: durs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(k, d)| Action::compute(format!("d{k}"), Duration::from_micros(d)))
+                    .collect(),
+            }
+        },
+    );
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        prop_oneof![
+            3 => leaf,
+            1 => proptest::collection::vec(behavior_strategy(depth - 1), 1..4)
+                .prop_map(Behavior::Seq),
+            2 => proptest::collection::vec(behavior_strategy(depth - 1), 2..4)
+                .prop_map(Behavior::Par),
+        ]
+        .boxed()
+    }
+}
+
+/// Renames leaves to be globally unique and assigns rotating priorities.
+fn finalize(root: &mut Behavior, counter: &mut u32, prios: &mut HashMap<String, Priority>) {
+    match root {
+        Behavior::Leaf { name, .. } | Behavior::Periodic { name, .. } => {
+            *name = format!("t{}", *counter);
+            prios.insert(name.clone(), Priority(*counter % 7));
+            *counter += 1;
+        }
+        Behavior::Seq(children) | Behavior::Par(children) => {
+            for c in children {
+                finalize(c, counter, prios);
+            }
+        }
+    }
+}
+
+fn spec_from(root: Behavior) -> SystemSpec {
+    let mut root = root;
+    let mut counter = 0;
+    let mut prios = HashMap::new();
+    finalize(&mut root, &mut counter, &mut prios);
+    let mut spec = SystemSpec::new();
+    spec.add_pe(PeSpec {
+        name: "pe".into(),
+        root,
+        priorities: prios,
+    });
+    spec
+}
+
+fn alg_strategy() -> impl Strategy<Value = SchedAlg> {
+    prop_oneof![
+        Just(SchedAlg::PriorityPreemptive),
+        Just(SchedAlg::PriorityCooperative),
+        Just(SchedAlg::Fifo),
+        Just(SchedAlg::RoundRobin {
+            quantum: Duration::from_micros(80)
+        }),
+        Just(SchedAlg::Edf),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn architecture_serializes_total_compute(
+        root in behavior_strategy(2),
+        alg in alg_strategy(),
+    ) {
+        let spec = spec_from(root);
+        let total = spec.total_compute();
+        let run = run_architecture(&spec, alg, TimeSlice::WholeDelay, &RunConfig::default())
+            .expect("architecture run");
+        prop_assert!(run.report.blocked.is_empty());
+        prop_assert_eq!(run.end_time(), SimTime::ZERO + total);
+
+        // No two task tracks overlap.
+        let segs = run.segments();
+        let tracks: Vec<_> = segs.values().collect();
+        for i in 0..tracks.len() {
+            for j in (i + 1)..tracks.len() {
+                prop_assert_eq!(
+                    sldl_sim::trace::overlap(tracks[i], tracks[j]),
+                    Duration::ZERO
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unscheduled_is_a_lower_bound(root in behavior_strategy(2)) {
+        let spec = spec_from(root);
+        let unsched = run_unscheduled(&spec, &RunConfig::default()).expect("unscheduled run");
+        let arch = run_architecture(
+            &spec,
+            SchedAlg::PriorityPreemptive,
+            TimeSlice::WholeDelay,
+            &RunConfig::default(),
+        )
+        .expect("architecture run");
+        prop_assert!(unsched.end_time() <= arch.end_time());
+    }
+
+    #[test]
+    fn executors_are_deterministic(
+        root in behavior_strategy(2),
+        alg in alg_strategy(),
+    ) {
+        let spec = spec_from(root);
+        let a = run_architecture(&spec, alg, TimeSlice::WholeDelay, &RunConfig::default())
+            .expect("run a");
+        let b = run_architecture(&spec, alg, TimeSlice::WholeDelay, &RunConfig::default())
+            .expect("run b");
+        prop_assert_eq!(a.end_time(), b.end_time());
+        prop_assert_eq!(a.context_switches(), b.context_switches());
+        prop_assert_eq!(a.records, b.records);
+
+        let u1 = run_unscheduled(&spec, &RunConfig::default()).expect("run u1");
+        let u2 = run_unscheduled(&spec, &RunConfig::default()).expect("run u2");
+        prop_assert_eq!(u1.records, u2.records);
+    }
+}

@@ -1,0 +1,388 @@
+//! Communication channels built purely on events.
+//!
+//! Channels are generic over a [`SyncLayer`]: the specification model uses
+//! [`SldlSync`] (raw kernel events), and the RTOS model of the reproduced
+//! paper substitutes its own event service — *exactly* the refinement of
+//! Figure 7: "existing SLDL channels are reused by refining their internal
+//! synchronization primitives to map to corresponding RTOS calls".
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::ids::EventId;
+use crate::kernel::ProcCtx;
+
+/// A synchronization service that channels are written against.
+///
+/// Implemented by [`SldlSync`] (raw SLDL events) and by the RTOS model
+/// (`rtos-model::Rtos`), so the same channel code runs unmodified in both
+/// the specification and the architecture model.
+pub trait SyncLayer: Clone + Send + Sync + 'static {
+    /// Handle type for this layer's events.
+    type Ev: Copy + core::fmt::Debug + Send;
+
+    /// Allocates a fresh event in this layer.
+    fn ev_new(&self) -> Self::Ev;
+
+    /// Blocks the calling process until `e` is notified.
+    fn ev_wait(&self, ctx: &ProcCtx, e: Self::Ev);
+
+    /// Notifies `e`, waking all processes blocked on it.
+    fn ev_notify(&self, ctx: &ProcCtx, e: Self::Ev);
+}
+
+/// The raw SLDL synchronization layer: kernel events with delta-cycle
+/// semantics. Obtained from [`Simulation::sync_layer`] or
+/// [`ProcCtx::sync_layer`].
+///
+/// [`Simulation::sync_layer`]: crate::Simulation::sync_layer
+/// [`ProcCtx::sync_layer`]: crate::ProcCtx::sync_layer
+#[derive(Clone)]
+pub struct SldlSync {
+    pub(crate) shared: Arc<crate::kernel::Shared>,
+}
+
+impl core::fmt::Debug for SldlSync {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("SldlSync")
+    }
+}
+
+impl SyncLayer for SldlSync {
+    type Ev = EventId;
+
+    fn ev_new(&self) -> EventId {
+        self.shared.alloc_event()
+    }
+
+    fn ev_wait(&self, ctx: &ProcCtx, e: EventId) {
+        ctx.wait(e);
+    }
+
+    fn ev_notify(&self, ctx: &ProcCtx, e: EventId) {
+        ctx.notify(e);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Semaphore
+// ---------------------------------------------------------------------------
+
+struct SemState {
+    count: u64,
+}
+
+/// A counting semaphore channel (the `sem` of the paper's Figure 3 bus
+/// interface: the ISR releases it, the bus driver acquires it).
+///
+/// Clonable; all clones share the same state.
+pub struct Semaphore<L: SyncLayer> {
+    layer: L,
+    ev: L::Ev,
+    state: Arc<Mutex<SemState>>,
+}
+
+impl<L: SyncLayer> Clone for Semaphore<L> {
+    fn clone(&self) -> Self {
+        Semaphore {
+            layer: self.layer.clone(),
+            ev: self.ev,
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+impl<L: SyncLayer> core::fmt::Debug for Semaphore<L> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Semaphore")
+            .field("count", &self.state.lock().count)
+            .finish()
+    }
+}
+
+impl<L: SyncLayer> Semaphore<L> {
+    /// Creates a semaphore with `initial` permits on the given sync layer.
+    pub fn new(initial: u64, layer: L) -> Self {
+        let ev = layer.ev_new();
+        Semaphore {
+            layer,
+            ev,
+            state: Arc::new(Mutex::new(SemState { count: initial })),
+        }
+    }
+
+    /// Blocks until a permit is available, then takes it.
+    pub fn acquire(&self, ctx: &ProcCtx) {
+        loop {
+            {
+                let mut st = self.state.lock();
+                if st.count > 0 {
+                    st.count -= 1;
+                    return;
+                }
+            }
+            self.layer.ev_wait(ctx, self.ev);
+        }
+    }
+
+    /// Takes a permit if one is available without blocking.
+    pub fn try_acquire(&self) -> bool {
+        let mut st = self.state.lock();
+        if st.count > 0 {
+            st.count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns a permit and wakes blocked acquirers.
+    pub fn release(&self, ctx: &ProcCtx) {
+        self.state.lock().count += 1;
+        self.layer.ev_notify(ctx, self.ev);
+    }
+
+    /// Current number of available permits.
+    #[must_use]
+    pub fn permits(&self) -> u64 {
+        self.state.lock().count
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Queue
+// ---------------------------------------------------------------------------
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    capacity: Option<usize>,
+}
+
+/// A FIFO message queue channel (the `c_queue` of the paper's Figure 7),
+/// optionally bounded. `send` blocks while full; `recv` blocks while empty.
+///
+/// Clonable; all clones share the same state.
+pub struct Queue<T, L: SyncLayer> {
+    layer: L,
+    /// "Ready": notified when an item is enqueued.
+    erdy: L::Ev,
+    /// "Acknowledge": notified when an item is dequeued.
+    eack: L::Ev,
+    state: Arc<Mutex<QueueState<T>>>,
+}
+
+impl<T, L: SyncLayer> Clone for Queue<T, L> {
+    fn clone(&self) -> Self {
+        Queue {
+            layer: self.layer.clone(),
+            erdy: self.erdy,
+            eack: self.eack,
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+impl<T, L: SyncLayer> core::fmt::Debug for Queue<T, L> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("Queue")
+            .field("len", &st.items.len())
+            .field("capacity", &st.capacity)
+            .finish()
+    }
+}
+
+impl<T: Send + 'static, L: SyncLayer> Queue<T, L> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (use [`Handshake`] for rendezvous).
+    pub fn bounded(capacity: usize, layer: L) -> Self {
+        assert!(capacity > 0, "bounded queue capacity must be nonzero");
+        Self::with_capacity(Some(capacity), layer)
+    }
+
+    /// Creates a queue with no capacity limit (`send` never blocks).
+    pub fn unbounded(layer: L) -> Self {
+        Self::with_capacity(None, layer)
+    }
+
+    fn with_capacity(capacity: Option<usize>, layer: L) -> Self {
+        let erdy = layer.ev_new();
+        let eack = layer.ev_new();
+        Queue {
+            layer,
+            erdy,
+            eack,
+            state: Arc::new(Mutex::new(QueueState {
+                items: VecDeque::new(),
+                capacity,
+            })),
+        }
+    }
+
+    /// Enqueues `value`, blocking while the queue is full.
+    pub fn send(&self, ctx: &ProcCtx, value: T) {
+        let mut value = Some(value);
+        loop {
+            {
+                let mut st = self.state.lock();
+                let full = st.capacity.is_some_and(|c| st.items.len() >= c);
+                if !full {
+                    st.items.push_back(value.take().expect("value still pending"));
+                    break;
+                }
+            }
+            self.layer.ev_wait(ctx, self.eack);
+        }
+        self.layer.ev_notify(ctx, self.erdy);
+    }
+
+    /// Dequeues the next value, blocking while the queue is empty.
+    pub fn recv(&self, ctx: &ProcCtx) -> T {
+        loop {
+            {
+                let mut st = self.state.lock();
+                if let Some(v) = st.items.pop_front() {
+                    drop(st);
+                    self.layer.ev_notify(ctx, self.eack);
+                    return v;
+                }
+            }
+            self.layer.ev_wait(ctx, self.erdy);
+        }
+    }
+
+    /// Dequeues the next value if one is available, without blocking.
+    pub fn try_recv(&self, ctx: &ProcCtx) -> Option<T> {
+        let v = self.state.lock().items.pop_front();
+        if v.is_some() {
+            self.layer.ev_notify(ctx, self.eack);
+        }
+        v
+    }
+
+    /// Number of queued items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// Whether the queue holds no items.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.state.lock().items.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handshake
+// ---------------------------------------------------------------------------
+
+struct HandshakeState {
+    pending_senders: u64,
+    pending_receivers: u64,
+    grants_to_senders: u64,
+    grants_to_receivers: u64,
+}
+
+/// A rendezvous channel: `send` and `recv` both block until a matching
+/// partner arrives (double-handshake synchronization, the `c1`/`c2` channels
+/// of the paper's Figure 3 example).
+///
+/// Clonable; all clones share the same state.
+pub struct Handshake<L: SyncLayer> {
+    layer: L,
+    sender_wake: L::Ev,
+    receiver_wake: L::Ev,
+    state: Arc<Mutex<HandshakeState>>,
+}
+
+impl<L: SyncLayer> Clone for Handshake<L> {
+    fn clone(&self) -> Self {
+        Handshake {
+            layer: self.layer.clone(),
+            sender_wake: self.sender_wake,
+            receiver_wake: self.receiver_wake,
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+impl<L: SyncLayer> core::fmt::Debug for Handshake<L> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("Handshake")
+            .field("pending_senders", &st.pending_senders)
+            .field("pending_receivers", &st.pending_receivers)
+            .finish()
+    }
+}
+
+impl<L: SyncLayer> Handshake<L> {
+    /// Creates a rendezvous channel on the given sync layer.
+    pub fn new(layer: L) -> Self {
+        let sender_wake = layer.ev_new();
+        let receiver_wake = layer.ev_new();
+        Handshake {
+            layer,
+            sender_wake,
+            receiver_wake,
+            state: Arc::new(Mutex::new(HandshakeState {
+                pending_senders: 0,
+                pending_receivers: 0,
+                grants_to_senders: 0,
+                grants_to_receivers: 0,
+            })),
+        }
+    }
+
+    /// Blocks until a receiver has arrived (or is already waiting).
+    pub fn send(&self, ctx: &ProcCtx) {
+        {
+            let mut st = self.state.lock();
+            if st.pending_receivers > 0 {
+                st.pending_receivers -= 1;
+                st.grants_to_receivers += 1;
+                drop(st);
+                self.layer.ev_notify(ctx, self.receiver_wake);
+                return;
+            }
+            st.pending_senders += 1;
+        }
+        loop {
+            self.layer.ev_wait(ctx, self.sender_wake);
+            let mut st = self.state.lock();
+            if st.grants_to_senders > 0 {
+                st.grants_to_senders -= 1;
+                return;
+            }
+        }
+    }
+
+    /// Blocks until a sender has arrived (or is already waiting).
+    pub fn recv(&self, ctx: &ProcCtx) {
+        {
+            let mut st = self.state.lock();
+            if st.pending_senders > 0 {
+                st.pending_senders -= 1;
+                st.grants_to_senders += 1;
+                drop(st);
+                self.layer.ev_notify(ctx, self.sender_wake);
+                return;
+            }
+            st.pending_receivers += 1;
+        }
+        loop {
+            self.layer.ev_wait(ctx, self.receiver_wake);
+            let mut st = self.state.lock();
+            if st.grants_to_receivers > 0 {
+                st.grants_to_receivers -= 1;
+                return;
+            }
+        }
+    }
+}

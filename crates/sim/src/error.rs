@@ -1,0 +1,56 @@
+//! Error types returned by [`Simulation::run`](crate::Simulation::run).
+
+use core::fmt;
+
+/// Error produced when a simulation cannot run to completion.
+///
+/// Note that exhausting all activity while some processes are still blocked
+/// is *not* an error (server processes waiting forever are a normal modeling
+/// idiom); those processes are listed in
+/// [`Report::blocked`](crate::Report::blocked).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RunError {
+    /// A simulated process panicked; the simulation was torn down.
+    ProcessPanicked {
+        /// Name of the panicking process.
+        process: String,
+        /// Best-effort rendering of the panic payload.
+        message: String,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::ProcessPanicked { process, message } => {
+                write!(f, "process `{process}` panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_panic() {
+        let e = RunError::ProcessPanicked {
+            process: "task".into(),
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "process `task` panicked: boom");
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_err(RunError::ProcessPanicked {
+            process: "p".into(),
+            message: "m".into(),
+        });
+    }
+}

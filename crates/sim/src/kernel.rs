@@ -1,0 +1,905 @@
+//! The discrete-event simulation kernel.
+//!
+//! Semantics follow the SpecC/SystemC family of system-level design
+//! languages, which the RTOS model of the reproduced paper is layered on:
+//!
+//! * **Processes** are imperative bodies (closures) that suspend themselves
+//!   with [`ProcCtx::wait`] / [`ProcCtx::waitfor`] and compose with
+//!   [`ProcCtx::par`] fork/join.
+//! * **Events** are pure synchronization points. [`ProcCtx::notify`] marks an
+//!   event as notified for the *current delta cycle*; all processes waiting
+//!   on it at the end of that delta resume, then the notification expires.
+//! * **Time** advances in discrete steps to the earliest pending timed
+//!   wake-up once no ready process and no pending notification remains.
+//!
+//! Each process runs on its own OS thread, but the kernel enforces that at
+//! most one process executes at any host instant by strict token passing, so
+//! simulations are sequential and deterministic — the same co-routine model
+//! used by the SpecC reference simulator.
+
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::error::RunError;
+use crate::ids::{EventId, ProcessId};
+use crate::time::SimTime;
+use crate::trace::{RecordKind, SuspendReason, TraceConfig, TraceHandle};
+
+/// A process body: runs once on its own thread with a [`ProcCtx`].
+pub type ProcBody = Box<dyn FnOnce(&ProcCtx) + Send + 'static>;
+
+/// A named child process description for [`ProcCtx::par`],
+/// [`ProcCtx::spawn`] and [`Simulation::spawn`].
+///
+/// ```
+/// use sldl_sim::{Child, Simulation};
+///
+/// let mut sim = Simulation::new();
+/// sim.spawn(Child::new("hello", |_ctx| {}));
+/// let report = sim.run().unwrap();
+/// assert!(report.blocked.is_empty());
+/// ```
+pub struct Child {
+    pub(crate) name: String,
+    pub(crate) body: ProcBody,
+}
+
+impl Child {
+    /// Creates a child process description with a debug `name`.
+    pub fn new(name: impl Into<String>, body: impl FnOnce(&ProcCtx) + Send + 'static) -> Self {
+        Child {
+            name: name.into(),
+            body: Box::new(body),
+        }
+    }
+
+    /// The child's debug name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Consumes the child, returning its body — useful for executors that
+    /// wrap a process body with extra setup/teardown.
+    #[must_use]
+    pub fn into_body(self) -> ProcBody {
+        self.body
+    }
+}
+
+impl core::fmt::Debug for Child {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Child").field("name", &self.name).finish()
+    }
+}
+
+/// Outcome of a completed simulation run.
+///
+/// Like SpecC/SystemC, a simulation ends *normally* when no ready process,
+/// pending notification, or timed wake-up remains — even if some processes
+/// are still blocked (server loops waiting for events that will never come
+/// are a normal modeling idiom). Such processes are listed in [`blocked`].
+///
+/// [`blocked`]: Report::blocked
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Simulated time at which the run stopped.
+    pub end_time: SimTime,
+    /// Names of processes that never finished (blocked at end of run).
+    pub blocked: Vec<String>,
+}
+
+// ---------------------------------------------------------------------------
+// Kernel state
+// ---------------------------------------------------------------------------
+
+/// Resume token handed to a process thread.
+enum Token {
+    /// Run until the next suspension point.
+    Go,
+    /// Unwind and exit: the simulation is being torn down or the process was
+    /// cancelled.
+    Cancel,
+}
+
+/// Payload used to unwind a cancelled process thread.
+struct CancelUnwind;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    Ready,
+    Running,
+    /// Waiting for one of the events listed in `ProcEntry::waiting_on`.
+    WaitEvent,
+    /// Waiting for a timed wake-up.
+    WaitTime,
+    /// Waiting for `pending` par-children to finish.
+    Joining { pending: usize },
+    Finished,
+}
+
+struct ProcEntry {
+    name: String,
+    state: ProcState,
+    resume_tx: Sender<Token>,
+    handle: Option<JoinHandle<()>>,
+    /// Parent joining on this process through `par`, if any.
+    parent: Option<ProcessId>,
+    /// Events this process is currently registered on (for `wait_any`).
+    waiting_on: Vec<EventId>,
+    /// The event that woke this process, for `wait_any`/`wait_timeout`.
+    wake_cause: Option<EventId>,
+    /// Invalidates stale timed wake-ups after an event-based wake.
+    wake_gen: u64,
+    /// Set by `ProcCtx::cancel`: the thread must unwind without touching
+    /// kernel state (bookkeeping was already done by the canceller).
+    cancelled: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TimedKind {
+    Wake { pid: ProcessId, gen: u64 },
+    Notify(EventId),
+}
+
+struct TimedEntry {
+    time: SimTime,
+    seq: u64,
+    kind: TimedKind,
+}
+
+impl PartialEq for TimedEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for TimedEntry {}
+impl PartialOrd for TimedEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimedEntry {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+struct State {
+    now: SimTime,
+    procs: Vec<ProcEntry>,
+    ready: VecDeque<ProcessId>,
+    timed: BinaryHeap<TimedEntry>,
+    seq: u64,
+    /// Events notified in the current delta cycle, in notification order.
+    notified: Vec<EventId>,
+    waiters: HashMap<EventId, Vec<ProcessId>>,
+    event_alive: Vec<bool>,
+    live_procs: usize,
+    panic: Option<(String, String)>,
+    trace: Option<TraceHandle>,
+    trace_kernel: bool,
+}
+
+impl State {
+    fn record(&self, kind: RecordKind) {
+        if let Some(t) = &self.trace {
+            t.record(self.now, kind);
+        }
+    }
+
+    fn record_kernel(&self, kind: RecordKind) {
+        if self.trace_kernel {
+            self.record(kind);
+        }
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Moves a blocked process to the ready queue.
+    fn wake(&mut self, pid: ProcessId, cause: Option<EventId>) {
+        let entry = &mut self.procs[pid.index()];
+        debug_assert!(matches!(
+            entry.state,
+            ProcState::WaitEvent | ProcState::WaitTime
+        ));
+        entry.state = ProcState::Ready;
+        entry.wake_cause = cause;
+        entry.wake_gen += 1;
+        let waiting = std::mem::take(&mut entry.waiting_on);
+        for e in waiting {
+            if let Some(ws) = self.waiters.get_mut(&e) {
+                ws.retain(|&p| p != pid);
+            }
+        }
+        self.ready.push_back(pid);
+    }
+
+    /// Marks `pid` finished and propagates par-join bookkeeping.
+    fn finish(&mut self, pid: ProcessId) {
+        let entry = &mut self.procs[pid.index()];
+        if entry.state == ProcState::Finished {
+            return;
+        }
+        entry.state = ProcState::Finished;
+        self.live_procs -= 1;
+        let parent = entry.parent.take();
+        self.record_kernel(RecordKind::ProcessFinished { pid });
+        if let Some(parent) = parent {
+            let pentry = &mut self.procs[parent.index()];
+            if let ProcState::Joining { pending } = &mut pentry.state {
+                *pending -= 1;
+                if *pending == 0 {
+                    pentry.state = ProcState::Ready;
+                    self.ready.push_back(parent);
+                }
+            }
+        }
+    }
+}
+
+pub(crate) struct Shared {
+    state: Mutex<State>,
+    /// Processes ping the kernel here after updating their state.
+    kernel_tx: Sender<()>,
+}
+
+impl Shared {
+    /// Allocates an event (used by `SldlSync` so channels can be built
+    /// outside of a running process).
+    pub(crate) fn alloc_event(&self) -> EventId {
+        alloc_event(&mut self.state.lock())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulation
+// ---------------------------------------------------------------------------
+
+/// Owner of a discrete-event simulation: spawn root processes, create
+/// events, then [`run`](Simulation::run).
+///
+/// ```
+/// use sldl_sim::{Child, Simulation};
+/// use std::time::Duration;
+///
+/// let mut sim = Simulation::new();
+/// sim.spawn(Child::new("main", |ctx| {
+///     ctx.waitfor(Duration::from_micros(500));
+///     assert_eq!(ctx.now().as_micros(), 500);
+/// }));
+/// let report = sim.run().unwrap();
+/// assert_eq!(report.end_time.as_micros(), 500);
+/// ```
+pub struct Simulation {
+    shared: Arc<Shared>,
+    kernel_rx: Receiver<()>,
+    torn_down: bool,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        let (kernel_tx, kernel_rx) = unbounded();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                now: SimTime::ZERO,
+                procs: Vec::new(),
+                ready: VecDeque::new(),
+                timed: BinaryHeap::new(),
+                seq: 0,
+                notified: Vec::new(),
+                waiters: HashMap::new(),
+                event_alive: Vec::new(),
+                live_procs: 0,
+                panic: None,
+                trace: None,
+                trace_kernel: false,
+            }),
+            kernel_tx,
+        });
+        Simulation {
+            shared,
+            kernel_rx,
+            torn_down: false,
+        }
+    }
+
+    /// Attaches a trace recorder and returns a handle for later analysis.
+    ///
+    /// Call before [`run`](Simulation::run); records produced by processes
+    /// via [`ProcCtx::record`] and (if enabled) by the kernel are appended
+    /// to the returned handle.
+    pub fn enable_trace(&mut self, config: TraceConfig) -> TraceHandle {
+        let handle = TraceHandle::new();
+        let mut st = self.shared.state.lock();
+        st.trace = Some(handle.clone());
+        st.trace_kernel = config.kernel_records;
+        handle
+    }
+
+    /// Allocates a fresh event before the simulation starts.
+    pub fn event_new(&mut self) -> EventId {
+        alloc_event(&mut self.shared.state.lock())
+    }
+
+    /// Returns the raw SLDL synchronization layer for building channels
+    /// (see [`crate::channel`]).
+    #[must_use]
+    pub fn sync_layer(&self) -> crate::channel::SldlSync {
+        crate::channel::SldlSync {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Spawns a root process, ready at time zero.
+    ///
+    /// Returns the new process's id.
+    pub fn spawn(&mut self, child: Child) -> ProcessId {
+        let mut st = self.shared.state.lock();
+        spawn_locked(&self.shared, &mut st, child, None)
+    }
+
+    /// Runs the simulation until no activity remains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::ProcessPanicked`] if any simulated process
+    /// panicked; the simulation is torn down in that case.
+    pub fn run(self) -> Result<Report, RunError> {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs the simulation, stopping once the next timed activity would be
+    /// later than `until` (pending work at earlier times is completed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::ProcessPanicked`] if any simulated process
+    /// panicked.
+    pub fn run_until(mut self, until: SimTime) -> Result<Report, RunError> {
+        let result = self.run_loop(until);
+        self.teardown();
+        match result {
+            Err(e) => Err(e),
+            Ok(end_time) => {
+                let st = self.shared.state.lock();
+                let blocked = st
+                    .procs
+                    .iter()
+                    .filter(|p| p.state != ProcState::Finished)
+                    .map(|p| p.name.clone())
+                    .collect();
+                Ok(Report { end_time, blocked })
+            }
+        }
+    }
+
+    fn run_loop(&mut self, until: SimTime) -> Result<SimTime, RunError> {
+        loop {
+            let action = {
+                let mut st = self.shared.state.lock();
+                if let Some((process, message)) = st.panic.take() {
+                    return Err(RunError::ProcessPanicked { process, message });
+                }
+                if let Some(pid) = st.ready.pop_front() {
+                    let entry = &mut st.procs[pid.index()];
+                    entry.state = ProcState::Running;
+                    let tx = entry.resume_tx.clone();
+                    st.record_kernel(RecordKind::ProcessResumed { pid });
+                    Some(tx)
+                } else if !st.notified.is_empty() {
+                    // Delta boundary: deliver notifications in order.
+                    let notified = std::mem::take(&mut st.notified);
+                    for e in notified {
+                        if let Some(ws) = st.waiters.remove(&e) {
+                            for pid in ws {
+                                // A waiter may already have been woken by an
+                                // earlier event in this same delta.
+                                if st.procs[pid.index()].state == ProcState::WaitEvent {
+                                    st.wake(pid, Some(e));
+                                }
+                            }
+                        }
+                    }
+                    None
+                } else if let Some(top) = st.timed.peek() {
+                    if top.time > until {
+                        return Ok(until);
+                    }
+                    let now = top.time;
+                    st.now = now;
+                    while let Some(top) = st.timed.peek() {
+                        if top.time != now {
+                            break;
+                        }
+                        let entry = st.timed.pop().expect("peeked entry");
+                        match entry.kind {
+                            TimedKind::Wake { pid, gen } => {
+                                let p = &st.procs[pid.index()];
+                                let fresh = p.wake_gen == gen
+                                    && matches!(
+                                        p.state,
+                                        ProcState::WaitTime | ProcState::WaitEvent
+                                    );
+                                if fresh {
+                                    st.wake(pid, None);
+                                }
+                            }
+                            TimedKind::Notify(e) => {
+                                if st.event_alive.get(e.index()) == Some(&true) {
+                                    st.record_kernel(RecordKind::EventNotified { event: e });
+                                    st.notified.push(e);
+                                }
+                            }
+                        }
+                    }
+                    None
+                } else {
+                    return Ok(st.now);
+                }
+            };
+            if let Some(tx) = action {
+                // Hand the token to the process and wait for it to yield.
+                tx.send(Token::Go).expect("process thread alive");
+                self.kernel_rx.recv().expect("process thread pings kernel");
+            }
+        }
+    }
+
+    /// Cancels and joins every unfinished process thread. Idempotent.
+    fn teardown(&mut self) {
+        if self.torn_down {
+            return;
+        }
+        self.torn_down = true;
+        let mut handles = Vec::new();
+        {
+            let mut st = self.shared.state.lock();
+            let ids: Vec<usize> = (0..st.procs.len()).collect();
+            for i in ids {
+                let alive = st.procs[i].state != ProcState::Finished;
+                if alive {
+                    st.procs[i].cancelled = true;
+                    // Ignore send failure: the thread may have exited after a
+                    // panic without consuming its token.
+                    let _ = st.procs[i].resume_tx.send(Token::Cancel);
+                }
+                if let Some(h) = st.procs[i].handle.take() {
+                    handles.push(h);
+                }
+            }
+        }
+        for h in handles {
+            // A cancelled process unwinds via CancelUnwind, which the harness
+            // catches; a panicked process already recorded its message.
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Simulation {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+impl core::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let st = self.shared.state.lock();
+        f.debug_struct("Simulation")
+            .field("now", &st.now)
+            .field("processes", &st.procs.len())
+            .field("live", &st.live_procs)
+            .finish()
+    }
+}
+
+fn alloc_event(st: &mut State) -> EventId {
+    let id = EventId(u32::try_from(st.event_alive.len()).expect("event ids exhausted"));
+    st.event_alive.push(true);
+    id
+}
+
+/// Creates the process entry and thread for `child`. Caller holds the lock.
+fn spawn_locked(
+    shared: &Arc<Shared>,
+    st: &mut State,
+    child: Child,
+    parent: Option<ProcessId>,
+) -> ProcessId {
+    let pid = ProcessId(u32::try_from(st.procs.len()).expect("process ids exhausted"));
+    let (resume_tx, resume_rx) = bounded(1);
+    st.procs.push(ProcEntry {
+        name: child.name.clone(),
+        state: ProcState::Ready,
+        resume_tx,
+        handle: None,
+        parent,
+        waiting_on: Vec::new(),
+        wake_cause: None,
+        wake_gen: 0,
+        cancelled: false,
+    });
+    st.live_procs += 1;
+    st.ready.push_back(pid);
+    st.record_kernel(RecordKind::ProcessSpawned {
+        pid,
+        name: child.name.clone(),
+    });
+
+    let ctx = ProcCtx {
+        shared: Arc::clone(shared),
+        pid,
+        name: child.name.clone(),
+        resume_rx,
+    };
+    let body = child.body;
+    let handle = std::thread::Builder::new()
+        .name(format!("sim-{}", child.name))
+        .spawn(move || run_process(ctx, body))
+        .expect("spawn simulation process thread");
+    st.procs[pid.index()].handle = Some(handle);
+    pid
+}
+
+/// Thread harness: waits for the first token, runs the body, and performs
+/// finish/panic bookkeeping.
+fn run_process(ctx: ProcCtx, body: ProcBody) {
+    match ctx.resume_rx.recv() {
+        Ok(Token::Go) => {}
+        Ok(Token::Cancel) | Err(_) => return,
+    }
+    let result = panic::catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+    match result {
+        Ok(()) => {
+            let mut st = ctx.shared.state.lock();
+            st.finish(ctx.pid);
+            drop(st);
+            let _ = ctx.shared.kernel_tx.send(());
+        }
+        Err(payload) => {
+            // Note `&*payload`: coercing `&Box<dyn Any>` directly would wrap
+            // the box itself and every downcast would fail.
+            let payload: &(dyn std::any::Any + Send) = &*payload;
+            if payload.downcast_ref::<CancelUnwind>().is_some() {
+                // Cancelled: bookkeeping was done by the canceller (or by
+                // teardown); just exit the thread.
+                return;
+            }
+            let message = panic_message(payload);
+            let mut st = ctx.shared.state.lock();
+            if st.panic.is_none() {
+                st.panic = Some((ctx.name.clone(), message));
+            }
+            st.finish(ctx.pid);
+            drop(st);
+            let _ = ctx.shared.kernel_tx.send(());
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ProcCtx
+// ---------------------------------------------------------------------------
+
+/// The execution context handed to every simulated process.
+///
+/// All suspension primitives (`wait*`, `waitfor`, `par`) must only be called
+/// from the process's own thread, which is guaranteed when using the `&self`
+/// reference passed to the process body.
+pub struct ProcCtx {
+    shared: Arc<Shared>,
+    pid: ProcessId,
+    name: String,
+    resume_rx: Receiver<Token>,
+}
+
+impl core::fmt::Debug for ProcCtx {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ProcCtx")
+            .field("pid", &self.pid)
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl ProcCtx {
+    /// This process's id.
+    #[must_use]
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// This process's debug name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.shared.state.lock().now
+    }
+
+    /// Appends a record to the attached trace (no-op without a trace).
+    pub fn record(&self, kind: RecordKind) {
+        let st = self.shared.state.lock();
+        st.record(kind);
+    }
+
+    /// Returns the raw SLDL synchronization layer for building channels
+    /// (see [`crate::channel`]).
+    #[must_use]
+    pub fn sync_layer(&self) -> crate::channel::SldlSync {
+        crate::channel::SldlSync {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Allocates a fresh event.
+    pub fn event_new(&self) -> EventId {
+        alloc_event(&mut self.shared.state.lock())
+    }
+
+    /// Deletes an event. Processes still waiting on it will never be woken
+    /// by it again (they appear in [`Report::blocked`] unless woken
+    /// otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event was already deleted.
+    pub fn event_del(&self, event: EventId) {
+        let mut st = self.shared.state.lock();
+        let alive = st
+            .event_alive
+            .get_mut(event.index())
+            .unwrap_or_else(|| panic!("{event} was never created"));
+        assert!(*alive, "{event} deleted twice");
+        *alive = false;
+    }
+
+    /// Notifies `event` for the current delta cycle: every process waiting
+    /// on it when the running processes of this delta have all yielded will
+    /// resume; then the notification expires (SpecC `notify` semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event` has been deleted.
+    pub fn notify(&self, event: EventId) {
+        let mut st = self.shared.state.lock();
+        assert!(
+            st.event_alive.get(event.index()) == Some(&true),
+            "notify on dead {event}"
+        );
+        st.record_kernel(RecordKind::EventNotified { event });
+        if !st.notified.contains(&event) {
+            st.notified.push(event);
+        }
+    }
+
+    /// Schedules a notification of `event` to occur `delay` from now
+    /// (SpecC timed `notify`). A zero delay notifies in the next delta of
+    /// the current time step.
+    pub fn notify_delayed(&self, event: EventId, delay: Duration) {
+        let mut st = self.shared.state.lock();
+        let time = st.now + delay;
+        let seq = st.next_seq();
+        st.timed.push(TimedEntry {
+            time,
+            seq,
+            kind: TimedKind::Notify(event),
+        });
+    }
+
+    /// Suspends until `event` is notified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event` has been deleted.
+    pub fn wait(&self, event: EventId) {
+        let woke = self.wait_any(&[event]);
+        debug_assert_eq!(woke, event);
+    }
+
+    /// Suspends until any of `events` is notified, returning the event that
+    /// woke this process. If several of them fire in the same delta, the
+    /// earliest-notified one is reported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` is empty or contains a deleted event.
+    pub fn wait_any(&self, events: &[EventId]) -> EventId {
+        assert!(!events.is_empty(), "wait_any on empty event set");
+        self.block_on_events(events, None)
+            .expect("no timeout was set")
+    }
+
+    /// Suspends until `event` is notified or `timeout` elapses.
+    ///
+    /// Returns `Some(event)` if the event fired, `None` on timeout.
+    pub fn wait_timeout(&self, event: EventId, timeout: Duration) -> Option<EventId> {
+        self.block_on_events(&[event], Some(timeout))
+    }
+
+    fn block_on_events(&self, events: &[EventId], timeout: Option<Duration>) -> Option<EventId> {
+        {
+            let mut st = self.shared.state.lock();
+            for &e in events {
+                assert!(
+                    st.event_alive.get(e.index()) == Some(&true),
+                    "wait on dead {e}"
+                );
+                st.waiters.entry(e).or_default().push(self.pid);
+            }
+            let entry = &mut st.procs[self.pid.index()];
+            entry.state = ProcState::WaitEvent;
+            entry.waiting_on = events.to_vec();
+            entry.wake_cause = None;
+            if let Some(d) = timeout {
+                let gen = st.procs[self.pid.index()].wake_gen;
+                let time = st.now + d;
+                let seq = st.next_seq();
+                st.timed.push(TimedEntry {
+                    time,
+                    seq,
+                    kind: TimedKind::Wake {
+                        pid: self.pid,
+                        gen,
+                    },
+                });
+            }
+            st.record_kernel(RecordKind::ProcessSuspended {
+                pid: self.pid,
+                reason: SuspendReason::WaitEvent,
+            });
+        }
+        self.yield_to_kernel();
+        self.shared.state.lock().procs[self.pid.index()].wake_cause
+    }
+
+    /// Suspends for `delay` of simulated time (the SLDL `waitfor`).
+    ///
+    /// `waitfor(Duration::ZERO)` suspends until all remaining delta cycles
+    /// of the current time step have been processed.
+    pub fn waitfor(&self, delay: Duration) {
+        {
+            let mut st = self.shared.state.lock();
+            let gen = st.procs[self.pid.index()].wake_gen;
+            let time = st.now + delay;
+            let seq = st.next_seq();
+            st.timed.push(TimedEntry {
+                time,
+                seq,
+                kind: TimedKind::Wake {
+                    pid: self.pid,
+                    gen,
+                },
+            });
+            let entry = &mut st.procs[self.pid.index()];
+            entry.state = ProcState::WaitTime;
+            entry.wake_cause = None;
+            st.record_kernel(RecordKind::ProcessSuspended {
+                pid: self.pid,
+                reason: SuspendReason::WaitTime,
+            });
+        }
+        self.yield_to_kernel();
+    }
+
+    /// Runs `children` in parallel and suspends until **all** of them have
+    /// finished (the SLDL `par` composition).
+    ///
+    /// An empty list returns immediately.
+    pub fn par(&self, children: Vec<Child>) {
+        if children.is_empty() {
+            return;
+        }
+        {
+            let mut st = self.shared.state.lock();
+            let n = children.len();
+            for child in children {
+                spawn_locked(&self.shared, &mut st, child, Some(self.pid));
+            }
+            st.procs[self.pid.index()].state = ProcState::Joining { pending: n };
+            st.record_kernel(RecordKind::ProcessSuspended {
+                pid: self.pid,
+                reason: SuspendReason::Join,
+            });
+        }
+        self.yield_to_kernel();
+    }
+
+    /// Spawns a detached process (fire-and-forget), returning its id.
+    ///
+    /// The new process becomes ready in the current delta cycle.
+    pub fn spawn(&self, child: Child) -> ProcessId {
+        let mut st = self.shared.state.lock();
+        spawn_locked(&self.shared, &mut st, child, None)
+    }
+
+    /// Cancels a *blocked* process: it is treated as finished (par-joins on
+    /// it complete) and its thread unwinds without running the rest of its
+    /// body. Used to model OS-level `task_kill`.
+    ///
+    /// Cancelling an already-finished process is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is this process itself (finish by returning instead)
+    /// or if the target is currently running (impossible for well-formed
+    /// single-processor models).
+    pub fn cancel(&self, pid: ProcessId) {
+        assert_ne!(pid, self.pid, "a process cannot cancel itself");
+        let mut st = self.shared.state.lock();
+        let entry = &mut st.procs[pid.index()];
+        match entry.state {
+            ProcState::Finished => return,
+            ProcState::Running => panic!("cannot cancel the running process {pid}"),
+            _ => {}
+        }
+        entry.cancelled = true;
+        entry.wake_gen += 1; // invalidate stale timed wake-ups
+        let waiting = std::mem::take(&mut entry.waiting_on);
+        let tx = entry.resume_tx.clone();
+        for e in waiting {
+            if let Some(ws) = st.waiters.get_mut(&e) {
+                ws.retain(|&p| p != pid);
+            }
+        }
+        st.ready.retain(|&p| p != pid);
+        st.finish(pid);
+        drop(st);
+        // Wake the thread so it can unwind; it will not touch kernel state.
+        let _ = tx.send(Token::Cancel);
+    }
+
+    /// Yields to the kernel and blocks until resumed.
+    ///
+    /// # Panics (internal)
+    ///
+    /// Unwinds with a cancellation payload if the simulation is torn down
+    /// while this process is blocked.
+    fn yield_to_kernel(&self) {
+        self.shared
+            .kernel_tx
+            .send(())
+            .expect("kernel receiver alive");
+        match self.resume_rx.recv() {
+            Ok(Token::Go) => {}
+            Ok(Token::Cancel) | Err(_) => {
+                // `resume_unwind` (not `panic_any`) so the global panic hook
+                // does not fire for this expected control-flow unwind.
+                panic::resume_unwind(Box::new(CancelUnwind));
+            }
+        }
+    }
+}

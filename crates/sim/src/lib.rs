@@ -1,0 +1,65 @@
+//! # sldl-sim — a discrete-event SLDL simulation kernel
+//!
+//! This crate is the substrate for the reproduction of *RTOS Modeling for
+//! System Level Design* (Gerstlauer, Yu, Gajski — DATE 2003). The paper
+//! builds its abstract RTOS model *on top of* an existing system-level
+//! design language (SpecC); this crate provides the equivalent simulation
+//! kernel: processes, delta-cycle events, timed waits (`waitfor`), parallel
+//! composition (`par`), channels, and trace recording.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sldl_sim::{Child, Simulation};
+//! use std::time::Duration;
+//!
+//! let mut sim = Simulation::new();
+//! let done = sim.event_new();
+//!
+//! sim.spawn(Child::new("producer", move |ctx| {
+//!     ctx.waitfor(Duration::from_micros(100));
+//!     ctx.notify(done);
+//! }));
+//! sim.spawn(Child::new("consumer", move |ctx| {
+//!     ctx.wait(done);
+//!     assert_eq!(ctx.now().as_micros(), 100);
+//! }));
+//!
+//! let report = sim.run().unwrap();
+//! assert!(report.blocked.is_empty());
+//! ```
+//!
+//! ## Semantics
+//!
+//! * At most one process executes at a time (strict token passing between
+//!   the kernel and process threads), so simulations are deterministic.
+//! * [`ProcCtx::notify`] has SpecC delta-cycle semantics: every process
+//!   waiting on the event when the current delta's runnable processes have
+//!   all yielded is resumed; then the notification expires. A `notify` with
+//!   no waiter is lost — exactly the hazard real SLDL models must handle.
+//! * Time advances to the earliest pending `waitfor`/timed notification
+//!   once no runnable process and no pending notification remains.
+//!
+//! ## Layering
+//!
+//! Channels in [`channel`] are generic over [`channel::SyncLayer`], so the
+//! RTOS model crate can substitute its own event service — the literal
+//! Figure 7 refinement from the paper.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod channel;
+mod error;
+mod ids;
+mod kernel;
+pub mod trace;
+
+mod time;
+
+pub use channel::{Handshake, Queue, Semaphore, SldlSync, SyncLayer};
+pub use error::RunError;
+pub use ids::{EventId, ProcessId};
+pub use kernel::{Child, ProcBody, ProcCtx, Report, Simulation};
+pub use time::SimTime;
+pub use trace::{Record, RecordKind, TraceConfig, TraceHandle};

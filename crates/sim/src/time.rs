@@ -1,0 +1,224 @@
+//! Simulated time.
+//!
+//! The kernel advances a discrete logical clock measured in nanoseconds.
+//! [`SimTime`] is an *instant* on that clock; durations are expressed with
+//! [`std::time::Duration`], so the usual constructors
+//! (`Duration::from_micros(500)`, …) work directly with `waitfor`-style
+//! primitives.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// An instant of simulated (logical) time, in nanoseconds since the start of
+/// the simulation.
+///
+/// `SimTime` is a transparent newtype over `u64` ([C-NEWTYPE]); arithmetic
+/// with [`Duration`] is provided so delay math reads naturally:
+///
+/// ```
+/// use sldl_sim::SimTime;
+/// use std::time::Duration;
+///
+/// let t = SimTime::ZERO + Duration::from_micros(500);
+/// assert_eq!(t.as_nanos(), 500_000);
+/// assert_eq!(t - SimTime::ZERO, Duration::from_micros(500));
+/// ```
+///
+/// [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant; used as an "infinitely far" bound.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `nanos` nanoseconds after the simulation start.
+    #[must_use]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates an instant `micros` microseconds after the simulation start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the nanosecond clock (≈ 584 years).
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        match micros.checked_mul(1_000) {
+            Some(ns) => SimTime(ns),
+            None => panic!("SimTime::from_micros overflow"),
+        }
+    }
+
+    /// Creates an instant `millis` milliseconds after the simulation start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the nanosecond clock.
+    #[must_use]
+    pub const fn from_millis(millis: u64) -> Self {
+        match millis.checked_mul(1_000_000) {
+            Some(ns) => SimTime(ns),
+            None => panic!("SimTime::from_millis overflow"),
+        }
+    }
+
+    /// Nanoseconds since the simulation start.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds since the simulation start (truncating).
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole milliseconds since the simulation start (truncating).
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds since the simulation start, as a float (for reporting).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Checked addition of a duration; `None` on overflow.
+    #[must_use]
+    pub fn checked_add(self, d: Duration) -> Option<SimTime> {
+        let ns = u64::try_from(d.as_nanos()).ok()?;
+        self.0.checked_add(ns).map(SimTime)
+    }
+
+    /// The duration elapsed since `earlier`, saturating to zero if `earlier`
+    /// is actually later than `self`.
+    #[must_use]
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+
+    /// # Panics
+    ///
+    /// Panics if the resulting instant overflows the nanosecond clock.
+    fn add(self, d: Duration) -> SimTime {
+        self.checked_add(d).expect("SimTime overflow")
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, d: Duration) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration::from_nanos(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns == 0 {
+            write!(f, "0s")
+        } else if ns.is_multiple_of(1_000_000_000) {
+            write!(f, "{}s", ns / 1_000_000_000)
+        } else if ns.is_multiple_of(1_000_000) {
+            write!(f, "{}ms", ns / 1_000_000)
+        } else if ns.is_multiple_of(1_000) {
+            write!(f, "{}us", ns / 1_000)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_micros(1).as_nanos(), 1_000);
+        assert_eq!(SimTime::from_millis(1).as_nanos(), 1_000_000);
+        assert_eq!(SimTime::from_nanos(42).as_nanos(), 42);
+    }
+
+    #[test]
+    fn add_duration() {
+        let t = SimTime::ZERO + Duration::from_millis(3);
+        assert_eq!(t, SimTime::from_millis(3));
+        let mut u = t;
+        u += Duration::from_micros(5);
+        assert_eq!(u.as_micros(), 3_005);
+    }
+
+    #[test]
+    fn subtraction_yields_duration() {
+        let a = SimTime::from_micros(700);
+        let b = SimTime::from_micros(200);
+        assert_eq!(a - b, Duration::from_micros(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = SimTime::ZERO - SimTime::from_nanos(1);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = SimTime::from_micros(10);
+        let b = SimTime::from_micros(20);
+        assert_eq!(a.saturating_since(b), Duration::ZERO);
+        assert_eq!(b.saturating_since(a), Duration::from_micros(10));
+    }
+
+    #[test]
+    fn checked_add_overflow() {
+        assert!(SimTime::MAX.checked_add(Duration::from_nanos(1)).is_none());
+        assert_eq!(
+            SimTime::ZERO.checked_add(Duration::from_nanos(7)),
+            Some(SimTime::from_nanos(7))
+        );
+    }
+
+    #[test]
+    fn display_picks_natural_unit() {
+        assert_eq!(SimTime::ZERO.to_string(), "0s");
+        assert_eq!(SimTime::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimTime::from_micros(12).to_string(), "12us");
+        assert_eq!(SimTime::from_millis(12).to_string(), "12ms");
+        assert_eq!(SimTime::from_millis(12_000).to_string(), "12s");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_nanos(1) < SimTime::from_nanos(2));
+        assert!(SimTime::MAX > SimTime::from_millis(1));
+    }
+}

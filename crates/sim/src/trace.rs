@@ -1,0 +1,525 @@
+//! Simulation trace recording and analysis.
+//!
+//! A [`TraceHandle`] collects time-stamped [`Record`]s during a run. The
+//! kernel can contribute low-level scheduling records (opt-in through
+//! [`TraceConfig::kernel_records`]); models contribute semantic records —
+//! most importantly *spans* (`SpanBegin`/`SpanEnd` on a named track), which
+//! the analysis functions turn into execution segments like the simulation
+//! traces in Figure 8 of the paper.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::ids::{EventId, ProcessId};
+use crate::time::SimTime;
+
+/// Why a process was suspended (kernel-level record detail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SuspendReason {
+    /// Blocked in `wait`/`wait_any`/`wait_timeout`.
+    WaitEvent,
+    /// Blocked in `waitfor`.
+    WaitTime,
+    /// Blocked joining `par` children.
+    Join,
+}
+
+/// One kind of trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[non_exhaustive]
+pub enum RecordKind {
+    /// A process was created (kernel record).
+    ProcessSpawned {
+        /// New process id.
+        pid: ProcessId,
+        /// Debug name.
+        name: String,
+    },
+    /// A process received the run token (kernel record).
+    ProcessResumed {
+        /// Resumed process.
+        pid: ProcessId,
+    },
+    /// A process suspended itself (kernel record).
+    ProcessSuspended {
+        /// Suspended process.
+        pid: ProcessId,
+        /// What it is blocked on.
+        reason: SuspendReason,
+    },
+    /// A process finished (kernel record).
+    ProcessFinished {
+        /// Finished process.
+        pid: ProcessId,
+    },
+    /// An event was notified (kernel record).
+    EventNotified {
+        /// Notified event.
+        event: EventId,
+    },
+    /// A point annotation on a named track (e.g. "interrupt").
+    Marker {
+        /// Track (row) the marker belongs to.
+        track: String,
+        /// Marker label.
+        label: String,
+    },
+    /// Start of an execution segment on a named track.
+    SpanBegin {
+        /// Track (row) the segment belongs to.
+        track: String,
+        /// Segment label (e.g. the delay annotation name "d6").
+        label: String,
+    },
+    /// End of the currently open segment on a named track.
+    SpanEnd {
+        /// Track (row) whose segment closes.
+        track: String,
+    },
+}
+
+/// A time-stamped trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Record {
+    /// Simulated time of the record.
+    pub time: SimTime,
+    /// What happened.
+    pub kind: RecordKind,
+}
+
+/// Configuration for [`Simulation::enable_trace`](crate::Simulation::enable_trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceConfig {
+    /// Also record kernel-level scheduling records (spawn/resume/suspend/
+    /// finish/notify). These are voluminous; semantic spans and markers are
+    /// always recorded.
+    pub kernel_records: bool,
+}
+
+/// Shared, clonable handle to a trace record buffer.
+#[derive(Debug, Clone, Default)]
+pub struct TraceHandle {
+    records: Arc<Mutex<Vec<Record>>>,
+}
+
+impl TraceHandle {
+    /// Creates an empty, detached trace buffer (usually obtained from
+    /// [`Simulation::enable_trace`](crate::Simulation::enable_trace) instead).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn record(&self, time: SimTime, kind: RecordKind) {
+        self.records.lock().push(Record { time, kind });
+    }
+
+    /// Number of records collected so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// Whether no records have been collected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+
+    /// Copies the records collected so far.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Record> {
+        self.records.lock().clone()
+    }
+}
+
+/// One contiguous execution segment on a track, produced by
+/// [`segments`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Segment {
+    /// Track the segment belongs to.
+    pub track: String,
+    /// Label given at `SpanBegin`.
+    pub label: String,
+    /// Segment start time.
+    pub start: SimTime,
+    /// Segment end time.
+    pub end: SimTime,
+}
+
+impl Segment {
+    /// Length of the segment.
+    #[must_use]
+    pub fn duration(&self) -> Duration {
+        self.end.saturating_since(self.start)
+    }
+
+    /// Whether this segment overlaps `other` in time (shared boundary
+    /// points do not count as overlap).
+    #[must_use]
+    pub fn overlaps(&self, other: &Segment) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// Extracts execution segments per track from span records.
+///
+/// Spans still open at the end of the records are closed at the time of the
+/// last record. Unmatched `SpanEnd`s are ignored.
+///
+/// ```
+/// use sldl_sim::trace::{segments, RecordKind, TraceHandle};
+/// use sldl_sim::SimTime;
+///
+/// let t = TraceHandle::new();
+/// t.record(SimTime::from_micros(0), RecordKind::SpanBegin {
+///     track: "task".into(), label: "d1".into() });
+/// t.record(SimTime::from_micros(5), RecordKind::SpanEnd { track: "task".into() });
+/// let segs = segments(&t.snapshot());
+/// assert_eq!(segs["task"].len(), 1);
+/// assert_eq!(segs["task"][0].duration().as_micros(), 5);
+/// ```
+#[must_use]
+pub fn segments(records: &[Record]) -> HashMap<String, Vec<Segment>> {
+    let mut open: HashMap<String, (String, SimTime)> = HashMap::new();
+    let mut out: HashMap<String, Vec<Segment>> = HashMap::new();
+    let mut last_time = SimTime::ZERO;
+    for r in records {
+        last_time = last_time.max(r.time);
+        match &r.kind {
+            RecordKind::SpanBegin { track, label } => {
+                // Implicitly close a dangling open span on the same track.
+                if let Some((old_label, start)) = open.remove(track) {
+                    out.entry(track.clone()).or_default().push(Segment {
+                        track: track.clone(),
+                        label: old_label,
+                        start,
+                        end: r.time,
+                    });
+                }
+                open.insert(track.clone(), (label.clone(), r.time));
+            }
+            RecordKind::SpanEnd { track } => {
+                if let Some((label, start)) = open.remove(track) {
+                    out.entry(track.clone()).or_default().push(Segment {
+                        track: track.clone(),
+                        label,
+                        start,
+                        end: r.time,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    for (track, (label, start)) in open {
+        out.entry(track.clone()).or_default().push(Segment {
+            track,
+            label,
+            start,
+            end: last_time,
+        });
+    }
+    for segs in out.values_mut() {
+        segs.sort_by_key(|s| (s.start, s.end));
+    }
+    out
+}
+
+/// All markers on a given track, as `(time, label)` pairs in time order.
+#[must_use]
+pub fn markers(records: &[Record], track: &str) -> Vec<(SimTime, String)> {
+    let mut out: Vec<(SimTime, String)> = records
+        .iter()
+        .filter_map(|r| match &r.kind {
+            RecordKind::Marker { track: t, label } if t == track => {
+                Some((r.time, label.clone()))
+            }
+            _ => None,
+        })
+        .collect();
+    out.sort_by_key(|(t, _)| *t);
+    out
+}
+
+/// Total simulated time during which any segment of track `a` overlaps any
+/// segment of track `b`. Nonzero overlap between two tasks proves truly
+/// parallel execution (paper Fig. 8(a)); an RTOS-scheduled model must show
+/// zero overlap (Fig. 8(b)).
+#[must_use]
+pub fn overlap(a: &[Segment], b: &[Segment]) -> Duration {
+    let mut total = Duration::ZERO;
+    for x in a {
+        for y in b {
+            if x.overlaps(y) {
+                let start = x.start.max(y.start);
+                let end = x.end.min(y.end);
+                total += end.saturating_since(start);
+            }
+        }
+    }
+    total
+}
+
+/// Serializes records as CSV (`time_ns,kind,track,label,id`) for external
+/// plotting tools. Kernel record ids (`pid`/`event`) land in the `id`
+/// column; span/marker records fill `track` and `label`.
+#[must_use]
+pub fn to_csv(records: &[Record]) -> String {
+    let mut out = String::from("time_ns,kind,track,label,id\n");
+    for r in records {
+        let t = r.time.as_nanos();
+        let (kind, track, label, id) = match &r.kind {
+            RecordKind::ProcessSpawned { pid, name } => {
+                ("process_spawned", "", name.as_str(), pid.index() as i64)
+            }
+            RecordKind::ProcessResumed { pid } => ("process_resumed", "", "", pid.index() as i64),
+            RecordKind::ProcessSuspended { pid, reason } => (
+                match reason {
+                    SuspendReason::WaitEvent => "suspended_wait_event",
+                    SuspendReason::WaitTime => "suspended_wait_time",
+                    SuspendReason::Join => "suspended_join",
+                },
+                "",
+                "",
+                pid.index() as i64,
+            ),
+            RecordKind::ProcessFinished { pid } => ("process_finished", "", "", pid.index() as i64),
+            RecordKind::EventNotified { event } => ("event_notified", "", "", event.index() as i64),
+            RecordKind::Marker { track, label } => ("marker", track.as_str(), label.as_str(), -1),
+            RecordKind::SpanBegin { track, label } => {
+                ("span_begin", track.as_str(), label.as_str(), -1)
+            }
+            RecordKind::SpanEnd { track } => ("span_end", track.as_str(), "", -1),
+        };
+        // Quote free-form fields that may contain commas.
+        out.push_str(&format!("{t},{kind},\"{track}\",\"{label}\",{id}\n"));
+    }
+    out
+}
+
+/// Renders tracks of segments as an ASCII Gantt chart (one row per track),
+/// `width` characters across the `[start, end]` window. Used by the
+/// Figure 8 reproduction binary.
+#[must_use]
+pub fn render_gantt(
+    tracks: &[(&str, &[Segment])],
+    start: SimTime,
+    end: SimTime,
+    width: usize,
+) -> String {
+    assert!(end > start, "empty time window");
+    assert!(width >= 10, "width too small to render");
+    let span_ns = (end - start).as_nanos() as f64;
+    let name_w = tracks
+        .iter()
+        .map(|(n, _)| n.len())
+        .max()
+        .unwrap_or(0)
+        .max(4);
+    let mut out = String::new();
+    for (name, segs) in tracks {
+        let mut row = vec![b'.'; width];
+        for s in segs.iter() {
+            if s.end <= start || s.start >= end {
+                continue;
+            }
+            let a = ((s.start.max(start) - start).as_nanos() as f64 / span_ns * width as f64)
+                as usize;
+            let b = ((s.end.min(end) - start).as_nanos() as f64 / span_ns * width as f64)
+                .ceil() as usize;
+            let b = b.clamp(a + 1, width);
+            let fill = s.label.bytes().next().unwrap_or(b'#');
+            for c in &mut row[a..b] {
+                *c = fill;
+            }
+        }
+        out.push_str(&format!(
+            "{name:>name_w$} |{}|\n",
+            String::from_utf8(row).expect("ascii fill")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(track: &str, label: &str, start_us: u64, end_us: u64) -> Segment {
+        Segment {
+            track: track.into(),
+            label: label.into(),
+            start: SimTime::from_micros(start_us),
+            end: SimTime::from_micros(end_us),
+        }
+    }
+
+    #[test]
+    fn segments_pairs_begin_end() {
+        let t = TraceHandle::new();
+        t.record(
+            SimTime::from_micros(1),
+            RecordKind::SpanBegin {
+                track: "a".into(),
+                label: "x".into(),
+            },
+        );
+        t.record(SimTime::from_micros(4), RecordKind::SpanEnd { track: "a".into() });
+        t.record(
+            SimTime::from_micros(6),
+            RecordKind::SpanBegin {
+                track: "a".into(),
+                label: "y".into(),
+            },
+        );
+        t.record(SimTime::from_micros(9), RecordKind::SpanEnd { track: "a".into() });
+        let segs = segments(&t.snapshot());
+        assert_eq!(segs["a"].len(), 2);
+        assert_eq!(segs["a"][0].label, "x");
+        assert_eq!(segs["a"][1].label, "y");
+        assert_eq!(segs["a"][1].duration(), Duration::from_micros(3));
+    }
+
+    #[test]
+    fn open_span_closed_at_last_record() {
+        let t = TraceHandle::new();
+        t.record(
+            SimTime::from_micros(2),
+            RecordKind::SpanBegin {
+                track: "a".into(),
+                label: "x".into(),
+            },
+        );
+        t.record(
+            SimTime::from_micros(7),
+            RecordKind::Marker {
+                track: "m".into(),
+                label: "end".into(),
+            },
+        );
+        let segs = segments(&t.snapshot());
+        assert_eq!(segs["a"][0].end, SimTime::from_micros(7));
+    }
+
+    #[test]
+    fn begin_begin_closes_implicitly() {
+        let t = TraceHandle::new();
+        t.record(
+            SimTime::from_micros(0),
+            RecordKind::SpanBegin {
+                track: "a".into(),
+                label: "x".into(),
+            },
+        );
+        t.record(
+            SimTime::from_micros(3),
+            RecordKind::SpanBegin {
+                track: "a".into(),
+                label: "y".into(),
+            },
+        );
+        t.record(SimTime::from_micros(5), RecordKind::SpanEnd { track: "a".into() });
+        let segs = segments(&t.snapshot());
+        assert_eq!(segs["a"].len(), 2);
+        assert_eq!(segs["a"][0].end, SimTime::from_micros(3));
+    }
+
+    #[test]
+    fn overlap_measures_shared_time() {
+        let a = [span("a", "x", 0, 10)];
+        let b = [span("b", "y", 5, 15)];
+        assert_eq!(overlap(&a, &b), Duration::from_micros(5));
+        let c = [span("c", "z", 10, 20)];
+        assert_eq!(overlap(&a, &c), Duration::ZERO);
+    }
+
+    #[test]
+    fn markers_filters_and_sorts() {
+        let t = TraceHandle::new();
+        t.record(
+            SimTime::from_micros(9),
+            RecordKind::Marker {
+                track: "irq".into(),
+                label: "late".into(),
+            },
+        );
+        t.record(
+            SimTime::from_micros(2),
+            RecordKind::Marker {
+                track: "irq".into(),
+                label: "early".into(),
+            },
+        );
+        t.record(
+            SimTime::from_micros(5),
+            RecordKind::Marker {
+                track: "other".into(),
+                label: "skip".into(),
+            },
+        );
+        let ms = markers(&t.snapshot(), "irq");
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].1, "early");
+        assert_eq!(ms[1].1, "late");
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let a = [span("taskA", "d", 0, 50)];
+        let b = [span("taskB", "e", 50, 100)];
+        let g = render_gantt(
+            &[("taskA", &a), ("taskB", &b)],
+            SimTime::ZERO,
+            SimTime::from_micros(100),
+            20,
+        );
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("taskA |dddddddddd..........|"));
+        assert!(lines[1].contains("taskB |..........eeeeeeeeee|"));
+    }
+
+    #[test]
+    fn csv_export_round_trips_fields() {
+        let t = TraceHandle::new();
+        t.record(
+            SimTime::from_micros(1),
+            RecordKind::SpanBegin {
+                track: "taskA".into(),
+                label: "d1".into(),
+            },
+        );
+        t.record(SimTime::from_micros(2), RecordKind::SpanEnd { track: "taskA".into() });
+        t.record(
+            SimTime::from_micros(3),
+            RecordKind::Marker {
+                track: "irq".into(),
+                label: "fire".into(),
+            },
+        );
+        let csv = to_csv(&t.snapshot());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_ns,kind,track,label,id");
+        assert_eq!(lines[1], "1000,span_begin,\"taskA\",\"d1\",-1");
+        assert_eq!(lines[2], "2000,span_end,\"taskA\",\"\",-1");
+        assert_eq!(lines[3], "3000,marker,\"irq\",\"fire\",-1");
+    }
+
+    #[test]
+    fn handle_len_and_empty() {
+        let t = TraceHandle::new();
+        assert!(t.is_empty());
+        t.record(SimTime::ZERO, RecordKind::SpanEnd { track: "a".into() });
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,287 @@
+//! Integration tests for the event-based channel library on the raw SLDL
+//! synchronization layer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use sldl_sim::{Child, Handshake, Queue, Semaphore, SimTime, Simulation};
+
+fn us(n: u64) -> Duration {
+    Duration::from_micros(n)
+}
+
+#[test]
+fn semaphore_isr_to_driver_pattern() {
+    // The paper's Figure 3 bus interface: an ISR releases a semaphore that
+    // the bus driver blocks on.
+    let mut sim = Simulation::new();
+    let sem = Semaphore::new(0, sim.sync_layer());
+    let served = Arc::new(AtomicU64::new(0));
+
+    let s = sem.clone();
+    let count = Arc::clone(&served);
+    sim.spawn(Child::new("driver", move |ctx| {
+        for _ in 0..3 {
+            s.acquire(ctx);
+            count.fetch_add(1, Ordering::SeqCst);
+        }
+    }));
+    let s = sem.clone();
+    sim.spawn(Child::new("isr", move |ctx| {
+        for _ in 0..3 {
+            ctx.waitfor(us(50));
+            s.release(ctx);
+        }
+    }));
+
+    let report = sim.run().unwrap();
+    assert!(report.blocked.is_empty());
+    assert_eq!(served.load(Ordering::SeqCst), 3);
+    assert_eq!(report.end_time, SimTime::from_micros(150));
+}
+
+#[test]
+fn semaphore_initial_permits_do_not_block() {
+    let mut sim = Simulation::new();
+    let sem = Semaphore::new(2, sim.sync_layer());
+    let s = sem.clone();
+    sim.spawn(Child::new("taker", move |ctx| {
+        s.acquire(ctx);
+        s.acquire(ctx);
+        assert_eq!(ctx.now(), SimTime::ZERO);
+    }));
+    let report = sim.run().unwrap();
+    assert!(report.blocked.is_empty());
+    assert_eq!(sem.permits(), 0);
+}
+
+#[test]
+fn semaphore_try_acquire() {
+    let sim = Simulation::new();
+    let sem = Semaphore::new(1, sim.sync_layer());
+    assert!(sem.try_acquire());
+    assert!(!sem.try_acquire());
+    drop(sim);
+}
+
+#[test]
+fn semaphore_multiple_waiters_each_need_a_release() {
+    let mut sim = Simulation::new();
+    let sem = Semaphore::new(0, sim.sync_layer());
+    let got = Arc::new(AtomicU64::new(0));
+    for i in 0..3 {
+        let s = sem.clone();
+        let g = Arc::clone(&got);
+        sim.spawn(Child::new(format!("w{i}"), move |ctx| {
+            s.acquire(ctx);
+            g.fetch_add(1, Ordering::SeqCst);
+        }));
+    }
+    let s = sem.clone();
+    sim.spawn(Child::new("releaser", move |ctx| {
+        ctx.waitfor(us(1));
+        s.release(ctx); // only one permit: exactly one waiter proceeds
+    }));
+    let report = sim.run().unwrap();
+    assert_eq!(got.load(Ordering::SeqCst), 1);
+    assert_eq!(report.blocked.len(), 2);
+}
+
+#[test]
+fn queue_passes_data_in_order() {
+    let mut sim = Simulation::new();
+    let q: Queue<u32, _> = Queue::bounded(4, sim.sync_layer());
+    let out = Arc::new(Mutex::new(Vec::new()));
+
+    let tx = q.clone();
+    sim.spawn(Child::new("producer", move |ctx| {
+        for i in 0..10 {
+            ctx.waitfor(us(3));
+            tx.send(ctx, i);
+        }
+    }));
+    let rx = q.clone();
+    let o = Arc::clone(&out);
+    sim.spawn(Child::new("consumer", move |ctx| {
+        for _ in 0..10 {
+            let v = rx.recv(ctx);
+            o.lock().push(v);
+        }
+    }));
+
+    let report = sim.run().unwrap();
+    assert!(report.blocked.is_empty());
+    assert_eq!(*out.lock(), (0..10).collect::<Vec<u32>>());
+}
+
+#[test]
+fn bounded_queue_backpressures_sender() {
+    let mut sim = Simulation::new();
+    let q: Queue<u32, _> = Queue::bounded(1, sim.sync_layer());
+    let sent_times = Arc::new(Mutex::new(Vec::new()));
+
+    let tx = q.clone();
+    let st = Arc::clone(&sent_times);
+    sim.spawn(Child::new("producer", move |ctx| {
+        for i in 0..3 {
+            tx.send(ctx, i);
+            st.lock().push(ctx.now().as_micros());
+        }
+    }));
+    let rx = q.clone();
+    sim.spawn(Child::new("slow-consumer", move |ctx| {
+        for _ in 0..3 {
+            ctx.waitfor(us(100));
+            let _ = rx.recv(ctx);
+        }
+    }));
+
+    let report = sim.run().unwrap();
+    assert!(report.blocked.is_empty());
+    let times = sent_times.lock().clone();
+    // First send is immediate; each further send waits for a dequeue.
+    assert_eq!(times, vec![0, 100, 200]);
+}
+
+#[test]
+fn unbounded_queue_never_blocks_sender() {
+    let mut sim = Simulation::new();
+    let q: Queue<u64, _> = Queue::unbounded(sim.sync_layer());
+    let tx = q.clone();
+    sim.spawn(Child::new("producer", move |ctx| {
+        for i in 0..1000 {
+            tx.send(ctx, i);
+        }
+        assert_eq!(ctx.now(), SimTime::ZERO);
+    }));
+    let report = sim.run().unwrap();
+    assert!(report.blocked.is_empty());
+    assert_eq!(q.len(), 1000);
+}
+
+#[test]
+fn queue_try_recv() {
+    let mut sim = Simulation::new();
+    let q: Queue<u8, _> = Queue::bounded(2, sim.sync_layer());
+    let q2 = q.clone();
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let s = Arc::clone(&seen);
+    sim.spawn(Child::new("p", move |ctx| {
+        s.lock().push(q2.try_recv(ctx));
+        q2.send(ctx, 9);
+        s.lock().push(q2.try_recv(ctx));
+        assert!(q2.is_empty());
+    }));
+    sim.run().unwrap();
+    assert_eq!(*seen.lock(), vec![None, Some(9)]);
+}
+
+#[test]
+fn handshake_rendezvous_synchronizes_both_sides() {
+    let mut sim = Simulation::new();
+    let hs = Handshake::new(sim.sync_layer());
+    let times = Arc::new(Mutex::new(Vec::new()));
+
+    let h = hs.clone();
+    let t = Arc::clone(&times);
+    sim.spawn(Child::new("sender", move |ctx| {
+        ctx.waitfor(us(10));
+        h.send(ctx);
+        t.lock().push(("sender", ctx.now().as_micros()));
+    }));
+    let h = hs.clone();
+    let t = Arc::clone(&times);
+    sim.spawn(Child::new("receiver", move |ctx| {
+        ctx.waitfor(us(40));
+        h.recv(ctx);
+        t.lock().push(("receiver", ctx.now().as_micros()));
+    }));
+
+    let report = sim.run().unwrap();
+    assert!(report.blocked.is_empty());
+    let times = times.lock().clone();
+    // Both complete at the later party's arrival time (40 us).
+    assert!(times.contains(&("sender", 40)));
+    assert!(times.contains(&("receiver", 40)));
+}
+
+#[test]
+fn handshake_receiver_first() {
+    let mut sim = Simulation::new();
+    let hs = Handshake::new(sim.sync_layer());
+    let done = Arc::new(AtomicU64::new(0));
+
+    let h = hs.clone();
+    let d = Arc::clone(&done);
+    sim.spawn(Child::new("receiver", move |ctx| {
+        h.recv(ctx);
+        d.fetch_add(1, Ordering::SeqCst);
+    }));
+    let h = hs.clone();
+    let d = Arc::clone(&done);
+    sim.spawn(Child::new("sender", move |ctx| {
+        ctx.waitfor(us(5));
+        h.send(ctx);
+        d.fetch_add(1, Ordering::SeqCst);
+    }));
+
+    let report = sim.run().unwrap();
+    assert!(report.blocked.is_empty());
+    assert_eq!(done.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn handshake_many_pairs_match_one_to_one() {
+    let mut sim = Simulation::new();
+    let hs = Handshake::new(sim.sync_layer());
+    let done = Arc::new(AtomicU64::new(0));
+    for i in 0..4u64 {
+        let h = hs.clone();
+        let d = Arc::clone(&done);
+        sim.spawn(Child::new(format!("s{i}"), move |ctx| {
+            ctx.waitfor(us(i));
+            h.send(ctx);
+            d.fetch_add(1, Ordering::SeqCst);
+        }));
+        let h = hs.clone();
+        let d = Arc::clone(&done);
+        sim.spawn(Child::new(format!("r{i}"), move |ctx| {
+            ctx.waitfor(us(10 + i));
+            h.recv(ctx);
+            d.fetch_add(1, Ordering::SeqCst);
+        }));
+    }
+    let report = sim.run().unwrap();
+    assert!(report.blocked.is_empty(), "blocked: {:?}", report.blocked);
+    assert_eq!(done.load(Ordering::SeqCst), 8);
+}
+
+#[test]
+fn queue_two_producers_one_consumer() {
+    let mut sim = Simulation::new();
+    let q: Queue<u64, _> = Queue::bounded(2, sim.sync_layer());
+    let sum = Arc::new(AtomicU64::new(0));
+    for p in 0..2u64 {
+        let tx = q.clone();
+        sim.spawn(Child::new(format!("prod{p}"), move |ctx| {
+            for i in 0..5 {
+                ctx.waitfor(us(2 + p));
+                tx.send(ctx, 10 * p + i);
+            }
+        }));
+    }
+    let rx = q.clone();
+    let s = Arc::clone(&sum);
+    sim.spawn(Child::new("consumer", move |ctx| {
+        for _ in 0..10 {
+            let v = rx.recv(ctx);
+            s.fetch_add(v, Ordering::SeqCst);
+        }
+    }));
+    let report = sim.run().unwrap();
+    assert!(report.blocked.is_empty());
+    // 0..5 + 10..15 summed
+    assert_eq!(sum.load(Ordering::SeqCst), 10 + 60);
+}

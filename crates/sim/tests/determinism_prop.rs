@@ -1,0 +1,154 @@
+//! Property-based tests: random process workloads must simulate
+//! deterministically (identical end time, event log and trace) across
+//! repeated runs, and accumulated per-process delays must match the
+//! analytic sum.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use sldl_sim::{Child, RecordKind, SimTime, Simulation, TraceConfig};
+
+/// One scripted step of a random process.
+#[derive(Debug, Clone)]
+enum Step {
+    Wait(u16),
+    Notify(u8),
+    WaitEvent(u8),
+    TimeoutWait(u8, u16),
+}
+
+fn step_strategy(num_events: u8) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1u16..100).prop_map(Step::Wait),
+        (0..num_events).prop_map(Step::Notify),
+        (0..num_events).prop_map(Step::WaitEvent),
+        ((0..num_events), 1u16..50).prop_map(|(e, d)| Step::TimeoutWait(e, d)),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct Workload {
+    scripts: Vec<Vec<Step>>,
+    num_events: u8,
+}
+
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    (2u8..5).prop_flat_map(|num_events| {
+        proptest::collection::vec(
+            proptest::collection::vec(step_strategy(num_events), 1..8),
+            1..6,
+        )
+        .prop_map(move |scripts| Workload {
+            scripts,
+            num_events,
+        })
+    })
+}
+
+fn run_workload(w: &Workload) -> (SimTime, Vec<String>, usize) {
+    let mut sim = Simulation::new();
+    let trace = sim.enable_trace(TraceConfig {
+        kernel_records: true,
+    });
+    let events: Vec<_> = (0..w.num_events).map(|_| sim.event_new()).collect();
+    let log = Arc::new(Mutex::new(Vec::new()));
+
+    for (i, script) in w.scripts.iter().enumerate() {
+        let script = script.clone();
+        let events = events.clone();
+        let log = Arc::clone(&log);
+        sim.spawn(Child::new(format!("p{i}"), move |ctx| {
+            for step in &script {
+                match step {
+                    Step::Wait(d) => ctx.waitfor(Duration::from_micros(u64::from(*d))),
+                    Step::Notify(e) => ctx.notify(events[*e as usize]),
+                    Step::WaitEvent(e) => {
+                        // Guard with a timeout so random scripts cannot hang
+                        // forever; determinism is what we check.
+                        let _ = ctx.wait_timeout(
+                            events[*e as usize],
+                            Duration::from_micros(500),
+                        );
+                    }
+                    Step::TimeoutWait(e, d) => {
+                        let _ = ctx.wait_timeout(
+                            events[*e as usize],
+                            Duration::from_micros(u64::from(*d)),
+                        );
+                    }
+                }
+            }
+            log.lock().push(format!("{}@{}", ctx.name(), ctx.now()));
+        }));
+    }
+    let report = sim.run().expect("no panics in scripted workload");
+    let log = log.lock().clone();
+    (report.end_time, log, trace.len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_workloads_are_deterministic(w in workload_strategy()) {
+        let first = run_workload(&w);
+        let second = run_workload(&w);
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn pure_delay_processes_end_at_sum(delays in proptest::collection::vec(
+        proptest::collection::vec(1u64..200, 1..10), 1..6))
+    {
+        let mut sim = Simulation::new();
+        let finish_times = Arc::new(Mutex::new(Vec::new()));
+        for (i, ds) in delays.iter().enumerate() {
+            let ds = ds.clone();
+            let ft = Arc::clone(&finish_times);
+            sim.spawn(Child::new(format!("p{i}"), move |ctx| {
+                for d in &ds {
+                    ctx.waitfor(Duration::from_micros(*d));
+                }
+                ft.lock().push((ctx.name().to_string(), ctx.now()));
+            }));
+        }
+        let report = sim.run().unwrap();
+        prop_assert!(report.blocked.is_empty());
+        // Each process finishes exactly at the sum of its delays (true
+        // parallelism: no serialization in the unscheduled model).
+        let fts = finish_times.lock().clone();
+        for (i, ds) in delays.iter().enumerate() {
+            let expect = SimTime::from_micros(ds.iter().sum());
+            let got = fts.iter().find(|(n, _)| n == &format!("p{i}")).unwrap().1;
+            prop_assert_eq!(got, expect);
+        }
+        let max: u64 = delays.iter().map(|ds| ds.iter().sum()).max().unwrap();
+        prop_assert_eq!(report.end_time, SimTime::from_micros(max));
+    }
+
+    #[test]
+    fn trace_spans_match_annotated_delays(durs in proptest::collection::vec(1u64..100, 1..12)) {
+        let mut sim = Simulation::new();
+        let trace = sim.enable_trace(TraceConfig::default());
+        let durs2 = durs.clone();
+        sim.spawn(Child::new("annotated", move |ctx| {
+            for (k, d) in durs2.iter().enumerate() {
+                ctx.record(RecordKind::SpanBegin {
+                    track: "t".into(),
+                    label: format!("d{k}"),
+                });
+                ctx.waitfor(Duration::from_micros(*d));
+                ctx.record(RecordKind::SpanEnd { track: "t".into() });
+            }
+        }));
+        sim.run().unwrap();
+        let segs = sldl_sim::trace::segments(&trace.snapshot());
+        let segs = &segs["t"];
+        prop_assert_eq!(segs.len(), durs.len());
+        for (seg, d) in segs.iter().zip(&durs) {
+            prop_assert_eq!(seg.duration(), Duration::from_micros(*d));
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Edge-case and failure-injection tests for the kernel: deleted events,
+//! stale timers, same-instant boundaries, cancellation corner cases, and
+//! kernel-record tracing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use sldl_sim::trace::SuspendReason;
+use sldl_sim::{Child, RecordKind, RunError, SimTime, Simulation, TraceConfig};
+
+fn us(n: u64) -> Duration {
+    Duration::from_micros(n)
+}
+
+#[test]
+fn wait_on_deleted_event_panics() {
+    let mut sim = Simulation::new();
+    let e = sim.event_new();
+    sim.spawn(Child::new("p", move |ctx| {
+        ctx.event_del(e);
+        ctx.wait(e);
+    }));
+    assert!(matches!(sim.run(), Err(RunError::ProcessPanicked { .. })));
+}
+
+#[test]
+fn double_event_del_panics() {
+    let mut sim = Simulation::new();
+    let e = sim.event_new();
+    sim.spawn(Child::new("p", move |ctx| {
+        ctx.event_del(e);
+        ctx.event_del(e);
+    }));
+    match sim.run() {
+        Err(RunError::ProcessPanicked { message, .. }) => {
+            assert!(message.contains("deleted twice"), "{message}");
+        }
+        other => panic!("expected panic, got {other:?}"),
+    }
+}
+
+#[test]
+fn delayed_notify_on_deleted_event_is_dropped() {
+    // A timed notification whose event dies before it fires is silently
+    // discarded instead of waking anyone or panicking.
+    let mut sim = Simulation::new();
+    let e = sim.event_new();
+    let woke = Arc::new(AtomicU64::new(0));
+    let w = Arc::clone(&woke);
+    sim.spawn(Child::new("waiter", move |ctx| {
+        let got = ctx.wait_timeout(e, us(100));
+        assert_eq!(got, None, "timeout, not the dead event");
+        w.fetch_add(1, Ordering::SeqCst);
+    }));
+    sim.spawn(Child::new("deleter", move |ctx| {
+        ctx.notify_delayed(e, us(50));
+        ctx.waitfor(us(10));
+        // Delete before the delayed notify fires. The waiter is still
+        // registered; deletion does not unblock it, only its timeout does.
+        ctx.event_del(e);
+    }));
+    let report = sim.run().unwrap();
+    assert!(report.blocked.is_empty());
+    assert_eq!(woke.load(Ordering::SeqCst), 1);
+    assert_eq!(report.end_time, SimTime::from_micros(100));
+}
+
+#[test]
+fn run_until_exact_event_time_includes_the_event() {
+    let mut sim = Simulation::new();
+    let hits = Arc::new(AtomicU64::new(0));
+    let h = Arc::clone(&hits);
+    sim.spawn(Child::new("p", move |ctx| {
+        ctx.waitfor(us(100));
+        h.fetch_add(1, Ordering::SeqCst);
+        ctx.waitfor(us(100));
+        h.fetch_add(1, Ordering::SeqCst);
+    }));
+    let report = sim.run_until(SimTime::from_micros(100)).unwrap();
+    // Activity at exactly t=100 still runs; the next (200) does not.
+    assert_eq!(hits.load(Ordering::SeqCst), 1);
+    assert_eq!(report.end_time, SimTime::from_micros(100));
+}
+
+#[test]
+fn multiple_notifies_same_delta_wake_once() {
+    let mut sim = Simulation::new();
+    let e = sim.event_new();
+    let wakes = Arc::new(AtomicU64::new(0));
+    let w = Arc::clone(&wakes);
+    sim.spawn(Child::new("waiter", move |ctx| {
+        ctx.wait(e);
+        w.fetch_add(1, Ordering::SeqCst);
+        // If we were woken "twice", a second wait would return instantly;
+        // it must block forever instead.
+        ctx.wait(e);
+        w.fetch_add(1, Ordering::SeqCst);
+    }));
+    sim.spawn(Child::new("notifier", move |ctx| {
+        ctx.notify(e);
+        ctx.notify(e); // coalesced within the delta
+        ctx.notify(e);
+    }));
+    let report = sim.run().unwrap();
+    assert_eq!(wakes.load(Ordering::SeqCst), 1);
+    assert_eq!(report.blocked, vec!["waiter".to_string()]);
+}
+
+#[test]
+fn wait_any_deregisters_from_all_events() {
+    // After waking via event A, a later notify of event B must not wake the
+    // process again spuriously.
+    let mut sim = Simulation::new();
+    let a = sim.event_new();
+    let b = sim.event_new();
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let l = Arc::clone(&log);
+    sim.spawn(Child::new("waiter", move |ctx| {
+        let first = ctx.wait_any(&[a, b]);
+        l.lock().push(("woke", first == a, ctx.now().as_micros()));
+        // Now wait for b only; the earlier registration on b must be gone,
+        // so this requires a *new* notify of b at t=20.
+        ctx.wait(b);
+        l.lock().push(("woke-b", true, ctx.now().as_micros()));
+    }));
+    sim.spawn(Child::new("driver", move |ctx| {
+        ctx.waitfor(us(10));
+        ctx.notify(a);
+        ctx.waitfor(us(10));
+        ctx.notify(b);
+    }));
+    let report = sim.run().unwrap();
+    assert!(report.blocked.is_empty());
+    assert_eq!(
+        *log.lock(),
+        vec![("woke", true, 10), ("woke-b", true, 20)]
+    );
+}
+
+#[test]
+fn cancel_during_timed_wait_discards_stale_timer() {
+    let mut sim = Simulation::new();
+    let victim_pid = Arc::new(Mutex::new(None));
+    let v = Arc::clone(&victim_pid);
+    sim.spawn(Child::new("victim", move |ctx| {
+        *v.lock() = Some(ctx.pid());
+        ctx.waitfor(us(1_000));
+        unreachable!("cancelled during waitfor");
+    }));
+    let v = Arc::clone(&victim_pid);
+    sim.spawn(Child::new("canceller", move |ctx| {
+        ctx.waitfor(us(10));
+        ctx.cancel(v.lock().expect("victim registered"));
+        // Outlive the victim's stale timer to prove it fires harmlessly.
+        ctx.waitfor(us(2_000));
+    }));
+    let report = sim.run().unwrap();
+    assert!(report.blocked.is_empty());
+    assert_eq!(report.end_time, SimTime::from_micros(2_010));
+}
+
+#[test]
+fn kernel_records_cover_process_lifecycle() {
+    let mut sim = Simulation::new();
+    let trace = sim.enable_trace(TraceConfig {
+        kernel_records: true,
+    });
+    let e = sim.event_new();
+    sim.spawn(Child::new("a", move |ctx| {
+        ctx.waitfor(us(5));
+        ctx.notify(e);
+    }));
+    sim.spawn(Child::new("b", move |ctx| {
+        ctx.wait(e);
+    }));
+    sim.run().unwrap();
+    let records = trace.snapshot();
+    let spawned = records
+        .iter()
+        .filter(|r| matches!(r.kind, RecordKind::ProcessSpawned { .. }))
+        .count();
+    let finished = records
+        .iter()
+        .filter(|r| matches!(r.kind, RecordKind::ProcessFinished { .. }))
+        .count();
+    assert_eq!(spawned, 2);
+    assert_eq!(finished, 2);
+    assert!(records.iter().any(|r| matches!(
+        r.kind,
+        RecordKind::ProcessSuspended {
+            reason: SuspendReason::WaitEvent,
+            ..
+        }
+    )));
+    assert!(records.iter().any(|r| matches!(
+        r.kind,
+        RecordKind::ProcessSuspended {
+            reason: SuspendReason::WaitTime,
+            ..
+        }
+    )));
+    assert!(records
+        .iter()
+        .any(|r| matches!(r.kind, RecordKind::EventNotified { .. })));
+    // CSV export covers kernel records without panicking.
+    let csv = sldl_sim::trace::to_csv(&records);
+    assert!(csv.contains("process_spawned"));
+    assert!(csv.contains("event_notified"));
+}
+
+#[test]
+fn deep_nested_par_stack() {
+    // 16 levels of nested single-child pars exercise join bookkeeping.
+    fn nest(depth: u32, counter: Arc<AtomicU64>) -> Child {
+        Child::new(format!("level{depth}"), move |ctx| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            if depth > 0 {
+                let c = Arc::clone(&counter);
+                ctx.par(vec![nest(depth - 1, c)]);
+            } else {
+                ctx.waitfor(us(1));
+            }
+        })
+    }
+    let mut sim = Simulation::new();
+    let counter = Arc::new(AtomicU64::new(0));
+    sim.spawn(nest(16, Arc::clone(&counter)));
+    let report = sim.run().unwrap();
+    assert!(report.blocked.is_empty());
+    assert_eq!(counter.load(Ordering::SeqCst), 17);
+    assert_eq!(report.end_time, SimTime::from_micros(1));
+}
+
+#[test]
+fn notify_delayed_zero_is_next_delta_not_lost() {
+    let mut sim = Simulation::new();
+    let e = sim.event_new();
+    let woke = Arc::new(AtomicU64::new(0));
+    let w = Arc::clone(&woke);
+    sim.spawn(Child::new("waiter", move |ctx| {
+        ctx.wait(e);
+        w.fetch_add(1, Ordering::SeqCst);
+        assert_eq!(ctx.now(), SimTime::ZERO);
+    }));
+    sim.spawn(Child::new("notifier", move |ctx| {
+        ctx.notify_delayed(e, Duration::ZERO);
+    }));
+    let report = sim.run().unwrap();
+    assert!(report.blocked.is_empty());
+    assert_eq!(woke.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn simulation_debug_impl_reports_state() {
+    let mut sim = Simulation::new();
+    sim.spawn(Child::new("p", |ctx| ctx.waitfor(us(1))));
+    let dbg = format!("{sim:?}");
+    assert!(dbg.contains("Simulation"));
+    assert!(dbg.contains("processes: 1"));
+}

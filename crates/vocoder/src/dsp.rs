@@ -1,0 +1,298 @@
+//! Linear-predictive-coding signal processing.
+//!
+//! The paper's case study is a GSM voice codec running as two real-time
+//! tasks on a Motorola DSP56600. We implement a self-contained LPC
+//! analysis/synthesis codec (autocorrelation → Levinson–Durbin → reflection
+//! coefficient quantization → residual coding) so the tasks perform real
+//! frame-based DSP work while delay annotations model DSP cycle time.
+
+/// LPC prediction order used throughout the codec.
+pub const LPC_ORDER: usize = 10;
+
+/// Computes the first `lags` autocorrelation values of `signal`
+/// (`r[k] = Σ s[n]·s[n+k]`).
+///
+/// # Panics
+///
+/// Panics if `signal.len() < lags`.
+#[must_use]
+pub fn autocorrelate(signal: &[f64], lags: usize) -> Vec<f64> {
+    assert!(signal.len() >= lags, "signal shorter than requested lags");
+    (0..lags)
+        .map(|k| {
+            signal[..signal.len() - k]
+                .iter()
+                .zip(&signal[k..])
+                .map(|(a, b)| a * b)
+                .sum()
+        })
+        .collect()
+}
+
+/// Result of Levinson–Durbin recursion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpcSolution {
+    /// Direct-form prediction coefficients `a[1..=order]` such that the
+    /// predictor is `ŝ[n] = Σ a[i]·s[n−i]`.
+    pub coeffs: Vec<f64>,
+    /// Reflection (PARCOR) coefficients, each in `(-1, 1)` for a stable
+    /// synthesis filter.
+    pub reflection: Vec<f64>,
+    /// Final prediction error energy.
+    pub error: f64,
+}
+
+/// Solves the normal equations by Levinson–Durbin recursion on the
+/// autocorrelation sequence `r` (length ≥ order + 1).
+///
+/// Degenerate input (zero energy) yields an all-zero predictor.
+///
+/// # Panics
+///
+/// Panics if `r.len() < order + 1`.
+#[must_use]
+pub fn levinson_durbin(r: &[f64], order: usize) -> LpcSolution {
+    assert!(r.len() > order, "need order+1 autocorrelation lags");
+    let mut a = vec![0.0; order + 1];
+    let mut reflection = Vec::with_capacity(order);
+    let mut e = r[0];
+    if e <= 0.0 {
+        return LpcSolution {
+            coeffs: vec![0.0; order],
+            reflection: vec![0.0; order],
+            error: 0.0,
+        };
+    }
+    for i in 1..=order {
+        let mut acc = r[i];
+        for j in 1..i {
+            acc -= a[j] * r[i - j];
+        }
+        let k = acc / e;
+        reflection.push(k);
+        // Update a[1..=i] in place.
+        let prev = a.clone();
+        a[i] = k;
+        for j in 1..i {
+            a[j] = prev[j] - k * prev[i - j];
+        }
+        e *= 1.0 - k * k;
+        if e <= 0.0 {
+            e = f64::EPSILON;
+        }
+    }
+    LpcSolution {
+        coeffs: a[1..].to_vec(),
+        reflection,
+        error: e,
+    }
+}
+
+/// Converts reflection coefficients back to direct-form LPC coefficients
+/// (the step-up recursion); inverse of the recursion inside
+/// [`levinson_durbin`].
+#[must_use]
+pub fn reflection_to_lpc(reflection: &[f64]) -> Vec<f64> {
+    let order = reflection.len();
+    let mut a = vec![0.0; order + 1];
+    for (i, &k) in reflection.iter().enumerate() {
+        let i = i + 1;
+        let prev = a.clone();
+        a[i] = k;
+        for j in 1..i {
+            a[j] = prev[j] - k * prev[i - j];
+        }
+    }
+    a[1..].to_vec()
+}
+
+/// Runs the LPC *analysis* filter `A(z)`: produces the prediction residual
+/// `e[n] = s[n] − Σ a[i]·s[n−i]`. `history` carries the last `order`
+/// samples of the previous frame (oldest first) for seamless framing.
+#[must_use]
+pub fn analysis_filter(signal: &[f64], coeffs: &[f64], history: &[f64]) -> Vec<f64> {
+    let order = coeffs.len();
+    assert_eq!(history.len(), order, "history must hold `order` samples");
+    let mut out = Vec::with_capacity(signal.len());
+    for n in 0..signal.len() {
+        let mut pred = 0.0;
+        for (i, &a) in coeffs.iter().enumerate() {
+            let idx = n as isize - (i as isize + 1);
+            let past = if idx >= 0 {
+                signal[idx as usize]
+            } else {
+                history[(history.len() as isize + idx) as usize]
+            };
+            pred += a * past;
+        }
+        out.push(signal[n] - pred);
+    }
+    out
+}
+
+/// Runs the LPC *synthesis* filter `1/A(z)`: reconstructs the signal from
+/// the residual. `history` carries the last `order` *output* samples of the
+/// previous frame (oldest first).
+#[must_use]
+pub fn synthesis_filter(residual: &[f64], coeffs: &[f64], history: &mut Vec<f64>) -> Vec<f64> {
+    let order = coeffs.len();
+    assert_eq!(history.len(), order, "history must hold `order` samples");
+    let mut out: Vec<f64> = Vec::with_capacity(residual.len());
+    for (n, &e) in residual.iter().enumerate() {
+        let mut pred = 0.0;
+        for (i, &a) in coeffs.iter().enumerate() {
+            let idx = n as isize - (i as isize + 1);
+            let past = if idx >= 0 {
+                out[idx as usize]
+            } else {
+                history[(history.len() as isize + idx) as usize]
+            };
+            pred += a * past;
+        }
+        out.push(e + pred);
+    }
+    // Carry the filter state into the next frame.
+    let keep: Vec<f64> = out[out.len() - order..].to_vec();
+    *history = keep;
+    out
+}
+
+/// Quantizes a reflection coefficient to `bits` bits over `(-1, 1)`.
+#[must_use]
+pub fn quantize_reflection(k: f64, bits: u32) -> i32 {
+    let levels = (1i64 << bits) as f64;
+    let clamped = k.clamp(-0.999, 0.999);
+    ((clamped * levels / 2.0).round() as i32).clamp(-(1 << (bits - 1)), (1 << (bits - 1)) - 1)
+}
+
+/// Inverse of [`quantize_reflection`].
+#[must_use]
+pub fn dequantize_reflection(q: i32, bits: u32) -> f64 {
+    let levels = (1i64 << bits) as f64;
+    f64::from(q) * 2.0 / levels
+}
+
+/// Signal-to-noise ratio (dB) of `decoded` against `original`.
+/// Returns `f64::INFINITY` for a perfect match.
+#[must_use]
+pub fn snr_db(original: &[f64], decoded: &[f64]) -> f64 {
+    assert_eq!(original.len(), decoded.len());
+    let sig: f64 = original.iter().map(|s| s * s).sum();
+    let noise: f64 = original
+        .iter()
+        .zip(decoded)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    if noise == 0.0 {
+        return f64::INFINITY;
+    }
+    10.0 * (sig / noise).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ar1_signal(n: usize, rho: f64) -> Vec<f64> {
+        // Deterministic AR(1) driven by a simple LCG.
+        let mut state = 0x2545F491u64;
+        let mut s = 0.0;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let noise = ((state >> 33) as f64 / (1u64 << 30) as f64) - 1.0;
+                s = rho * s + noise;
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn autocorrelation_of_constant_signal() {
+        let r = autocorrelate(&[1.0; 8], 3);
+        assert_eq!(r, vec![8.0, 7.0, 6.0]);
+    }
+
+    #[test]
+    fn levinson_recovers_ar1_coefficient() {
+        let sig = ar1_signal(4096, 0.8);
+        let r = autocorrelate(&sig, 3);
+        let sol = levinson_durbin(&r, 2);
+        assert!((sol.coeffs[0] - 0.8).abs() < 0.05, "a1 = {}", sol.coeffs[0]);
+        assert!(sol.coeffs[1].abs() < 0.08, "a2 = {}", sol.coeffs[1]);
+        assert!(sol.error > 0.0 && sol.error < r[0]);
+    }
+
+    #[test]
+    fn reflection_coefficients_are_stable() {
+        let sig = ar1_signal(2048, 0.95);
+        let r = autocorrelate(&sig, LPC_ORDER + 1);
+        let sol = levinson_durbin(&r, LPC_ORDER);
+        assert!(sol.reflection.iter().all(|k| k.abs() < 1.0));
+    }
+
+    #[test]
+    fn step_up_matches_levinson_coeffs() {
+        let sig = ar1_signal(2048, 0.7);
+        let r = autocorrelate(&sig, LPC_ORDER + 1);
+        let sol = levinson_durbin(&r, LPC_ORDER);
+        let rebuilt = reflection_to_lpc(&sol.reflection);
+        for (a, b) in sol.coeffs.iter().zip(&rebuilt) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn analysis_then_synthesis_is_identity() {
+        let sig = ar1_signal(320, 0.9);
+        let r = autocorrelate(&sig[..160], LPC_ORDER + 1);
+        let sol = levinson_durbin(&r, LPC_ORDER);
+        let history = vec![0.0; LPC_ORDER];
+        let residual = analysis_filter(&sig[..160], &sol.coeffs, &history);
+        let mut synth_hist = vec![0.0; LPC_ORDER];
+        let rebuilt = synthesis_filter(&residual, &sol.coeffs, &mut synth_hist);
+        for (a, b) in sig[..160].iter().zip(&rebuilt) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert_eq!(synth_hist.len(), LPC_ORDER);
+    }
+
+    #[test]
+    fn residual_energy_is_lower_than_signal_energy() {
+        let sig = ar1_signal(2048, 0.9);
+        let r = autocorrelate(&sig, LPC_ORDER + 1);
+        let sol = levinson_durbin(&r, LPC_ORDER);
+        let history = vec![0.0; LPC_ORDER];
+        let res = analysis_filter(&sig, &sol.coeffs, &history);
+        let sig_e: f64 = sig.iter().map(|s| s * s).sum();
+        let res_e: f64 = res.iter().map(|s| s * s).sum();
+        assert!(
+            res_e < 0.5 * sig_e,
+            "prediction should remove most energy: {res_e} vs {sig_e}"
+        );
+    }
+
+    #[test]
+    fn quantize_round_trip_is_close() {
+        for &k in &[-0.9, -0.3, 0.0, 0.45, 0.99] {
+            let q = quantize_reflection(k, 8);
+            let back = dequantize_reflection(q, 8);
+            assert!((k.clamp(-0.999, 0.999) - back).abs() < 1.0 / 128.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_zero_signal() {
+        let sol = levinson_durbin(&[0.0; LPC_ORDER + 1], LPC_ORDER);
+        assert_eq!(sol.coeffs, vec![0.0; LPC_ORDER]);
+        assert_eq!(sol.error, 0.0);
+    }
+
+    #[test]
+    fn snr_of_identical_signals_is_infinite() {
+        let s = ar1_signal(64, 0.5);
+        assert_eq!(snr_db(&s, &s), f64::INFINITY);
+        let noisy: Vec<f64> = s.iter().map(|x| x + 0.01).collect();
+        assert!(snr_db(&s, &noisy) > 10.0);
+    }
+}

@@ -1,0 +1,295 @@
+//! Back-to-back transcoding scenarios for Table 1.
+//!
+//! Encoder and decoder run "in back-to-back mode" (paper §5): synthetic
+//! speech frames arrive every 20 ms, the encoder compresses each frame and
+//! streams encoded subframes to the decoder, and the *transcoding delay* is
+//! the time from frame arrival to the completion of its decode. Two
+//! executions of the same tasks:
+//!
+//! * [`simulate_unscheduled`] — tasks are truly parallel SLDL processes
+//!   (the paper's unscheduled model);
+//! * [`simulate_architecture`] — tasks run under one RTOS model instance
+//!   (the architecture model), decoder at higher priority.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rtos_model::{MetricsSnapshot, Priority, Rtos, SchedAlg, TaskParams, TimeSlice};
+use sldl_sim::{Child, ProcCtx, Queue, RunError, SimTime, Simulation, SyncLayer};
+
+use crate::codec::{Decoder, Encoder, EncodedFrame};
+use crate::dsp::snr_db;
+use crate::frame::{Frame, SpeechSource, FRAME_PERIOD};
+use crate::timing::CodecTiming;
+
+/// A message from encoder to decoder: one subframe's worth of progress;
+/// the final subframe of each frame carries the encoded payload.
+#[derive(Debug, Clone)]
+struct SubframeMsg {
+    payload: Option<Box<EncodedFrame>>,
+}
+
+/// Configuration of a vocoder simulation.
+#[derive(Debug, Clone)]
+pub struct VocoderConfig {
+    /// Number of speech frames to transcode.
+    pub frames: usize,
+    /// Speech-synthesis seed.
+    pub seed: u64,
+    /// Stage timing annotations.
+    pub timing: CodecTiming,
+    /// Modeled kernel overhead per context switch in the architecture
+    /// model (zero = the paper's idealized model; calibrate against a
+    /// target kernel for back-annotation).
+    pub switch_cost: Duration,
+}
+
+impl Default for VocoderConfig {
+    fn default() -> Self {
+        VocoderConfig {
+            frames: 50,
+            seed: 0xC0DEC,
+            timing: CodecTiming::dsp56600(),
+            switch_cost: Duration::ZERO,
+        }
+    }
+}
+
+/// Results of a vocoder simulation run.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct VocoderRun {
+    /// Simulated end time.
+    pub end_time: SimTime,
+    /// Per-frame transcoding delay (arrival → decode complete).
+    pub transcode_delays: Vec<Duration>,
+    /// Context switches of the RTOS instance (0 for unscheduled).
+    pub context_switches: u64,
+    /// RTOS metrics (architecture model only).
+    pub metrics: Option<MetricsSnapshot>,
+    /// Mean SNR of decoded speech vs. the source, in dB (proves the codec
+    /// really transcoded the data end to end).
+    pub mean_snr_db: f64,
+    /// Host wall-clock time of the simulation (Table 1 "execution time").
+    pub host_time: Duration,
+}
+
+impl VocoderRun {
+    /// Mean transcoding delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame completed.
+    #[must_use]
+    pub fn mean_transcode_delay(&self) -> Duration {
+        assert!(!self.transcode_delays.is_empty(), "no frames transcoded");
+        let total: Duration = self.transcode_delays.iter().sum();
+        total / u32::try_from(self.transcode_delays.len()).expect("frame count fits u32")
+    }
+
+    /// Worst-case transcoding delay.
+    #[must_use]
+    pub fn max_transcode_delay(&self) -> Option<Duration> {
+        self.transcode_delays.iter().copied().max()
+    }
+}
+
+/// Shared measurement sink.
+#[derive(Default)]
+struct Sink {
+    delays: Vec<Duration>,
+    snr_sum: f64,
+    snr_count: u32,
+}
+
+/// Drives the data path shared by both models. `enc_step`/`dec_step` model
+/// the passage of DSP time for one stage (plain `waitfor` vs. RTOS
+/// `time_wait`).
+#[allow(clippy::too_many_arguments)]
+fn spawn_pipeline<L, E, D>(
+    sim: &mut Simulation,
+    layer: L,
+    cfg: &VocoderConfig,
+    sink: Arc<Mutex<Sink>>,
+    enc_step: E,
+    dec_step: D,
+    source_kick: impl Fn(&ProcCtx) + Send + 'static,
+    wrap_task: impl Fn(Child, &'static str) -> Child,
+) where
+    L: SyncLayer,
+    E: Fn(&ProcCtx, &'static str, Duration) + Send + Sync + 'static,
+    D: Fn(&ProcCtx, &'static str, Duration) + Send + Sync + 'static,
+{
+    // A/D → encoder: unbounded (samples arrive regardless of DSP load).
+    let enc_in: Queue<Frame, L> = Queue::unbounded(layer.clone());
+    // Encoder → decoder: subframe stream.
+    let enc_out: Queue<SubframeMsg, L> = Queue::unbounded(layer);
+
+    // Source: models the A/D converter interrupt, emitting one frame per
+    // period; not an RTOS task in either model.
+    let frames = cfg.frames;
+    let seed = cfg.seed;
+    let originals: Arc<Mutex<Vec<Frame>>> = Arc::new(Mutex::new(Vec::new()));
+    let tx = enc_in.clone();
+    let originals_src = Arc::clone(&originals);
+    sim.spawn(Child::new("ad_source", move |ctx| {
+        let mut src = SpeechSource::new(seed);
+        for _ in 0..frames {
+            let frame = src.next_frame(ctx.now());
+            originals_src.lock().push(frame.clone());
+            tx.send(ctx, frame);
+            source_kick(ctx);
+            ctx.waitfor(FRAME_PERIOD);
+        }
+    }));
+
+    // Encoder task.
+    let timing = cfg.timing.clone();
+    let rx = enc_in;
+    let tx = enc_out.clone();
+    let encoder_child = Child::new("encoder", move |ctx: &ProcCtx| {
+        let mut enc = Encoder::new();
+        for _ in 0..frames {
+            let frame = rx.recv(ctx);
+            for sub in 0..timing.subframes {
+                for stage in &timing.encoder_subframe {
+                    enc_step(ctx, stage.label, stage.duration);
+                }
+                let last = sub + 1 == timing.subframes;
+                let payload = last.then(|| Box::new(enc.encode(&frame)));
+                tx.send(ctx, SubframeMsg { payload });
+            }
+        }
+    });
+    sim.spawn(wrap_task(encoder_child, "encoder"));
+
+    // Decoder task.
+    let timing = cfg.timing.clone();
+    let total_subs = cfg.frames * cfg.timing.subframes as usize;
+    let sink2 = Arc::clone(&sink);
+    let decoder_child = Child::new("decoder", move |ctx: &ProcCtx| {
+        let mut dec = Decoder::new();
+        for _ in 0..total_subs {
+            let msg = enc_out.recv(ctx);
+            for stage in &timing.decoder_subframe {
+                dec_step(ctx, stage.label, stage.duration);
+            }
+            if let Some(encoded) = msg.payload {
+                let out = dec.decode(&encoded);
+                let mut s = sink2.lock();
+                s.delays.push(ctx.now() - out.arrived);
+                let original = &originals.lock()[usize::try_from(out.seq).expect("seq fits")];
+                let snr = snr_db(&original.samples, &out.samples);
+                if snr.is_finite() {
+                    s.snr_sum += snr;
+                }
+                s.snr_count += 1;
+            }
+        }
+    });
+    sim.spawn(wrap_task(decoder_child, "decoder"));
+}
+
+fn finish(
+    report: Result<sldl_sim::Report, RunError>,
+    sink: &Arc<Mutex<Sink>>,
+    metrics: Option<MetricsSnapshot>,
+    started: std::time::Instant,
+) -> Result<VocoderRun, RunError> {
+    let report = report?;
+    let s = sink.lock();
+    Ok(VocoderRun {
+        end_time: report.end_time,
+        transcode_delays: s.delays.clone(),
+        context_switches: metrics.as_ref().map_or(0, |m| m.context_switches),
+        mean_snr_db: if s.snr_count == 0 {
+            0.0
+        } else {
+            s.snr_sum / f64::from(s.snr_count)
+        },
+        metrics,
+        host_time: started.elapsed(),
+    })
+}
+
+/// Runs the vocoder as an *unscheduled model*: encoder and decoder are
+/// truly parallel SLDL processes.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if a simulated process panics.
+pub fn simulate_unscheduled(cfg: &VocoderConfig) -> Result<VocoderRun, RunError> {
+    let started = std::time::Instant::now();
+    let mut sim = Simulation::new();
+    let layer = sim.sync_layer();
+    let sink = Arc::new(Mutex::new(Sink::default()));
+    spawn_pipeline(
+        &mut sim,
+        layer,
+        cfg,
+        Arc::clone(&sink),
+        |ctx, _label, d| ctx.waitfor(d),
+        |ctx, _label, d| ctx.waitfor(d),
+        |_ctx| {},
+        |child, _| child,
+    );
+    finish(sim.run(), &sink, None, started)
+}
+
+/// Runs the vocoder as an *architecture model*: encoder and decoder are
+/// RTOS tasks on one DSP, with the decoder at higher priority (it finishes
+/// each subframe quickly, minimizing output jitter).
+///
+/// # Errors
+///
+/// Returns [`RunError`] if a simulated process panics.
+pub fn simulate_architecture(
+    cfg: &VocoderConfig,
+    alg: SchedAlg,
+    slice: TimeSlice,
+) -> Result<VocoderRun, RunError> {
+    let started = std::time::Instant::now();
+    let mut sim = Simulation::new();
+    let os = Rtos::new("dsp", sim.sync_layer());
+    os.start(alg);
+    os.set_time_slice(slice);
+    os.set_context_switch_cost(cfg.switch_cost);
+    let sink = Arc::new(Mutex::new(Sink::default()));
+
+    let os_enc = os.clone();
+    let os_dec = os.clone();
+    let os_src = os.clone();
+    let os_wrap = os.clone();
+    spawn_pipeline(
+        &mut sim,
+        os.clone(),
+        cfg,
+        Arc::clone(&sink),
+        move |ctx, label, d| os_enc.time_wait_as(ctx, d, label),
+        move |ctx, label, d| os_dec.time_wait_as(ctx, d, label),
+        move |ctx| os_src.interrupt_return(ctx),
+        move |child, name| {
+            let os = os_wrap.clone();
+            let prio = match name {
+                "decoder" => Priority(1),
+                _ => Priority(2),
+            };
+            let inner = child;
+            Child::new(name, move |ctx: &ProcCtx| {
+                let me = os.task_create(&TaskParams::aperiodic(name, prio));
+                os.task_activate(ctx, me);
+                // Run the task body inline.
+                (inner.into_body())(ctx);
+                os.task_terminate(ctx);
+            })
+        },
+    );
+    let report = sim.run();
+    let end = match &report {
+        Ok(r) => r.end_time,
+        Err(_) => SimTime::ZERO,
+    };
+    let metrics = Some(os.metrics_at(end));
+    finish(report, &sink, metrics, started)
+}

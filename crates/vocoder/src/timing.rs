@@ -1,0 +1,153 @@
+//! DSP timing annotations for the codec tasks.
+//!
+//! The paper's implementation ran on a Motorola DSP56600 at 60 MHz; its
+//! Table 1 reports a transcoding delay of 9.7 ms for the unscheduled model
+//! and 12.5 ms for the RTOS-based architecture model at a 20 ms frame
+//! period. We annotate encoder/decoder *subframe* stages (GSM processes
+//! 4 × 5 ms subframes per frame) with per-stage DSP times calibrated to
+//! those figures: encoding 2.2 ms and decoding 0.925 ms per subframe give
+//!
+//! * unscheduled (parallel tasks, subframe-pipelined):
+//!   `4 × 2.2 + 0.925 ≈ 9.7 ms`;
+//! * architecture (both tasks share one DSP, decoder at higher priority):
+//!   `4 × (2.2 + 0.925) = 12.5 ms`.
+
+use std::time::Duration;
+
+/// One annotated pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Stage name (trace label).
+    pub label: &'static str,
+    /// Modeled DSP execution time.
+    pub duration: Duration,
+}
+
+/// Timing annotation set for the codec tasks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecTiming {
+    /// Encoder stages executed once per subframe.
+    pub encoder_subframe: Vec<StageTiming>,
+    /// Decoder stages executed once per subframe.
+    pub decoder_subframe: Vec<StageTiming>,
+    /// Subframes per frame.
+    pub subframes: u32,
+}
+
+impl CodecTiming {
+    /// Timing calibrated to the paper's DSP56600 case study (see module
+    /// docs).
+    #[must_use]
+    pub fn dsp56600() -> Self {
+        let us = Duration::from_micros;
+        CodecTiming {
+            encoder_subframe: vec![
+                StageTiming {
+                    label: "autocorr",
+                    duration: us(700),
+                },
+                StageTiming {
+                    label: "levinson",
+                    duration: us(450),
+                },
+                StageTiming {
+                    label: "quantize",
+                    duration: us(250),
+                },
+                StageTiming {
+                    label: "residual",
+                    duration: us(800),
+                },
+            ],
+            decoder_subframe: vec![
+                StageTiming {
+                    label: "dequant",
+                    duration: us(225),
+                },
+                StageTiming {
+                    label: "synthesis",
+                    duration: us(600),
+                },
+                StageTiming {
+                    label: "postfilter",
+                    duration: us(100),
+                },
+            ],
+            subframes: 4,
+        }
+    }
+
+    /// Scales every stage by `factor` (for load-sweep ablations).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        let scale = |s: &StageTiming| StageTiming {
+            label: s.label,
+            duration: Duration::from_nanos((s.duration.as_nanos() as f64 * factor) as u64),
+        };
+        CodecTiming {
+            encoder_subframe: self.encoder_subframe.iter().map(scale).collect(),
+            decoder_subframe: self.decoder_subframe.iter().map(scale).collect(),
+            subframes: self.subframes,
+        }
+    }
+
+    /// Total encoder time per subframe.
+    #[must_use]
+    pub fn encoder_subframe_total(&self) -> Duration {
+        self.encoder_subframe.iter().map(|s| s.duration).sum()
+    }
+
+    /// Total decoder time per subframe.
+    #[must_use]
+    pub fn decoder_subframe_total(&self) -> Duration {
+        self.decoder_subframe.iter().map(|s| s.duration).sum()
+    }
+
+    /// Total encoder time per frame.
+    #[must_use]
+    pub fn encoder_total(&self) -> Duration {
+        self.encoder_subframe_total() * self.subframes
+    }
+
+    /// Total decoder time per frame.
+    #[must_use]
+    pub fn decoder_total(&self) -> Duration {
+        self.decoder_subframe_total() * self.subframes
+    }
+
+    /// DSP utilization for a given frame period.
+    #[must_use]
+    pub fn utilization(&self, period: Duration) -> f64 {
+        (self.encoder_total() + self.decoder_total()).as_nanos() as f64
+            / period.as_nanos() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FRAME_PERIOD;
+
+    #[test]
+    fn dsp56600_calibration_matches_paper_analytics() {
+        let t = CodecTiming::dsp56600();
+        assert_eq!(t.encoder_subframe_total(), Duration::from_micros(2200));
+        assert_eq!(t.decoder_subframe_total(), Duration::from_micros(925));
+        // Unscheduled transcode: 4 encoder subframes + 1 decoder subframe.
+        let unsched = t.encoder_total() + t.decoder_subframe_total();
+        assert_eq!(unsched, Duration::from_micros(9725));
+        // Architecture transcode: fully serialized.
+        let arch = t.encoder_total() + t.decoder_total();
+        assert_eq!(arch, Duration::from_micros(12_500));
+        // Feasible on one DSP.
+        assert!(t.utilization(FRAME_PERIOD) < 1.0);
+    }
+
+    #[test]
+    fn scaling_changes_totals_proportionally() {
+        let t = CodecTiming::dsp56600();
+        let half = t.scaled(0.5);
+        assert_eq!(half.encoder_total(), t.encoder_total() / 2);
+        assert!((half.utilization(FRAME_PERIOD) - t.utilization(FRAME_PERIOD) / 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,142 @@
+//! Integration tests for the Table 1 scenarios: transcoding delays, context
+//! switches, and codec fidelity of the unscheduled and architecture models.
+
+use std::time::Duration;
+
+use rtos_model::{SchedAlg, TimeSlice};
+use vocoder::{simulate_architecture, simulate_unscheduled, VocoderConfig};
+
+fn ms_f(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn cfg(frames: usize) -> VocoderConfig {
+    VocoderConfig {
+        frames,
+        ..VocoderConfig::default()
+    }
+}
+
+#[test]
+fn unscheduled_transcoding_delay_matches_analytic_value() {
+    let run = simulate_unscheduled(&cfg(20)).unwrap();
+    assert_eq!(run.transcode_delays.len(), 20);
+    // 4 encoder subframes + final decoder subframe = 9.725 ms, every frame.
+    for d in &run.transcode_delays {
+        assert_eq!(*d, Duration::from_micros(9_725), "delay {d:?}");
+    }
+    assert_eq!(run.context_switches, 0);
+    assert!(run.mean_snr_db > 20.0, "snr {}", run.mean_snr_db);
+}
+
+#[test]
+fn architecture_transcoding_delay_shows_serialization_overhead() {
+    let run = simulate_architecture(
+        &cfg(20),
+        SchedAlg::PriorityPreemptive,
+        TimeSlice::WholeDelay,
+    )
+    .unwrap();
+    assert_eq!(run.transcode_delays.len(), 20);
+    // Fully serialized: 4 × (2.2 + 0.925) = 12.5 ms.
+    let mean = ms_f(run.mean_transcode_delay());
+    assert!(
+        (mean - 12.5).abs() < 0.05,
+        "architecture transcode delay {mean:.3} ms"
+    );
+    // The paper's Table-1 shape: arch delay > unscheduled delay.
+    let unsched = simulate_unscheduled(&cfg(20)).unwrap();
+    assert!(run.mean_transcode_delay() > unsched.mean_transcode_delay());
+    // Context switches: 8 per frame (enc↔dec per subframe).
+    assert!(run.context_switches >= 8 * 19, "{}", run.context_switches);
+    assert!(run.mean_snr_db > 20.0);
+}
+
+#[test]
+fn decoded_speech_is_identical_across_models() {
+    // Scheduling must not change the data path: both models decode the
+    // same frames to the same quality.
+    let u = simulate_unscheduled(&cfg(10)).unwrap();
+    let a = simulate_architecture(
+        &cfg(10),
+        SchedAlg::PriorityPreemptive,
+        TimeSlice::WholeDelay,
+    )
+    .unwrap();
+    assert!((u.mean_snr_db - a.mean_snr_db).abs() < 1e-9);
+}
+
+#[test]
+fn deadline_is_met_every_frame() {
+    // Transcode delay must stay below the 20 ms frame period, or the codec
+    // would fall behind in back-to-back mode.
+    for run in [
+        simulate_unscheduled(&cfg(30)).unwrap(),
+        simulate_architecture(
+            &cfg(30),
+            SchedAlg::PriorityPreemptive,
+            TimeSlice::WholeDelay,
+        )
+        .unwrap(),
+    ] {
+        assert!(run.max_transcode_delay().unwrap() < Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn quantum_slicing_does_not_change_steady_state_delay() {
+    let whole = simulate_architecture(
+        &cfg(10),
+        SchedAlg::PriorityPreemptive,
+        TimeSlice::WholeDelay,
+    )
+    .unwrap();
+    let sliced = simulate_architecture(
+        &cfg(10),
+        SchedAlg::PriorityPreemptive,
+        TimeSlice::Quantum(Duration::from_micros(100)),
+    )
+    .unwrap();
+    // Work conservation: same total delay (the pipeline has a fixed
+    // dependency chain; slicing only adds scheduler invocations).
+    assert_eq!(
+        whole.mean_transcode_delay(),
+        sliced.mean_transcode_delay()
+    );
+}
+
+#[test]
+fn utilization_reflects_codec_load() {
+    let run = simulate_architecture(
+        &cfg(20),
+        SchedAlg::PriorityPreemptive,
+        TimeSlice::WholeDelay,
+    )
+    .unwrap();
+    let m = run.metrics.expect("architecture model has metrics");
+    // 12.5 ms of DSP work per 20 ms frame ⇒ ~62.5% utilization.
+    assert!(
+        (m.utilization() - 0.625).abs() < 0.03,
+        "utilization {}",
+        m.utilization()
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = simulate_architecture(
+        &cfg(8),
+        SchedAlg::PriorityPreemptive,
+        TimeSlice::WholeDelay,
+    )
+    .unwrap();
+    let b = simulate_architecture(
+        &cfg(8),
+        SchedAlg::PriorityPreemptive,
+        TimeSlice::WholeDelay,
+    )
+    .unwrap();
+    assert_eq!(a.transcode_delays, b.transcode_delays);
+    assert_eq!(a.context_switches, b.context_switches);
+    assert_eq!(a.mean_snr_db, b.mean_snr_db);
+}

@@ -1,0 +1,133 @@
+//! A design-space-exploration session for a motor-controller MCU:
+//! analytic schedulability first (RTA / Liu–Layland), then the refined
+//! architecture model, then automatic acceptance against timing
+//! constraints — the full early-validation loop the paper advocates.
+//!
+//! Run with `cargo run --example control_system`.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use rtos_sld::refine::{
+    check, run_architecture, Action, Behavior, Constraint, PeSpec, RunConfig, SystemSpec,
+};
+use rtos_sld::rtos::analysis::{liu_layland_bound, rta_rms, total_utilization, PeriodicSpec};
+use rtos_sld::rtos::{SchedAlg, TimeSlice};
+
+fn us(n: u64) -> Duration {
+    Duration::from_micros(n)
+}
+
+fn main() {
+    // Three periodic functions on one MCU.
+    let current_loop = (us(250), us(1_000)); // (wcet, period): 25% load
+    let speed_loop = (us(800), us(4_000)); // 20%
+    let telemetry = (us(2_400), us(16_000)); // 15%
+
+    // --- 1. Analytic feasibility before building anything. ---
+    let specs = [
+        PeriodicSpec::new(current_loop.0, current_loop.1),
+        PeriodicSpec::new(speed_loop.0, speed_loop.1),
+        PeriodicSpec::new(telemetry.0, telemetry.1),
+    ];
+    let util = total_utilization(&specs);
+    println!(
+        "task set utilization {:.2} (Liu–Layland bound for 3 tasks: {:.3})",
+        util,
+        liu_layland_bound(3)
+    );
+    let bounds = rta_rms(&specs).expect("RMS-schedulable");
+    for (name, r) in ["current", "speed", "telemetry"].iter().zip(&bounds) {
+        println!("  RTA worst-case response {name:<9} = {r:?}");
+    }
+
+    // --- 2. Build the spec and refine it onto an RTOS model under RMS. ---
+    let cycles = 16u32;
+    let mut spec = SystemSpec::new();
+    spec.add_pe(PeSpec {
+        name: "mcu".into(),
+        root: Behavior::Par(vec![
+            Behavior::periodic(
+                "current",
+                current_loop.1,
+                cycles * 16,
+                vec![
+                    Action::compute("adc", us(50)),
+                    Action::compute("pi", us(150)),
+                    Action::compute("pwm", us(50)),
+                ],
+            ),
+            Behavior::periodic(
+                "speed",
+                speed_loop.1,
+                cycles * 4,
+                vec![Action::compute("observer", us(800))],
+            ),
+            Behavior::periodic(
+                "telemetry",
+                telemetry.1,
+                cycles,
+                vec![Action::compute("pack", us(2_400))],
+            ),
+        ]),
+        priorities: HashMap::new(),
+    });
+
+    let run = run_architecture(
+        &spec,
+        SchedAlg::Rms,
+        TimeSlice::Quantum(us(50)),
+        &RunConfig::default(),
+    )
+    .expect("architecture run");
+    let m = &run.pe_metrics[0].metrics;
+    println!(
+        "\nsimulated to {}: utilization {:.1}%, {} context switches, {} deadline misses",
+        run.end_time(),
+        m.utilization() * 100.0,
+        m.context_switches,
+        m.deadline_misses()
+    );
+    for t in &m.tasks {
+        if let Some(worst) = t.worst_cycle_response() {
+            println!(
+                "  {:<10} cycles {:>3}, worst response {:?} (preempted {}x)",
+                t.name,
+                t.cycle_response_times.len(),
+                worst,
+                t.preemptions
+            );
+        }
+    }
+
+    // --- 3. Cross-check: simulation must respect the analytic bounds. ---
+    for (t, bound) in m.tasks.iter().skip(1).zip(&bounds) {
+        let worst = t.worst_cycle_response().expect("ran");
+        assert!(
+            worst <= *bound,
+            "{}: simulated {worst:?} exceeds RTA bound {bound:?}",
+            t.name
+        );
+    }
+
+    // --- 4. Accept/reject against the product's timing budgets. ---
+    let constraints = [
+        Constraint::PeriodicStarts {
+            track: "current".into(),
+            label: "adc".into(),
+            period: us(1_000),
+            jitter: us(0),
+        },
+        Constraint::NoOverlap {
+            tracks: vec!["current".into(), "speed".into(), "telemetry".into()],
+        },
+    ];
+    let violations = check(&run, &constraints);
+    if violations.is_empty() {
+        println!("\nall timing constraints met — candidate accepted ✓");
+    } else {
+        for v in &violations {
+            println!("VIOLATION: {v}");
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! The vocoder case study (paper §5): encoder and decoder tasks transcoding
+//! synthetic speech back-to-back on one DSP, in all three models.
+//!
+//! Run with `cargo run --example vocoder_pe [-- frames]`.
+
+use rtos_sld::iss::vocoder_app::{run_impl_model, ImplConfig};
+use rtos_sld::rtos::{SchedAlg, TimeSlice};
+use rtos_sld::vocoder::{simulate_architecture, simulate_unscheduled, VocoderConfig};
+
+fn main() {
+    let frames: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25);
+    let cfg = VocoderConfig {
+        frames,
+        ..VocoderConfig::default()
+    };
+    println!(
+        "vocoder: {frames} frames of 20 ms speech, encoder {} ms + decoder {} ms per frame (WCET)\n",
+        cfg.timing.encoder_total().as_millis(),
+        cfg.timing.decoder_total().as_millis(),
+    );
+
+    let unsched = simulate_unscheduled(&cfg).expect("unscheduled");
+    println!(
+        "unscheduled model:    transcode {:>8.2?} (mean), SNR {:.1} dB, {} switches",
+        unsched.mean_transcode_delay(),
+        unsched.mean_snr_db,
+        unsched.context_switches
+    );
+
+    let arch = simulate_architecture(&cfg, SchedAlg::PriorityPreemptive, TimeSlice::WholeDelay)
+        .expect("architecture");
+    println!(
+        "architecture model:   transcode {:>8.2?} (mean), SNR {:.1} dB, {} switches",
+        arch.mean_transcode_delay(),
+        arch.mean_snr_db,
+        arch.context_switches
+    );
+    if let Some(m) = &arch.metrics {
+        println!("                      DSP utilization {:.1}%", m.utilization() * 100.0);
+    }
+
+    let impl_run = run_impl_model(&ImplConfig {
+        frames: frames as u32,
+        ..ImplConfig::default()
+    });
+    println!(
+        "implementation model: transcode {:>8.2?} (mean), {} switches, {} guest instructions",
+        impl_run.mean_transcode_delay(),
+        impl_run.context_switches,
+        impl_run.instructions
+    );
+
+    println!(
+        "\nhost times: unscheduled {:?}, architecture {:?}, ISS {:?}",
+        unsched.host_time, arch.host_time, impl_run.host_time
+    );
+    println!(
+        "the Table 1 shape: {:.1} ms < {:.1} ms < {:.1} ms (unsched < impl < arch)",
+        unsched.mean_transcode_delay().as_secs_f64() * 1e3,
+        impl_run.mean_transcode_delay().as_secs_f64() * 1e3,
+        arch.mean_transcode_delay().as_secs_f64() * 1e3,
+    );
+}

@@ -1,0 +1,160 @@
+//! Whole-design-flow integration tests: specification → unscheduled model →
+//! architecture model → implementation model, with the paper's headline
+//! claims asserted across crate boundaries.
+
+use std::time::Duration;
+
+use rtos_sld::iss::vocoder_app::{run_impl_model, ImplConfig};
+use rtos_sld::refine::{
+    figure3_spec, run_architecture, run_unscheduled, Figure3Delays, RunConfig,
+};
+use rtos_sld::rtos::{SchedAlg, TimeSlice};
+use rtos_sld::vocoder::{simulate_architecture, simulate_unscheduled, VocoderConfig};
+
+#[test]
+fn table1_shape_holds_across_all_three_models() {
+    // The paper's Table 1: transcoding delay 9.7 / 12.5 / 11.7 ms for
+    // unscheduled / architecture / implementation.
+    let cfg = VocoderConfig {
+        frames: 12,
+        ..VocoderConfig::default()
+    };
+    let unsched = simulate_unscheduled(&cfg).unwrap();
+    let arch =
+        simulate_architecture(&cfg, SchedAlg::PriorityPreemptive, TimeSlice::WholeDelay).unwrap();
+    let impl_run = run_impl_model(&ImplConfig {
+        frames: 12,
+        ..ImplConfig::default()
+    });
+
+    let u = unsched.mean_transcode_delay();
+    let a = arch.mean_transcode_delay();
+    let i = impl_run.mean_transcode_delay();
+    // Ordering: unscheduled < implementation < architecture.
+    assert!(u < i && i < a, "delays: {u:?} {i:?} {a:?}");
+    // Rough ratios from the paper: arch/unsched ≈ 12.5/9.7 ≈ 1.29,
+    // impl/unsched ≈ 11.7/9.7 ≈ 1.21.
+    let ratio_a = a.as_secs_f64() / u.as_secs_f64();
+    let ratio_i = i.as_secs_f64() / u.as_secs_f64();
+    assert!((1.2..1.4).contains(&ratio_a), "arch ratio {ratio_a:.3}");
+    assert!((1.1..1.3).contains(&ratio_i), "impl ratio {ratio_i:.3}");
+
+    // Context switches: none without an RTOS; arch ≈ impl (the abstract
+    // model predicts the real kernel's scheduling).
+    assert_eq!(unsched.context_switches, 0);
+    let diff = arch.context_switches.abs_diff(impl_run.context_switches);
+    assert!(
+        diff <= arch.context_switches / 10 + 2,
+        "arch {} vs impl {}",
+        arch.context_switches,
+        impl_run.context_switches
+    );
+}
+
+#[test]
+fn abstract_model_predicts_implementation_per_frame_switches() {
+    // Per frame, both the abstract architecture model and the real kernel
+    // should context-switch 8 times (4 subframes × enc→dec→enc).
+    let cfg = VocoderConfig {
+        frames: 10,
+        ..VocoderConfig::default()
+    };
+    let arch =
+        simulate_architecture(&cfg, SchedAlg::PriorityPreemptive, TimeSlice::WholeDelay).unwrap();
+    let impl_run = run_impl_model(&ImplConfig {
+        frames: 10,
+        ..ImplConfig::default()
+    });
+    let arch_per_frame = arch.context_switches as f64 / 10.0;
+    let impl_per_frame = impl_run.context_switches as f64 / 10.0;
+    assert!((7.0..9.5).contains(&arch_per_frame), "{arch_per_frame}");
+    assert!((7.0..9.5).contains(&impl_per_frame), "{impl_per_frame}");
+}
+
+#[test]
+fn figure8_invariants_hold_for_every_scheduler() {
+    let spec = figure3_spec(&Figure3Delays::default());
+    let total = spec.total_compute();
+    for alg in [
+        SchedAlg::PriorityPreemptive,
+        SchedAlg::PriorityCooperative,
+        SchedAlg::Fifo,
+        SchedAlg::RoundRobin {
+            quantum: Duration::from_micros(100),
+        },
+        SchedAlg::Edf,
+    ] {
+        let run = run_architecture(&spec, alg, TimeSlice::WholeDelay, &RunConfig::default())
+            .unwrap_or_else(|e| panic!("{alg}: {e}"));
+        assert!(
+            run.report.blocked.is_empty(),
+            "{alg}: blocked {:?}",
+            run.report.blocked
+        );
+        // Work conservation: the single CPU is busy until everything done.
+        assert_eq!(
+            run.end_time(),
+            rtos_sld::sim::SimTime::ZERO + total,
+            "{alg}"
+        );
+        assert_eq!(
+            run.overlap("task_b2", "task_b3"),
+            Duration::ZERO,
+            "{alg}: tasks overlapped"
+        );
+    }
+}
+
+#[test]
+fn refinement_only_adds_delay() {
+    // For the Fig. 3 workload, dynamic scheduling can only delay things
+    // relative to the unscheduled model — per-behavior completion times are
+    // monotonically later.
+    let spec = figure3_spec(&Figure3Delays::default());
+    let unsched = run_unscheduled(&spec, &RunConfig::default()).unwrap();
+    let arch = run_architecture(
+        &spec,
+        SchedAlg::PriorityPreemptive,
+        TimeSlice::WholeDelay,
+        &RunConfig::default(),
+    )
+    .unwrap();
+    let us = unsched.segments();
+    let ar = arch.segments();
+    for track in ["task_b2", "task_b3"] {
+        let u_end = us[track].iter().map(|s| s.end).max().unwrap();
+        let a_end = ar[track].iter().map(|s| s.end).max().unwrap();
+        assert!(a_end >= u_end, "{track}: {a_end} < {u_end}");
+    }
+}
+
+#[test]
+fn slicing_granularity_never_changes_end_time() {
+    let spec = figure3_spec(&Figure3Delays::default());
+    let mut ends = Vec::new();
+    for q in [5u64, 20, 50, 100, 200] {
+        let run = run_architecture(
+            &spec,
+            SchedAlg::PriorityPreemptive,
+            TimeSlice::Quantum(Duration::from_micros(q)),
+            &RunConfig::default(),
+        )
+        .unwrap();
+        ends.push(run.end_time());
+    }
+    assert!(ends.windows(2).all(|w| w[0] == w[1]), "{ends:?}");
+}
+
+#[test]
+fn codec_quality_is_independent_of_the_model() {
+    let cfg = VocoderConfig {
+        frames: 6,
+        ..VocoderConfig::default()
+    };
+    let u = simulate_unscheduled(&cfg).unwrap();
+    let a =
+        simulate_architecture(&cfg, SchedAlg::Edf, TimeSlice::Quantum(Duration::from_micros(250)))
+            .unwrap();
+    assert!(u.mean_snr_db > 20.0);
+    assert_eq!(u.mean_snr_db, a.mean_snr_db);
+}
