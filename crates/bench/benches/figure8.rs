@@ -1,56 +1,49 @@
-//! Criterion bench for the **Figure 8** experiment: simulation cost of the
+//! Wall-clock bench for the **Figure 8** experiment: simulation cost of the
 //! Fig. 3 example in each model, including the preemption-granularity
 //! variants of ablation A1.
+//!
+//! Run with `cargo bench -p bench --bench figure8`.
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::BenchGroup;
 use model_refine::{figure3_spec, run_architecture, run_unscheduled, Figure3Delays, RunConfig};
 use rtos_model::{SchedAlg, TimeSlice};
 
-fn benches(c: &mut Criterion) {
+fn main() {
     let spec = figure3_spec(&Figure3Delays::default());
     let cfg = RunConfig::default();
-    let mut g = c.benchmark_group("figure8");
+    let mut g = BenchGroup::new("figure8");
     g.sample_size(20);
-    g.bench_function("unscheduled", |b| {
-        b.iter(|| run_unscheduled(&spec, &cfg).expect("unsched"));
+    g.bench_function("unscheduled", || {
+        run_unscheduled(&spec, &cfg).expect("unsched");
     });
-    g.bench_function("architecture_whole_delay", |b| {
-        b.iter(|| {
-            run_architecture(
-                &spec,
-                SchedAlg::PriorityPreemptive,
-                TimeSlice::WholeDelay,
-                &cfg,
-            )
-            .expect("arch")
-        });
+    g.bench_function("architecture_whole_delay", || {
+        run_architecture(
+            &spec,
+            SchedAlg::PriorityPreemptive,
+            TimeSlice::WholeDelay,
+            &cfg,
+        )
+        .expect("arch");
     });
-    g.bench_function("architecture_50us_slices", |b| {
-        b.iter(|| {
-            run_architecture(
-                &spec,
-                SchedAlg::PriorityPreemptive,
-                TimeSlice::Quantum(Duration::from_micros(50)),
-                &cfg,
-            )
-            .expect("arch sliced")
-        });
+    g.bench_function("architecture_50us_slices", || {
+        run_architecture(
+            &spec,
+            SchedAlg::PriorityPreemptive,
+            TimeSlice::Quantum(Duration::from_micros(50)),
+            &cfg,
+        )
+        .expect("arch sliced");
     });
-    g.bench_function("architecture_5us_slices", |b| {
-        b.iter(|| {
-            run_architecture(
-                &spec,
-                SchedAlg::PriorityPreemptive,
-                TimeSlice::Quantum(Duration::from_micros(5)),
-                &cfg,
-            )
-            .expect("arch finely sliced")
-        });
+    g.bench_function("architecture_5us_slices", || {
+        run_architecture(
+            &spec,
+            SchedAlg::PriorityPreemptive,
+            TimeSlice::Quantum(Duration::from_micros(5)),
+            &cfg,
+        )
+        .expect("arch finely sliced");
     });
     g.finish();
 }
-
-criterion_group!(figure8, benches);
-criterion_main!(figure8);

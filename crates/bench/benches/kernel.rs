@@ -2,11 +2,14 @@
 //! token-passing co-routine handoff, event notification, timed waits, and
 //! `par` fan-out. These quantify the "simulation overhead" substrate the
 //! paper's RTOS model sits on.
+//!
+//! Run with `cargo bench -p bench --bench kernel` (set `BENCH_SAMPLES` to
+//! change the sample count).
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::BenchGroup;
 use sldl_sim::{Child, Simulation};
 
 /// Two processes ping-pong through events N times.
@@ -77,15 +80,12 @@ fn queue_throughput(items: u64) {
     sim.run().expect("queue");
 }
 
-fn benches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kernel");
+fn main() {
+    let mut g = BenchGroup::new("kernel");
     g.sample_size(10);
-    g.bench_function("event_ping_pong_1k", |b| b.iter(|| event_ping_pong(1_000)));
-    g.bench_function("timed_waits_1k", |b| b.iter(|| timed_waits(1_000)));
-    g.bench_function("par_fan_out_64", |b| b.iter(|| par_fan_out(64)));
-    g.bench_function("queue_throughput_1k", |b| b.iter(|| queue_throughput(1_000)));
+    g.bench_function("event_ping_pong_1k", || event_ping_pong(1_000));
+    g.bench_function("timed_waits_1k", || timed_waits(1_000));
+    g.bench_function("par_fan_out_64", || par_fan_out(64));
+    g.bench_function("queue_throughput_1k", || queue_throughput(1_000));
     g.finish();
 }
-
-criterion_group!(kernel, benches);
-criterion_main!(kernel);

@@ -6,11 +6,13 @@
 //! SLDL processes) and as an RTOS-scheduled architecture model, over
 //! increasing task counts. The RTOS model should cost only a small constant
 //! factor over the raw kernel.
+//!
+//! Run with `cargo bench -p bench --bench overhead`.
 
 use std::collections::HashMap;
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::BenchGroup;
 use model_refine::{
     run_architecture, run_unscheduled, Action, Behavior, PeSpec, RunConfig, SystemSpec,
 };
@@ -40,36 +42,24 @@ fn workload(tasks: usize, steps: usize) -> SystemSpec {
     spec
 }
 
-fn benches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rtos_model_overhead");
+fn main() {
+    let mut g = BenchGroup::new("rtos_model_overhead");
     g.sample_size(10);
     for tasks in [2usize, 8, 32] {
         let spec = workload(tasks, 50);
-        g.bench_with_input(
-            BenchmarkId::new("unscheduled", tasks),
-            &spec,
-            |b, spec| {
-                b.iter(|| run_unscheduled(spec, &RunConfig::default()).expect("unsched"));
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("architecture", tasks),
-            &spec,
-            |b, spec| {
-                b.iter(|| {
-                    run_architecture(
-                        spec,
-                        SchedAlg::PriorityPreemptive,
-                        TimeSlice::WholeDelay,
-                        &RunConfig::default(),
-                    )
-                    .expect("arch")
-                });
-            },
-        );
+        let s = &spec;
+        g.bench_function(format!("unscheduled/{tasks}"), || {
+            run_unscheduled(s, &RunConfig::default()).expect("unsched");
+        });
+        g.bench_function(format!("architecture/{tasks}"), || {
+            run_architecture(
+                s,
+                SchedAlg::PriorityPreemptive,
+                TimeSlice::WholeDelay,
+                &RunConfig::default(),
+            )
+            .expect("arch");
+        });
     }
     g.finish();
 }
-
-criterion_group!(overhead, benches);
-criterion_main!(overhead);

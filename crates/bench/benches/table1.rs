@@ -1,40 +1,37 @@
-//! Criterion bench for the **Table 1** experiment: simulation cost of the
+//! Wall-clock bench for the **Table 1** experiment: simulation cost of the
 //! vocoder in each of the three models (the paper's "Execution Time" row:
 //! 24.0 s / 24.4 s / 5 h on their testbed — the claim is the *ratio*, with
 //! the ISS orders of magnitude slower than the abstract models).
+//!
+//! Run with `cargo bench -p bench --bench table1`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::BenchGroup;
 use dsp_iss::vocoder_app::{run_impl_model, ImplConfig};
 use rtos_model::{SchedAlg, TimeSlice};
 use vocoder::{simulate_architecture, simulate_unscheduled, VocoderConfig};
 
 const FRAMES: usize = 10;
 
-fn benches(c: &mut Criterion) {
+fn main() {
     let cfg = VocoderConfig {
         frames: FRAMES,
         ..VocoderConfig::default()
     };
-    let mut g = c.benchmark_group("table1_vocoder_10_frames");
+    let mut g = BenchGroup::new("table1_vocoder_10_frames");
     g.sample_size(10);
-    g.bench_function("unscheduled", |b| {
-        b.iter(|| simulate_unscheduled(&cfg).expect("unsched"));
+    g.bench_function("unscheduled", || {
+        simulate_unscheduled(&cfg).expect("unsched");
     });
-    g.bench_function("architecture", |b| {
-        b.iter(|| {
-            simulate_architecture(&cfg, SchedAlg::PriorityPreemptive, TimeSlice::WholeDelay)
-                .expect("arch")
-        });
+    g.bench_function("architecture", || {
+        simulate_architecture(&cfg, SchedAlg::PriorityPreemptive, TimeSlice::WholeDelay)
+            .expect("arch");
     });
     let impl_cfg = ImplConfig {
         frames: FRAMES as u32,
         ..ImplConfig::default()
     };
-    g.bench_function("implementation_iss", |b| {
-        b.iter(|| run_impl_model(&impl_cfg));
+    g.bench_function("implementation_iss", || {
+        let _ = run_impl_model(&impl_cfg);
     });
     g.finish();
 }
-
-criterion_group!(table1, benches);
-criterion_main!(table1);

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bench::TextTable;
-use parking_lot::Mutex;
+use sldl_sim::sync::Mutex;
 use rtos_model::{
     InheritancePolicy, Priority, Rtos, RtosMutex, SchedAlg, TaskParams, TimeSlice,
 };

@@ -1,0 +1,208 @@
+//! Robustness sweep **R1**: the vocoder Table-1 scenario under seeded
+//! fault injection, per scheduling policy, plus a deadline-miss-policy
+//! ablation on a forced-overrun periodic set.
+//!
+//! Part 1 installs a [`FaultPlan`] with increasing WCET-jitter rates into
+//! the architecture model and reports how transcoding delay degrades per
+//! scheduler, how many faults were injected, and whether the decoder
+//! watchdog fired. Dropped-notification plans can starve the pipeline
+//! outright — the health layer turns that from a silent hang into a
+//! `WatchdogExpired`/`Deadlock` diagnosis.
+//!
+//! Part 2 forces a 2× WCET overrun on one periodic task and shows the
+//! metric deltas produced by each [`MissPolicy`]: `Count` keeps missing,
+//! `SkipCycle` sheds load, `RestartTask` re-phases, `Degrade` demotes,
+//! `KillTask` removes the task entirely.
+//!
+//! Run with `cargo run -p bench --bin robustness [-- --frames N]`.
+
+use std::time::Duration;
+
+use bench::TextTable;
+use rtos_model::{
+    CycleOutcome, MissPolicy, Priority, Rtos, SchedAlg, TaskParams, TimeSlice, WatchdogAction,
+};
+use sldl_sim::{Child, FaultPlan, RunError, SimTime, Simulation};
+use vocoder::{simulate_architecture, VocoderConfig, WatchdogSpec};
+
+fn fault_sweep(frames: usize) {
+    let algs: [(&str, SchedAlg); 3] = [
+        ("prio-preemptive", SchedAlg::PriorityPreemptive),
+        ("prio-cooperative", SchedAlg::PriorityCooperative),
+        (
+            "round-robin 500us",
+            SchedAlg::RoundRobin {
+                quantum: Duration::from_micros(500),
+            },
+        ),
+    ];
+    println!("R1a: vocoder under WCET jitter ({frames} frames, watchdog 60 ms, seed 7)\n");
+    let mut table = TextTable::new();
+    table.row([
+        "jitter rate",
+        "scheduler",
+        "outcome",
+        "faults",
+        "mean delay",
+        "max delay",
+        "switches",
+    ]);
+    for rate in [0.0, 0.05, 0.2, 0.5] {
+        for (name, alg) in algs.iter() {
+            let cfg = VocoderConfig {
+                frames,
+                faults: FaultPlan::seeded(7).with_wcet_jitter(rate, 2.0),
+                watchdog: Some(WatchdogSpec {
+                    timeout: Duration::from_millis(60),
+                    action: WatchdogAction::AbortRun,
+                }),
+                ..VocoderConfig::default()
+            };
+            match simulate_architecture(&cfg, *alg, TimeSlice::WholeDelay) {
+                Ok(run) => table.row([
+                    format!("{rate:.2}"),
+                    (*name).to_string(),
+                    "completed".into(),
+                    run.faults_injected.to_string(),
+                    bench::fmt_ms(run.mean_transcode_delay()),
+                    bench::fmt_ms(run.max_transcode_delay().unwrap_or_default()),
+                    run.context_switches.to_string(),
+                ]),
+                Err(e) => table.row([
+                    format!("{rate:.2}"),
+                    (*name).to_string(),
+                    describe(&e),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]),
+            };
+        }
+    }
+    print!("{}", table.render());
+}
+
+fn dropped_interrupts(frames: usize) {
+    println!("\nR1b: dropped notifications — watchdog vs. silent starvation\n");
+    let mut table = TextTable::new();
+    table.row(["drop rate", "watchdog", "outcome", "faults injected"]);
+    for rate in [0.0, 0.3] {
+        for armed in [false, true] {
+            let cfg = VocoderConfig {
+                frames,
+                faults: FaultPlan::seeded(11).with_drop_notify(rate),
+                watchdog: armed.then_some(WatchdogSpec {
+                    timeout: Duration::from_millis(60),
+                    action: WatchdogAction::AbortRun,
+                }),
+                ..VocoderConfig::default()
+            };
+            let (outcome, faults) = match simulate_architecture(
+                &cfg,
+                SchedAlg::PriorityPreemptive,
+                TimeSlice::WholeDelay,
+            ) {
+                Ok(run) => ("completed".to_string(), run.faults_injected.to_string()),
+                Err(e) => (describe(&e), "-".into()),
+            };
+            table.row([
+                format!("{rate:.2}"),
+                if armed { "armed" } else { "off" }.to_string(),
+                outcome,
+                faults,
+            ]);
+        }
+    }
+    print!("{}", table.render());
+}
+
+/// One periodic task forced into a 2× WCET overrun every cycle, run under
+/// each miss policy; a well-behaved background task shares the PE.
+fn miss_policy_ablation() {
+    println!("\nR1c: deadline-miss policies on a forced 2x WCET overrun (budget 2)\n");
+    let policies: [(&str, MissPolicy); 5] = [
+        ("Count", MissPolicy::Count),
+        ("SkipCycle", MissPolicy::SkipCycle),
+        ("RestartTask", MissPolicy::RestartTask),
+        ("Degrade(6)", MissPolicy::Degrade(Priority(6))),
+        ("KillTask", MissPolicy::KillTask),
+    ];
+    let mut table = TextTable::new();
+    table.row([
+        "policy", "misses", "skipped", "restarts", "degraded", "killed", "cycles run",
+    ]);
+    for (name, policy) in policies {
+        let mut sim = Simulation::new();
+        let os = Rtos::new("pe", sim.sync_layer());
+        os.start(SchedAlg::PriorityPreemptive);
+        let os2 = os.clone();
+        sim.spawn(Child::new("overrunner", move |ctx| {
+            let mut p = TaskParams::periodic("overrunner", Duration::from_micros(100));
+            p.priority(Priority(1))
+                .wcet(Duration::from_micros(80))
+                .miss_policy(policy)
+                .miss_budget(2);
+            let me = os2.task_create(&p);
+            os2.task_activate(ctx, me);
+            for _ in 0..40 {
+                // 2x the WCET annotation: guaranteed overrun.
+                os2.time_wait(ctx, Duration::from_micros(160));
+                if os2.task_endcycle(ctx) == CycleOutcome::Stop {
+                    return; // killed: never touch the RTOS again
+                }
+            }
+            os2.task_terminate(ctx);
+        }));
+        let report = sim
+            .run_until(SimTime::from_millis(10))
+            .expect("run completes");
+        let m = os.metrics_at(report.end_time);
+        let s = &m.tasks[0];
+        table.row([
+            name.to_string(),
+            s.deadline_misses.to_string(),
+            s.cycles_skipped.to_string(),
+            s.restarts.to_string(),
+            s.degradations.to_string(),
+            if s.killed_by_policy { "yes" } else { "no" }.to_string(),
+            s.cycle_response_times.len().to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nShape checks: Count accumulates misses; SkipCycle sheds cycles; RestartTask \
+         re-phases (misses reset); KillTask stops the task early (fewest cycles)."
+    );
+}
+
+fn describe(e: &RunError) -> String {
+    match e {
+        RunError::WatchdogExpired { watchdog, at } => {
+            format!("watchdog `{watchdog}` expired at {at}")
+        }
+        RunError::Deadlock { cycle, .. } => format!(
+            "deadlock: {}",
+            cycle
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        ),
+        other => format!("{other}"),
+    }
+}
+
+fn main() {
+    let mut frames = 20usize;
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--frames") {
+        frames = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--frames N");
+    }
+    fault_sweep(frames);
+    dropped_interrupts(frames);
+    miss_policy_ablation();
+}

@@ -16,10 +16,8 @@
 
 use std::time::Duration;
 
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
-use rtos_model::{Priority, Rtos, SchedAlg, TaskParams, TimeSlice};
-use sldl_sim::{Child, SimTime, Simulation};
+use rtos_model::{CycleOutcome, Priority, Rtos, SchedAlg, TaskParams, TimeSlice};
+use sldl_sim::{Child, SimTime, Simulation, SmallRng};
 
 use bench::TextTable;
 
@@ -34,7 +32,7 @@ fn task_set(rng: &mut SmallRng, n: usize, total_util: f64) -> Vec<PeriodicTask> 
     let mut utils = Vec::with_capacity(n);
     let mut sum = total_util;
     for i in 1..n {
-        let next = sum * rng.random_range(0.0f64..1.0).powf(1.0 / (n - i) as f64);
+        let next = sum * rng.gen_f64().powf(1.0 / (n - i) as f64);
         utils.push(sum - next);
         sum = next;
     }
@@ -43,7 +41,7 @@ fn task_set(rng: &mut SmallRng, n: usize, total_util: f64) -> Vec<PeriodicTask> 
         .into_iter()
         .map(|u| {
             // Periods log-uniform in [2 ms, 50 ms].
-            let exp = rng.random_range(0.0f64..1.0);
+            let exp = rng.gen_f64();
             let period_us = (2_000.0 * (25.0f64).powf(exp)) as u64;
             let period = Duration::from_micros(period_us);
             let wcet = Duration::from_nanos((period.as_nanos() as f64 * u) as u64).max(
@@ -79,7 +77,9 @@ fn run_set(tasks: &[PeriodicTask], alg: SchedAlg, horizon: SimTime) -> Outcome {
             os.task_activate(ctx, me);
             loop {
                 os.time_wait(ctx, spec.wcet);
-                os.task_endcycle(ctx);
+                if os.task_endcycle(ctx) == CycleOutcome::Stop {
+                    break;
+                }
             }
         }));
     }

@@ -67,7 +67,7 @@ mod sched;
 mod task;
 
 pub use metrics::{MetricsSnapshot, TaskStats};
-pub use mutex::{InheritancePolicy, RtosMutex};
-pub use rtos::{Rtos, RtosEvent, TimeSlice};
+pub use mutex::{InheritancePolicy, MutexError, RtosMutex};
+pub use rtos::{CycleOutcome, Rtos, RtosEvent, TimeSlice, Watchdog, WatchdogAction};
 pub use sched::SchedAlg;
-pub use task::{Priority, TaskId, TaskKind, TaskParams, TaskState};
+pub use task::{MissPolicy, Priority, TaskId, TaskKind, TaskParams, TaskState};

@@ -12,7 +12,6 @@ use crate::task::TaskId;
 
 /// Per-task accumulated statistics.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskStats {
     /// Task name (copied from the control block).
     pub name: String,
@@ -30,6 +29,17 @@ pub struct TaskStats {
     pub cycle_response_times: Vec<Duration>,
     /// Periodic tasks: cycles that completed after their absolute deadline.
     pub deadline_misses: u64,
+    /// Releases skipped by [`MissPolicy::SkipCycle`](crate::MissPolicy).
+    pub cycles_skipped: u64,
+    /// Cycle restarts performed by
+    /// [`MissPolicy::RestartTask`](crate::MissPolicy).
+    pub restarts: u64,
+    /// Priority degradations applied by
+    /// [`MissPolicy::Degrade`](crate::MissPolicy) (at most 1).
+    pub degradations: u64,
+    /// Whether [`MissPolicy::KillTask`](crate::MissPolicy) terminated this
+    /// task.
+    pub killed_by_policy: bool,
 }
 
 impl TaskStats {
@@ -52,7 +62,6 @@ impl TaskStats {
 
 /// Snapshot of all metrics of an [`Rtos`](crate::Rtos) instance.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub struct MetricsSnapshot {
     /// Number of context switches (change of the dispatched task, counting
@@ -65,6 +74,10 @@ pub struct MetricsSnapshot {
     pub taken_at: SimTime,
     /// Per-task statistics, indexed by [`TaskId::index`].
     pub tasks: Vec<TaskStats>,
+    /// Total watchdog expiries observed on this RTOS instance (both
+    /// counting and aborting watchdogs; see
+    /// [`Rtos::watchdog`](crate::Rtos::watchdog)).
+    pub watchdog_trips: u64,
 }
 
 impl MetricsSnapshot {
@@ -92,6 +105,22 @@ impl MetricsSnapshot {
     #[must_use]
     pub fn deadline_misses(&self) -> u64 {
         self.tasks.iter().map(|t| t.deadline_misses).sum()
+    }
+
+    /// Total releases skipped by miss policies across all tasks.
+    #[must_use]
+    pub fn cycles_skipped(&self) -> u64 {
+        self.tasks.iter().map(|t| t.cycles_skipped).sum()
+    }
+
+    /// Names of tasks killed by [`MissPolicy::KillTask`](crate::MissPolicy).
+    #[must_use]
+    pub fn killed_tasks(&self) -> Vec<&str> {
+        self.tasks
+            .iter()
+            .filter(|t| t.killed_by_policy)
+            .map(|t| t.name.as_str())
+            .collect()
     }
 }
 

@@ -12,8 +12,9 @@
 //! [pip]: https://en.wikipedia.org/wiki/Priority_inheritance
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use parking_lot::Mutex as HostMutex;
+use sldl_sim::sync::Mutex as HostMutex;
 use sldl_sim::ProcCtx;
 
 use crate::rtos::{Rtos, RtosEvent};
@@ -28,6 +29,29 @@ pub enum InheritancePolicy {
     /// Plain blocking mutex: priority inversion is possible.
     None,
 }
+
+/// Failure modes of [`RtosMutex::lock_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutexError {
+    /// The calling task already owns the mutex. `lock_timeout` treats the
+    /// mutex as non-recursive — re-acquiring would self-deadlock a task
+    /// that forgot it holds the lock, so the hazard is reported as an
+    /// error instead of blocking forever.
+    AlreadyOwned,
+    /// The timeout elapsed before the mutex became free.
+    Timeout,
+}
+
+impl core::fmt::Display for MutexError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MutexError::AlreadyOwned => write!(f, "mutex already owned by the calling task"),
+            MutexError::Timeout => write!(f, "mutex acquisition timed out"),
+        }
+    }
+}
+
+impl std::error::Error for MutexError {}
 
 #[derive(Debug)]
 struct MutexState {
@@ -64,6 +88,7 @@ struct MutexState {
 /// ```
 pub struct RtosMutex {
     os: Rtos,
+    name: Arc<String>,
     policy: InheritancePolicy,
     freed: RtosEvent,
     state: Arc<HostMutex<MutexState>>,
@@ -73,6 +98,7 @@ impl Clone for RtosMutex {
     fn clone(&self) -> Self {
         RtosMutex {
             os: self.os.clone(),
+            name: Arc::clone(&self.name),
             policy: self.policy,
             freed: self.freed,
             state: Arc::clone(&self.state),
@@ -84,6 +110,7 @@ impl core::fmt::Debug for RtosMutex {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         let st = self.state.lock();
         f.debug_struct("RtosMutex")
+            .field("name", &*self.name)
             .field("owner", &st.owner)
             .field("waiters", &st.waiters.len())
             .field("policy", &self.policy)
@@ -92,12 +119,27 @@ impl core::fmt::Debug for RtosMutex {
 }
 
 impl RtosMutex {
-    /// Creates a mutex on the given RTOS instance.
+    /// Creates a mutex on the given RTOS instance with a generated name.
     #[must_use]
     pub fn new(os: Rtos, policy: InheritancePolicy) -> Self {
         let freed = os.event_new();
+        let name = format!("mutex{}", freed.index());
+        Self::build(os, policy, freed, name)
+    }
+
+    /// Creates a mutex named `name` — the resource name reported in the
+    /// kernel's wait-for graph and in
+    /// [`RunError::Deadlock`](sldl_sim::RunError::Deadlock) cycles.
+    #[must_use]
+    pub fn named(os: Rtos, policy: InheritancePolicy, name: impl Into<String>) -> Self {
+        let freed = os.event_new();
+        Self::build(os, policy, freed, name.into())
+    }
+
+    fn build(os: Rtos, policy: InheritancePolicy, freed: RtosEvent, name: String) -> Self {
         RtosMutex {
             os,
+            name: Arc::new(name),
             policy,
             freed,
             state: Arc::new(HostMutex::new(MutexState {
@@ -106,6 +148,26 @@ impl RtosMutex {
                 depth: 0,
             })),
         }
+    }
+
+    /// The mutex's resource name (used in deadlock reports).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declares the kernel wait-for edge `me --[this mutex]--> owner` so
+    /// the stall checker can name lock cycles.
+    fn declare_edge(&self, me: TaskId, owner: TaskId) {
+        self.os.sync_layer().declare_wait(
+            self.os.task_name(me),
+            (*self.name).clone(),
+            self.os.task_name(owner),
+        );
+    }
+
+    fn clear_edge(&self, me: TaskId) {
+        self.os.sync_layer().clear_wait(&self.os.task_name(me));
     }
 
     /// Acquires the mutex, blocking the calling task while another task
@@ -136,6 +198,7 @@ impl RtosMutex {
                     Some(owner) => {
                         st.waiters.push(me);
                         drop(st);
+                        self.declare_edge(me, owner);
                         if self.policy == InheritancePolicy::Inherit {
                             // The owner inherits our (current) priority.
                             self.inherit(owner, me);
@@ -145,8 +208,60 @@ impl RtosMutex {
             }
             // Block until the owner releases, then re-contend.
             self.os.event_wait(ctx, self.freed);
+            self.clear_edge(me);
             let mut st = self.state.lock();
             st.waiters.retain(|&t| t != me);
+        }
+    }
+
+    /// Like [`lock`](RtosMutex::lock) with an upper bound on the blocking
+    /// time, treating the mutex as **non-recursive**:
+    ///
+    /// * `Err(`[`MutexError::AlreadyOwned`]`)` if the calling task already
+    ///   holds the mutex (the self-deadlock hazard, reported instead of
+    ///   blocking forever);
+    /// * `Err(`[`MutexError::Timeout`]`)` if `timeout` simulated time
+    ///   elapses before the mutex becomes free;
+    /// * `Ok(())` once acquired (release with
+    ///   [`unlock`](RtosMutex::unlock) as usual).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caller is not a running RTOS task.
+    pub fn lock_timeout(&self, ctx: &ProcCtx, timeout: Duration) -> Result<(), MutexError> {
+        let me = self
+            .os
+            .current_task(ctx)
+            .expect("mutex lock_timeout from a non-task process");
+        let deadline = ctx.now() + timeout;
+        loop {
+            let owner = {
+                let mut st = self.state.lock();
+                match st.owner {
+                    None => {
+                        st.owner = Some(me);
+                        st.depth = 1;
+                        return Ok(());
+                    }
+                    Some(owner) if owner == me => return Err(MutexError::AlreadyOwned),
+                    Some(owner) => owner,
+                }
+            };
+            let now = ctx.now();
+            if now >= deadline {
+                return Err(MutexError::Timeout);
+            }
+            self.state.lock().waiters.push(me);
+            self.declare_edge(me, owner);
+            if self.policy == InheritancePolicy::Inherit {
+                self.inherit(owner, me);
+            }
+            let fired = self.os.event_wait_timeout(ctx, self.freed, deadline - now);
+            self.clear_edge(me);
+            self.state.lock().waiters.retain(|&t| t != me);
+            if !fired {
+                return Err(MutexError::Timeout);
+            }
         }
     }
 

@@ -15,15 +15,19 @@
 //! [`TimeSlice`] refines that granularity for accuracy studies.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
-use sldl_sim::{ProcCtx, ProcessId, RecordKind, SimTime, SldlSync, SyncLayer, TraceHandle};
+use sldl_sim::sync::Mutex;
+use sldl_sim::{
+    AbortReason, Child, EventId, ProcCtx, ProcessId, RecordKind, SimTime, SldlSync, SyncLayer,
+    TraceHandle,
+};
 
 use crate::metrics::{MetricsSnapshot, TaskStats};
 use crate::sched::SchedAlg;
-use crate::task::{Priority, TaskId, TaskParams, TaskState, Tcb};
+use crate::task::{MissPolicy, Priority, TaskId, TaskParams, TaskState, Tcb};
 
 /// Handle to an RTOS-level event (the `evt` of the paper's Figure 4).
 ///
@@ -31,7 +35,6 @@ use crate::task::{Priority, TaskId, TaskParams, TaskState, Tcb};
 /// blocking on one suspends the calling *task* in the RTOS ready/event
 /// queues, keeping the scheduler's bookkeeping consistent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RtosEvent(u32);
 
 impl RtosEvent {
@@ -62,6 +65,85 @@ pub enum TimeSlice {
     Quantum(Duration),
 }
 
+/// What [`Rtos::task_endcycle`] asks the periodic task's process to do
+/// next. `Stop` is returned when the task's [`MissPolicy`] terminated it
+/// (`KillTask`); the process must unwind without further RTOS calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a killed task must unwind instead of continuing its loop"]
+pub enum CycleOutcome {
+    /// The next cycle has been released and dispatched; keep looping.
+    Continue,
+    /// The task was terminated by its deadline-miss policy; return from
+    /// the process body without calling the RTOS again.
+    Stop,
+}
+
+/// Reaction of a [`Watchdog`] when its timeout elapses without a kick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WatchdogAction {
+    /// Abort the whole simulation with
+    /// [`RunError::WatchdogExpired`](sldl_sim::RunError::WatchdogExpired)
+    /// naming this watchdog — the fail-stop configuration.
+    #[default]
+    AbortRun,
+    /// Record the trip in [`MetricsSnapshot::watchdog_trips`] and keep
+    /// watching — the monitoring configuration.
+    Count,
+}
+
+/// Health-monitoring watchdog created by [`Rtos::watchdog`].
+///
+/// The returned monitor process (spawn it on the simulation) waits for
+/// periodic [`kick`](Watchdog::kick)s; if `timeout` elapses without one,
+/// the configured [`WatchdogAction`] fires. Cloneable so several tasks can
+/// share the kick duty.
+///
+/// Disarm with [`disarm`](Watchdog::disarm) followed by a final
+/// [`kick`](Watchdog::kick) to retire the monitor immediately; a disarmed
+/// monitor that is not kicked exits at its next scheduled wake instead.
+#[derive(Clone)]
+pub struct Watchdog {
+    name: Arc<String>,
+    kick_ev: EventId,
+    armed: Arc<AtomicBool>,
+}
+
+impl core::fmt::Debug for Watchdog {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Watchdog")
+            .field("name", &*self.name)
+            .field("armed", &self.armed.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl Watchdog {
+    /// The watchdog's name (as reported by `RunError::WatchdogExpired`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Feeds the watchdog: restarts its timeout window.
+    pub fn kick(&self, ctx: &ProcCtx) {
+        ctx.notify(self.kick_ev);
+    }
+
+    /// Permanently disarms the watchdog. Follow with a [`kick`] from a
+    /// process context to wake and retire the monitor immediately.
+    ///
+    /// [`kick`]: Watchdog::kick
+    pub fn disarm(&self) {
+        self.armed.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the watchdog is still armed.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::SeqCst)
+    }
+}
+
 struct OsEvent {
     alive: bool,
     waiters: Vec<TaskId>,
@@ -85,6 +167,7 @@ struct OsState {
     context_switches: u64,
     cpu_busy: Duration,
     stats: Vec<TaskStats>,
+    watchdog_trips: u64,
 }
 
 struct Inner {
@@ -174,6 +257,7 @@ impl Rtos {
                     context_switches: 0,
                     cpu_busy: Duration::ZERO,
                     stats: Vec::new(),
+                    watchdog_trips: 0,
                 }),
             }),
         }
@@ -183,6 +267,22 @@ impl Rtos {
     #[must_use]
     pub fn name(&self) -> &str {
         &self.inner.name
+    }
+
+    /// The SLDL synchronization layer this instance models on top of.
+    #[must_use]
+    pub fn sync_layer(&self) -> SldlSync {
+        self.inner.layer.clone()
+    }
+
+    /// The name `task` was created with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` was not created on this instance.
+    #[must_use]
+    pub fn task_name(&self, task: TaskId) -> String {
+        self.inner.state.lock().tasks[task.index()].name.clone()
     }
 
     /// Re-initializes the kernel data structures (the paper's `init`):
@@ -208,6 +308,7 @@ impl Rtos {
         st.context_switches = 0;
         st.cpu_busy = Duration::ZERO;
         st.stats.clear();
+        st.watchdog_trips = 0;
     }
 
     /// Starts multi-task scheduling with the given algorithm (the paper's
@@ -264,6 +365,7 @@ impl Rtos {
             cpu_busy: st.cpu_busy,
             taken_at: SimTime::ZERO, // patched below; needs a ctx-free time
             tasks: st.stats.clone(),
+            watchdog_trips: st.watchdog_trips,
         }
     }
 
@@ -376,6 +478,9 @@ impl Rtos {
             quantum_used: Duration::ZERO,
             pending_overhead: Duration::ZERO,
             last_cpu_end: SimTime::ZERO,
+            miss_policy: params.miss_policy,
+            miss_budget: params.miss_budget.max(1),
+            consecutive_misses: 0,
         });
         st.stats.push(TaskStats {
             name: params.name.clone(),
@@ -529,20 +634,35 @@ impl Rtos {
 
     /// Ends the current cycle of a periodic task (the paper's
     /// `task_endcycle`): records the cycle's response time and deadline
-    /// status, then suspends until the next release. If the cycle overran
-    /// its period, the task is released again immediately.
+    /// status, applies the task's [`MissPolicy`] when its overrun budget
+    /// is exhausted, then suspends until the next release. If the cycle
+    /// overran its period, the task is released again immediately.
+    ///
+    /// Returns [`CycleOutcome::Stop`] when the policy terminated the task
+    /// (`MissPolicy::KillTask`); the process must unwind without further
+    /// RTOS calls. All other paths return [`CycleOutcome::Continue`] after
+    /// the next release is dispatched.
     ///
     /// # Panics
     ///
-    /// Panics if the caller is not the running task or is not periodic.
-    pub fn task_endcycle(&self, ctx: &ProcCtx) {
+    /// Raises a model-misuse error if the caller is not the running task
+    /// or is not periodic.
+    #[track_caller]
+    pub fn task_endcycle(&self, ctx: &ProcCtx) -> CycleOutcome {
         let (tid, next_release) = {
             let mut st = self.inner.state.lock();
             let tid = self.running_caller(&st, ctx);
             let now = ctx.now();
-            let period = st.tasks[tid.index()]
-                .period()
-                .unwrap_or_else(|| panic!("{}: task_endcycle on aperiodic task", self.inner.name));
+            let period = match st.tasks[tid.index()].period() {
+                Some(p) => p,
+                None => {
+                    drop(st);
+                    ctx.misuse_layer(
+                        &self.inner.name,
+                        format!("task_endcycle on aperiodic {tid}"),
+                    );
+                }
+            };
             let release = st.tasks[tid.index()].release_time;
             let deadline = st.tasks[tid.index()].abs_deadline;
             // The cycle completes when its computation does (end of the
@@ -552,10 +672,61 @@ impl Rtos {
             st.stats[tid.index()]
                 .cycle_response_times
                 .push(completion - release);
-            if completion > deadline {
+            let missed = completion > deadline;
+            if missed {
                 st.stats[tid.index()].deadline_misses += 1;
+                st.tasks[tid.index()].consecutive_misses += 1;
+            } else {
+                st.tasks[tid.index()].consecutive_misses = 0;
             }
-            let next_release = release + period;
+            let mut next_release = release + period;
+            // The overrun budget is exhausted: apply the miss policy.
+            if missed
+                && st.tasks[tid.index()].consecutive_misses >= st.tasks[tid.index()].miss_budget
+            {
+                match st.tasks[tid.index()].miss_policy {
+                    MissPolicy::Count => {}
+                    MissPolicy::SkipCycle => {
+                        // Shed the backlog: skip every release that is
+                        // already in the past so the task re-synchronizes
+                        // with its period instead of chasing it.
+                        while next_release <= now {
+                            next_release += period;
+                            st.stats[tid.index()].cycles_skipped += 1;
+                        }
+                        st.tasks[tid.index()].consecutive_misses = 0;
+                    }
+                    MissPolicy::KillTask => {
+                        st.stats[tid.index()].killed_by_policy = true;
+                        self.undispatch(&mut st, tid, now, false);
+                        st.tasks[tid.index()].state = TaskState::Terminated;
+                        if let Some(pid) = st.tasks[tid.index()].pid {
+                            st.by_pid.remove(&pid);
+                        }
+                        self.dispatch_best(&mut st, ctx);
+                        return CycleOutcome::Stop;
+                    }
+                    MissPolicy::RestartTask => {
+                        // Re-phase: the next release is *now*; the task
+                        // continues as if freshly activated.
+                        st.stats[tid.index()].restarts += 1;
+                        st.tasks[tid.index()].consecutive_misses = 0;
+                        next_release = now;
+                    }
+                    MissPolicy::Degrade(p) => {
+                        if st.stats[tid.index()].degradations == 0 {
+                            st.stats[tid.index()].degradations += 1;
+                            let tcb = &mut st.tasks[tid.index()];
+                            let boosted = tcb.priority < tcb.base_priority;
+                            tcb.base_priority = tcb.base_priority.max(p);
+                            if !boosted {
+                                tcb.priority = tcb.base_priority;
+                            }
+                        }
+                        st.tasks[tid.index()].consecutive_misses = 0;
+                    }
+                }
+            }
             {
                 let tcb = &mut st.tasks[tid.index()];
                 tcb.release_time = next_release;
@@ -581,6 +752,7 @@ impl Rtos {
         self.dispatch_if_idle(&mut st, ctx);
         drop(st);
         self.wait_until_dispatched(ctx, tid);
+        CycleOutcome::Continue
     }
 
     /// Suspends the calling task before it forks children with the SLDL
@@ -609,13 +781,17 @@ impl Rtos {
     ///
     /// Panics if the caller's task is not in the [`TaskState::Forking`]
     /// state.
+    #[track_caller]
     pub fn par_end(&self, ctx: &ProcCtx) {
         let tid = {
             let mut st = self.inner.state.lock();
-            let tid = *st
-                .by_pid
-                .get(&ctx.pid())
-                .unwrap_or_else(|| panic!("{}: par_end by unbound process", self.inner.name));
+            let tid = match st.by_pid.get(&ctx.pid()).copied() {
+                Some(t) => t,
+                None => {
+                    drop(st);
+                    ctx.misuse_layer(&self.inner.name, "par_end by unbound process");
+                }
+            };
             assert_eq!(
                 st.tasks[tid.index()].state,
                 TaskState::Forking,
@@ -687,6 +863,88 @@ impl Rtos {
         self.wait_until_dispatched(ctx, tid);
     }
 
+    /// Like [`event_wait`](Rtos::event_wait) with an upper bound on the
+    /// blocking time: returns `true` if `event` was notified, `false` if
+    /// `timeout` simulated time elapsed first. On timeout the task leaves
+    /// the event queue, re-enters the ready queue, and competes for the
+    /// CPU as usual — the return value tells the caller *why* it resumed.
+    ///
+    /// A notification arriving in the same instant as the timeout wins the
+    /// race (the wait counts as satisfied).
+    ///
+    /// # Panics
+    ///
+    /// Raises a model-misuse error if the caller is not the running task
+    /// or the event has been deleted.
+    #[track_caller]
+    pub fn event_wait_timeout(&self, ctx: &ProcCtx, event: RtosEvent, timeout: Duration) -> bool {
+        let deadline = ctx.now() + timeout;
+        let tid = {
+            let mut st = self.inner.state.lock();
+            if !st.events[event.index()].alive {
+                drop(st);
+                ctx.misuse_layer(
+                    &self.inner.name,
+                    format!("event_wait_timeout on deleted {event}"),
+                );
+            }
+            let tid = self.running_caller(&st, ctx);
+            let now = ctx.now();
+            self.undispatch(&mut st, tid, now, false);
+            st.tasks[tid.index()].state = TaskState::Blocked;
+            st.events[event.index()].waiters.push(tid);
+            self.dispatch_best(&mut st, ctx);
+            tid
+        };
+        enum Next {
+            Done,
+            WaitTimed(EventId, Duration),
+            Wait(EventId),
+        }
+        let mut fired = true;
+        loop {
+            let next = {
+                let mut st = self.inner.state.lock();
+                if st.running == Some(tid) {
+                    Next::Done
+                } else {
+                    let now = ctx.now();
+                    let ev = st.tasks[tid.index()].dispatch_ev;
+                    if fired && now >= deadline {
+                        if st.events[event.index()].waiters.contains(&tid) {
+                            // Timed out while still queued: withdraw and
+                            // compete for the CPU.
+                            st.events[event.index()].waiters.retain(|&t| t != tid);
+                            self.make_ready(&mut st, tid, now, false);
+                            self.dispatch_if_idle(&mut st, ctx);
+                            fired = false;
+                        }
+                        // else: a notify released us at (or before) the
+                        // deadline instant — the wait counts as satisfied.
+                        if st.running == Some(tid) {
+                            Next::Done
+                        } else {
+                            Next::Wait(ev)
+                        }
+                    } else if fired {
+                        Next::WaitTimed(ev, deadline - now)
+                    } else {
+                        Next::Wait(ev)
+                    }
+                }
+            };
+            match next {
+                Next::Done => break,
+                Next::WaitTimed(ev, d) => {
+                    let _ = ctx.wait_timeout(ev, d);
+                }
+                Next::Wait(ev) => ctx.wait(ev),
+            }
+        }
+        self.consume_switch_overhead(ctx, tid);
+        fired
+    }
+
     /// Notifies `event` (the paper's `event_notify`): **all** tasks waiting
     /// on it move back to the ready queue. A task caller passes through a
     /// preemption point (it may lose the CPU to a task it just woke); an
@@ -742,6 +1000,11 @@ impl Rtos {
             let st = self.inner.state.lock();
             let _ = self.running_caller(&st, ctx);
         }
+        // Fault hook: WCET jitter may stretch the computation annotation
+        // (see `sldl_sim::FaultPlan`). Identity unless a plan is armed —
+        // only *computation* delays route through here, never the passage
+        // of time between periodic releases.
+        let delay = ctx.perturb_delay(delay);
         let quantum = match self.inner.state.lock().slice {
             TimeSlice::WholeDelay => None,
             TimeSlice::Quantum(q) => Some(q),
@@ -773,24 +1036,81 @@ impl Rtos {
         }
     }
 
+    // -- Health monitoring --------------------------------------------------
+
+    /// Creates a [`Watchdog`] named `name` with the given `timeout` and
+    /// `action`, returning the handle and the monitor process. Spawn the
+    /// monitor on the simulation (top level or inside a `par`); tasks then
+    /// [`kick`](Watchdog::kick) the handle more often than `timeout`.
+    ///
+    /// The monitor is a plain SLDL process (it never blocks the RTOS
+    /// scheduler); with [`WatchdogAction::Count`] each trip increments
+    /// [`MetricsSnapshot::watchdog_trips`] and the watch continues, with
+    /// [`WatchdogAction::AbortRun`] the first trip ends the run with
+    /// [`RunError::WatchdogExpired`](sldl_sim::RunError::WatchdogExpired).
+    ///
+    /// An armed watchdog keeps the simulation alive (it always has a
+    /// pending timer): [`disarm`](Watchdog::disarm) it — plus a final kick
+    /// — when the workload is done, or bound the run with
+    /// [`Simulation::run_until`](sldl_sim::Simulation::run_until).
+    #[must_use]
+    pub fn watchdog(
+        &self,
+        name: impl Into<String>,
+        timeout: Duration,
+        action: WatchdogAction,
+    ) -> (Watchdog, Child) {
+        let name = Arc::new(name.into());
+        let wd = Watchdog {
+            name: Arc::clone(&name),
+            kick_ev: self.inner.layer.ev_new(),
+            armed: Arc::new(AtomicBool::new(true)),
+        };
+        let handle = wd.clone();
+        let os = self.clone();
+        let monitor = Child::new(format!("watchdog:{name}"), move |ctx| {
+            while handle.armed.load(Ordering::SeqCst) {
+                if ctx.wait_timeout(handle.kick_ev, timeout).is_none()
+                    && handle.armed.load(Ordering::SeqCst)
+                {
+                    match action {
+                        WatchdogAction::AbortRun => {
+                            ctx.abort_run(AbortReason::Watchdog {
+                                name: (*handle.name).clone(),
+                            });
+                        }
+                        WatchdogAction::Count => {
+                            os.inner.state.lock().watchdog_trips += 1;
+                        }
+                    }
+                }
+            }
+        });
+        (wd, monitor)
+    }
+
     // -- Internals ----------------------------------------------------------
 
-    /// The caller's task id, asserting it is the running task.
+    /// The caller's task id, raising a model-misuse error if the caller is
+    /// not the running task.
+    #[track_caller]
     fn running_caller(&self, st: &OsState, ctx: &ProcCtx) -> TaskId {
-        let tid = *st.by_pid.get(&ctx.pid()).unwrap_or_else(|| {
-            panic!(
-                "{}: process `{}` is not bound to a task",
-                self.inner.name,
-                ctx.name()
-            )
-        });
-        assert_eq!(
-            st.running,
-            Some(tid),
-            "{}: task-context call from `{}` while {tid} is not running",
-            self.inner.name,
-            ctx.name()
-        );
+        let tid = match st.by_pid.get(&ctx.pid()).copied() {
+            Some(t) => t,
+            None => ctx.misuse_layer(
+                &self.inner.name,
+                format!("process `{}` is not bound to a task", ctx.name()),
+            ),
+        };
+        if st.running != Some(tid) {
+            ctx.misuse_layer(
+                &self.inner.name,
+                format!(
+                    "task-context call from `{}` while {tid} is not running",
+                    ctx.name()
+                ),
+            );
+        }
         tid
     }
 

@@ -13,7 +13,6 @@ use crate::task::{TaskKind, Tcb};
 
 /// Dynamic scheduling algorithm run by an [`Rtos`](crate::Rtos) instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum SchedAlg {
     /// Fixed-priority, preemptive (the paper's default for its examples):
@@ -126,6 +125,9 @@ mod tests {
             quantum_used: Duration::ZERO,
             pending_overhead: Duration::ZERO,
             last_cpu_end: SimTime::ZERO,
+            miss_policy: crate::task::MissPolicy::Count,
+            miss_budget: 1,
+            consecutive_misses: 0,
         }
     }
 

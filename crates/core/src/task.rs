@@ -7,7 +7,6 @@ use sldl_sim::{EventId, ProcessId, SimTime};
 
 /// Handle to an RTOS task (the `proc` handle of the paper's Figure 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskId(pub(crate) u32);
 
 impl TaskId {
@@ -28,7 +27,6 @@ impl fmt::Display for TaskId {
 /// is the most urgent), following the µC/OS and POSIX `SCHED_FIFO`-inverse
 /// convention used throughout this crate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Priority(pub u32);
 
 impl Priority {
@@ -48,7 +46,6 @@ impl fmt::Display for Priority {
 /// real time tasks with a critical deadline and non-periodic real time
 /// tasks with a fixed priority".
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum TaskKind {
     /// Released every `period`; the implicit deadline is the next release.
     /// Must call [`Rtos::task_endcycle`](crate::Rtos::task_endcycle) at the
@@ -60,6 +57,39 @@ pub enum TaskKind {
     /// Activated on demand, scheduled by fixed priority (or by the optional
     /// `deadline` under EDF).
     Aperiodic,
+}
+
+/// What the RTOS does when a periodic task exhausts its overrun budget —
+/// its number of *consecutive* deadline misses reaches the budget set by
+/// [`TaskParams::miss_budget`]. Applied inside
+/// [`Rtos::task_endcycle`](crate::Rtos::task_endcycle).
+///
+/// Every policy still counts each miss in `TaskStats::deadline_misses`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum MissPolicy {
+    /// Only count the miss (the classic "monitor, don't intervene" mode
+    /// and the default — scheduling is identical to a policy-free model).
+    #[default]
+    Count,
+    /// Skip the release(s) the task can no longer meet: the next release
+    /// is moved past the current time, shedding the backlog so the task
+    /// re-synchronizes with its period. Skipped releases are counted in
+    /// `TaskStats::cycles_skipped`.
+    SkipCycle,
+    /// Kill the task: it is terminated on the spot and
+    /// [`Rtos::task_endcycle`](crate::Rtos::task_endcycle) returns
+    /// [`CycleOutcome::Stop`](crate::CycleOutcome) so its process can
+    /// unwind. Recorded in `TaskStats::killed_by_policy`.
+    KillTask,
+    /// Restart the task's cycle phase: the next release is *now*, the
+    /// consecutive-miss counter resets, and the task continues as if
+    /// freshly activated. Counted in `TaskStats::restarts`.
+    RestartTask,
+    /// Permanently degrade the task to the given (less urgent) priority,
+    /// shedding load for the benefit of the remaining tasks. Applied at
+    /// most once; counted in `TaskStats::degradations`.
+    Degrade(Priority),
 }
 
 /// Parameters for [`Rtos::task_create`](crate::Rtos::task_create)
@@ -80,6 +110,8 @@ pub struct TaskParams {
     pub(crate) priority: Priority,
     pub(crate) wcet: Duration,
     pub(crate) deadline: Option<Duration>,
+    pub(crate) miss_policy: MissPolicy,
+    pub(crate) miss_budget: u32,
 }
 
 impl TaskParams {
@@ -91,6 +123,8 @@ impl TaskParams {
             priority,
             wcet: Duration::ZERO,
             deadline: None,
+            miss_policy: MissPolicy::Count,
+            miss_budget: 1,
         }
     }
 
@@ -106,6 +140,8 @@ impl TaskParams {
             priority: Priority::LOWEST,
             wcet: Duration::ZERO,
             deadline: None,
+            miss_policy: MissPolicy::Count,
+            miss_budget: 1,
         }
     }
 
@@ -130,6 +166,24 @@ impl TaskParams {
         self
     }
 
+    /// Sets the deadline-miss policy applied when the overrun budget is
+    /// exhausted (default [`MissPolicy::Count`]).
+    pub fn miss_policy(&mut self, policy: MissPolicy) -> &mut Self {
+        self.miss_policy = policy;
+        self
+    }
+
+    /// Sets the overrun budget: the number of *consecutive* deadline
+    /// misses after which the [`miss_policy`](TaskParams::miss_policy)
+    /// fires (default 1 — the policy fires on the first miss). A
+    /// successful cycle resets the counter.
+    ///
+    /// A budget of 0 is treated as 1.
+    pub fn miss_budget(&mut self, budget: u32) -> &mut Self {
+        self.miss_budget = budget.max(1);
+        self
+    }
+
     /// The task name.
     #[must_use]
     pub fn name(&self) -> &str {
@@ -147,7 +201,6 @@ impl TaskParams {
 /// between different states and a task queue is associated with each
 /// state" — paper §4.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum TaskState {
     /// Created but not yet activated.
     Created,
@@ -201,6 +254,12 @@ pub(crate) struct Tcb {
     /// of its computation, used for cycle response times so preemption
     /// between finishing work and calling `task_endcycle` is not charged.
     pub(crate) last_cpu_end: SimTime,
+    /// Deadline-miss policy applied when the overrun budget is exhausted.
+    pub(crate) miss_policy: MissPolicy,
+    /// Consecutive misses tolerated before the policy fires (>= 1).
+    pub(crate) miss_budget: u32,
+    /// Current run of consecutive deadline misses.
+    pub(crate) consecutive_misses: u32,
 }
 
 impl Tcb {

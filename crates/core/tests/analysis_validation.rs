@@ -6,10 +6,9 @@
 
 use std::time::Duration;
 
-use proptest::prelude::*;
 use rtos_model::analysis::{edf_schedulable, liu_layland_bound, rta_rms, total_utilization, PeriodicSpec};
-use rtos_model::{Rtos, SchedAlg, TaskParams, TimeSlice};
-use sldl_sim::{Child, SimTime, Simulation};
+use rtos_model::{CycleOutcome, Rtos, SchedAlg, TaskParams, TimeSlice};
+use sldl_sim::{Child, SimTime, Simulation, SmallRng};
 
 /// Simulates `tasks` under the given algorithm until `horizon`; returns
 /// per-task (worst observed response, deadline misses).
@@ -33,7 +32,9 @@ fn simulate(
             os.task_activate(ctx, me);
             loop {
                 os.time_wait(ctx, spec.wcet);
-                os.task_endcycle(ctx);
+                if os.task_endcycle(ctx) == CycleOutcome::Stop {
+                    break;
+                }
             }
         }));
     }
@@ -110,39 +111,43 @@ fn edf_schedules_full_utilization_where_rms_misses() {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// For random RMS-schedulable sets, simulation never exceeds the RTA
-    /// bound, for any release pattern reachable from synchronous start.
-    #[test]
-    fn simulated_responses_never_exceed_rta(
-        raw in proptest::collection::vec((1u64..30, 1u64..6), 1..5)
-    ) {
+/// For random RMS-schedulable sets, simulation never exceeds the RTA
+/// bound, for any release pattern reachable from synchronous start.
+#[test]
+fn simulated_responses_never_exceed_rta() {
+    let mut checked = 0u32;
+    let mut seed = 0u64;
+    while checked < 12 {
+        seed += 1;
+        let mut rng = SmallRng::seed_from_u64(seed);
         // Periods are multiples of 100us and wcets multiples of 10us so
         // every scheduling event lands on the 10us slice grid — RTA
         // assumes ideal (zero-quantization) preemption.
-        let tasks: Vec<PeriodicSpec> = raw
-            .iter()
-            .map(|&(p, frac)| {
+        let n = 1 + rng.gen_range_usize(4);
+        let tasks: Vec<PeriodicSpec> = (0..n)
+            .map(|_| {
+                let p = 1 + rng.gen_range_u64(29);
+                let frac = 1 + rng.gen_range_u64(5);
                 let period = us(p * 100);
                 let wcet = us(((p * 100 / (frac + 2)) / 10 * 10).max(10));
                 PeriodicSpec::new(wcet, period)
             })
             .collect();
-        prop_assume!(total_utilization(&tasks) < 0.95);
+        if total_utilization(&tasks) >= 0.95 {
+            continue; // analytic regime only (mirrors the old prop_assume)
+        }
         let Some(bounds) = rta_rms(&tasks) else {
             // Analysis rejects: nothing to check (we only verify soundness
             // of accepted sets).
-            return Ok(());
+            continue;
         };
+        checked += 1;
         let simulated = simulate(&tasks, SchedAlg::Rms, SimTime::from_millis(20));
         for (i, ((worst, misses), bound)) in simulated.iter().zip(&bounds).enumerate() {
-            prop_assert_eq!(*misses, 0, "task {} missed", i);
-            prop_assert!(
+            assert_eq!(*misses, 0, "task {i} missed, seed {seed}");
+            assert!(
                 worst <= bound,
-                "task {}: simulated {:?} > analytic {:?}",
-                i, worst, bound
+                "task {i}: simulated {worst:?} > analytic {bound:?}, seed {seed}"
             );
         }
     }

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use sldl_sim::sync::Mutex;
 use rtos_model::{Priority, Rtos, SchedAlg, TaskParams};
 use sldl_sim::{Child, Handshake, Semaphore, SimTime, Simulation};
 

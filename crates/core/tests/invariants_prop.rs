@@ -1,14 +1,17 @@
 //! Property-based tests: under *any* scheduling algorithm, the RTOS model
 //! must serialize task execution (total makespan = sum of work, zero trace
 //! overlap), conserve CPU time, and simulate deterministically.
+//!
+//! Randomized inputs are drawn from the workspace's seeded
+//! [`SmallRng`] (fixed seeds, many cases per property), so failures are
+//! reproducible from the printed seed alone.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
-use proptest::prelude::*;
 use rtos_model::{Priority, Rtos, SchedAlg, TaskParams, TimeSlice};
-use sldl_sim::{Child, SimTime, Simulation, TraceConfig};
+use sldl_sim::sync::Mutex;
+use sldl_sim::{Child, SimTime, Simulation, SmallRng, TraceConfig};
 
 #[derive(Debug, Clone)]
 struct TaskSpec {
@@ -16,31 +19,36 @@ struct TaskSpec {
     steps: Vec<u64>, // microseconds per time_wait step
 }
 
-fn task_set_strategy() -> impl Strategy<Value = Vec<TaskSpec>> {
-    proptest::collection::vec(
-        ((0u32..8), proptest::collection::vec(1u64..400, 1..6))
-            .prop_map(|(priority, steps)| TaskSpec { priority, steps }),
-        1..6,
-    )
+fn random_task_set(rng: &mut SmallRng) -> Vec<TaskSpec> {
+    let n = 1 + rng.gen_range_usize(5);
+    (0..n)
+        .map(|_| TaskSpec {
+            priority: rng.gen_range_u64(8) as u32,
+            steps: (0..1 + rng.gen_range_usize(5))
+                .map(|_| 1 + rng.gen_range_u64(399))
+                .collect(),
+        })
+        .collect()
 }
 
-fn alg_strategy() -> impl Strategy<Value = SchedAlg> {
-    prop_oneof![
-        Just(SchedAlg::PriorityPreemptive),
-        Just(SchedAlg::PriorityCooperative),
-        Just(SchedAlg::Fifo),
-        Just(SchedAlg::RoundRobin {
-            quantum: Duration::from_micros(100)
-        }),
-        Just(SchedAlg::Edf),
-    ]
+fn random_alg(rng: &mut SmallRng) -> SchedAlg {
+    match rng.gen_range_u64(5) {
+        0 => SchedAlg::PriorityPreemptive,
+        1 => SchedAlg::PriorityCooperative,
+        2 => SchedAlg::Fifo,
+        3 => SchedAlg::RoundRobin {
+            quantum: Duration::from_micros(100),
+        },
+        _ => SchedAlg::Edf,
+    }
 }
 
-fn slice_strategy() -> impl Strategy<Value = TimeSlice> {
-    prop_oneof![
-        Just(TimeSlice::WholeDelay),
-        (10u64..200).prop_map(|q| TimeSlice::Quantum(Duration::from_micros(q))),
-    ]
+fn random_slice(rng: &mut SmallRng) -> TimeSlice {
+    if rng.gen_bool(0.5) {
+        TimeSlice::WholeDelay
+    } else {
+        TimeSlice::Quantum(Duration::from_micros(10 + rng.gen_range_u64(190)))
+    }
 }
 
 /// Runs a task set; returns (end time, completion log, context switches,
@@ -93,42 +101,44 @@ fn run_set(
     (report.end_time, completions, m.context_switches, m.cpu_busy)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn makespan_equals_total_work_and_time_is_conserved(
-        specs in task_set_strategy(),
-        alg in alg_strategy(),
-        slice in slice_strategy(),
-    ) {
+#[test]
+fn makespan_equals_total_work_and_time_is_conserved() {
+    for seed in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let specs = random_task_set(&mut rng);
+        let alg = random_alg(&mut rng);
+        let slice = random_slice(&mut rng);
         let total: u64 = specs.iter().flat_map(|s| s.steps.iter()).sum();
         let (end, log, _switches, busy) = run_set(&specs, alg, slice);
         // All tasks start at t=0 and only consume modeled CPU time, so the
         // serialized makespan is exactly the total work.
-        prop_assert_eq!(end, SimTime::from_micros(total));
-        prop_assert_eq!(busy, Duration::from_micros(total));
-        prop_assert_eq!(log.len(), specs.len());
+        assert_eq!(end, SimTime::from_micros(total), "seed {seed}");
+        assert_eq!(busy, Duration::from_micros(total), "seed {seed}");
+        assert_eq!(log.len(), specs.len(), "seed {seed}");
         // The last completion coincides with the makespan.
         let last = log.iter().map(|(_, t)| *t).max().unwrap();
-        prop_assert_eq!(last, total);
+        assert_eq!(last, total, "seed {seed}");
     }
+}
 
-    #[test]
-    fn runs_are_deterministic(
-        specs in task_set_strategy(),
-        alg in alg_strategy(),
-        slice in slice_strategy(),
-    ) {
+#[test]
+fn runs_are_deterministic() {
+    for seed in 100..124u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let specs = random_task_set(&mut rng);
+        let alg = random_alg(&mut rng);
+        let slice = random_slice(&mut rng);
         let a = run_set(&specs, alg, slice);
         let b = run_set(&specs, alg, slice);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "seed {seed}");
     }
+}
 
-    #[test]
-    fn priority_preemptive_highest_priority_finishes_no_later_than_others(
-        specs in task_set_strategy(),
-    ) {
+#[test]
+fn priority_preemptive_highest_priority_finishes_no_later_than_others() {
+    for seed in 200..224u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let specs = random_task_set(&mut rng);
         let (_, log, _, _) = run_set(&specs, SchedAlg::PriorityPreemptive, TimeSlice::WholeDelay);
         // Find the set of most urgent tasks; each must finish no later than
         // any strictly less urgent task *that has no earlier queue position*.
@@ -146,18 +156,20 @@ proptest! {
             .flat_map(|s| s.steps.iter())
             .sum();
         // All most-urgent tasks complete within their own total work span.
-        prop_assert_eq!(best_work_max, best_total);
+        assert_eq!(best_work_max, best_total, "seed {seed}");
     }
+}
 
-    #[test]
-    fn slicing_never_changes_total_time(
-        specs in task_set_strategy(),
-        alg in alg_strategy(),
-    ) {
+#[test]
+fn slicing_never_changes_total_time() {
+    for seed in 300..324u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let specs = random_task_set(&mut rng);
+        let alg = random_alg(&mut rng);
         let whole = run_set(&specs, alg, TimeSlice::WholeDelay);
         let sliced = run_set(&specs, alg, TimeSlice::Quantum(Duration::from_micros(37)));
         // Slicing refines *when* switches happen, not how much work exists.
-        prop_assert_eq!(whole.0, sliced.0);
-        prop_assert_eq!(whole.3, sliced.3);
+        assert_eq!(whole.0, sliced.0, "seed {seed}");
+        assert_eq!(whole.3, sliced.3, "seed {seed}");
     }
 }

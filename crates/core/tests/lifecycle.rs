@@ -5,7 +5,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use sldl_sim::sync::Mutex;
 use rtos_model::{Priority, Rtos, SchedAlg, TaskParams, TaskState};
 use sldl_sim::{Child, SimTime, Simulation};
 
@@ -88,7 +88,7 @@ fn edf_deadline_rolls_over_each_cycle() {
             for _ in 0..4 {
                 os.time_wait(ctx, us(work_us));
                 order.lock().push((name, ctx.now().as_micros()));
-                os.task_endcycle(ctx);
+                let _ = os.task_endcycle(ctx); // Count policy: always Continue
             }
             os.task_terminate(ctx);
         }));
@@ -148,10 +148,21 @@ fn time_wait_from_unbound_process_panics() {
         os2.time_wait(ctx, us(10));
     }));
     match sim.run() {
-        Err(sldl_sim::RunError::ProcessPanicked { message, .. }) => {
-            assert!(message.contains("not bound to a task"), "{message}");
+        // Misuse is now a *typed* error (not a raw panic) carrying the
+        // offending layer and the user call-site location.
+        Err(sldl_sim::RunError::ModelMisuse {
+            process,
+            location,
+            error,
+        }) => {
+            assert_eq!(process, "not_a_task");
+            assert!(
+                error.to_string().contains("not bound to a task"),
+                "{error}"
+            );
+            assert!(!location.is_empty());
         }
-        other => panic!("expected panic, got {other:?}"),
+        other => panic!("expected misuse error, got {other:?}"),
     }
 }
 

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use sldl_sim::sync::Mutex;
 use rtos_model::{
     InheritancePolicy, Priority, Rtos, RtosMutex, SchedAlg, TaskParams, TimeSlice,
 };

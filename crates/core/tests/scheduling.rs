@@ -5,7 +5,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use sldl_sim::sync::Mutex;
 use rtos_model::{Priority, Rtos, SchedAlg, TaskParams, TimeSlice};
 use sldl_sim::{Child, SimTime, Simulation, TraceConfig};
 
@@ -293,7 +293,7 @@ fn rms_prefers_shorter_period() {
             for _ in 0..2 {
                 os.time_wait(ctx, us(work));
                 order.lock().push((name, ctx.now().as_micros()));
-                os.task_endcycle(ctx);
+                let _ = os.task_endcycle(ctx); // Count policy: always Continue
             }
             os.task_terminate(ctx);
         }));
@@ -321,7 +321,7 @@ fn periodic_task_records_response_times_and_meets_deadlines() {
         os2.task_activate(ctx, me);
         for _ in 0..5 {
             os2.time_wait(ctx, us(300));
-            os2.task_endcycle(ctx);
+            let _ = os2.task_endcycle(ctx); // Count policy: always Continue
         }
         os2.task_terminate(ctx);
     }));
@@ -349,7 +349,7 @@ fn overrunning_periodic_task_misses_deadlines() {
         os2.task_activate(ctx, me);
         for _ in 0..3 {
             os2.time_wait(ctx, us(150)); // longer than the period
-            os2.task_endcycle(ctx);
+            let _ = os2.task_endcycle(ctx); // Count policy: always Continue
         }
         os2.task_terminate(ctx);
     }));

@@ -2,10 +2,13 @@
 //! executed by the ISS and by an independent host-side golden model; all
 //! architectural state must match. This cross-checks the assembler's text
 //! parsing and the interpreter's ALU/memory semantics in one sweep.
-
-use proptest::prelude::*;
+//!
+//! Randomized inputs are drawn from the workspace's seeded
+//! [`SmallRng`] (fixed seeds, many cases per property), so failures are
+//! reproducible from the printed seed alone.
 
 use dsp_iss::{assemble, ExitReason, Machine};
+use sldl_sim::SmallRng;
 
 /// One random straight-line operation (no control flow, so the golden
 /// model is a simple fold).
@@ -19,25 +22,51 @@ enum Op {
     Ld { rd: u8, slot: u8 },
 }
 
-fn reg() -> impl Strategy<Value = u8> {
-    // r0..r13: leave sp/lr out to keep programs well-formed by construction.
-    0u8..14
+/// r0..r13: leave sp/lr out to keep programs well-formed by construction.
+fn reg(rng: &mut SmallRng) -> u8 {
+    rng.gen_range_u64(14) as u8
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (reg(), -10_000i32..10_000).prop_map(|(rd, imm)| Op::Movi { rd, imm }),
-        (0u8..8, reg(), reg(), reg()).prop_map(|(which, rd, rs, rt)| Op::Alu {
-            which,
-            rd,
-            rs,
-            rt
-        }),
-        (reg(), reg(), -1_000i32..1_000).prop_map(|(rd, rs, imm)| Op::Addi { rd, rs, imm }),
-        (reg(), reg(), reg()).prop_map(|(rd, rs, rt)| Op::Mac { rd, rs, rt }),
-        (reg(), 0u8..8).prop_map(|(rs, slot)| Op::St { rs, slot }),
-        (reg(), 0u8..8).prop_map(|(rd, slot)| Op::Ld { rd, slot }),
-    ]
+fn imm(rng: &mut SmallRng, bound: i64) -> i32 {
+    (rng.gen_range_u64(2 * bound as u64) as i64 - bound) as i32
+}
+
+fn random_op(rng: &mut SmallRng) -> Op {
+    match rng.gen_range_u64(6) {
+        0 => Op::Movi {
+            rd: reg(rng),
+            imm: imm(rng, 10_000),
+        },
+        1 => Op::Alu {
+            which: rng.gen_range_u64(8) as u8,
+            rd: reg(rng),
+            rs: reg(rng),
+            rt: reg(rng),
+        },
+        2 => Op::Addi {
+            rd: reg(rng),
+            rs: reg(rng),
+            imm: imm(rng, 1_000),
+        },
+        3 => Op::Mac {
+            rd: reg(rng),
+            rs: reg(rng),
+            rt: reg(rng),
+        },
+        4 => Op::St {
+            rs: reg(rng),
+            slot: rng.gen_range_u64(8) as u8,
+        },
+        _ => Op::Ld {
+            rd: reg(rng),
+            slot: rng.gen_range_u64(8) as u8,
+        },
+    }
+}
+
+fn random_ops(rng: &mut SmallRng, max_len: usize) -> Vec<Op> {
+    let len = 1 + rng.gen_range_usize(max_len - 1);
+    (0..len).map(|_| random_op(rng)).collect()
 }
 
 const ALU_NAMES: [&str; 8] = ["add", "sub", "mul", "and", "or", "xor", "shl", "shr"];
@@ -108,30 +137,34 @@ fn golden(ops: &[Op]) -> ([i32; 14], [i32; 8]) {
     (regs, mem)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn iss_matches_golden_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+#[test]
+fn iss_matches_golden_model() {
+    for seed in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ops = random_ops(&mut rng, 60);
         let src = to_asm(&ops);
         let prog = assemble(&src).expect("generated program assembles");
         let mut m = Machine::new(&prog);
-        prop_assert_eq!(m.run(1_000_000), ExitReason::Halted);
+        assert_eq!(m.run(1_000_000), ExitReason::Halted, "seed {seed}");
 
         let (regs, mem) = golden(&ops);
         let dump = u32::try_from(prog.symbol("dump")).unwrap();
         for (r, &expect) in regs.iter().enumerate().skip(1) {
             let got = m.peek(dump + (r as u32) - 1);
-            prop_assert_eq!(got, expect, "register r{} mismatch", r);
+            assert_eq!(got, expect, "register r{r} mismatch, seed {seed}");
         }
         let mem_base = u32::try_from(prog.symbol("mem")).unwrap();
         for (slot, &expect) in mem.iter().enumerate() {
-            prop_assert_eq!(m.peek(mem_base + slot as u32), expect, "mem[{}]", slot);
+            assert_eq!(m.peek(mem_base + slot as u32), expect, "mem[{slot}], seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn cycle_count_matches_instruction_costs(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+#[test]
+fn cycle_count_matches_instruction_costs() {
+    for seed in 1000..1128u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ops = random_ops(&mut rng, 40);
         let src = to_asm(&ops);
         let prog = assemble(&src).expect("assembles");
         let mut m = Machine::new(&prog);
@@ -141,11 +174,17 @@ proptest! {
         for op in &ops {
             expect += match op {
                 Op::Movi { .. } | Op::Addi { .. } => 1,
-                Op::Alu { which, .. } => if *which == 2 { 2 } else { 1 },
+                Op::Alu { which, .. } => {
+                    if *which == 2 {
+                        2
+                    } else {
+                        1
+                    }
+                }
                 Op::Mac { .. } => 2,
                 Op::St { .. } | Op::Ld { .. } => 2,
             };
         }
-        prop_assert_eq!(m.cycles(), expect);
+        assert_eq!(m.cycles(), expect, "seed {seed}");
     }
 }

@@ -182,8 +182,9 @@ fn run_architecture_inner(
             let prio = priority_of(&env.priorities, &task_name);
             let me = env.os.task_create(&task_params_for(&root, &task_name, prio));
             env.os.task_activate(ctx, me);
-            exec(&root, ctx, &env, &task_name);
-            env.os.task_terminate(ctx);
+            if exec(&root, ctx, &env, &task_name) {
+                env.os.task_terminate(ctx);
+            }
         }));
     }
 
@@ -288,23 +289,36 @@ fn task_params_for(b: &Behavior, name: &str, prio: Priority) -> TaskParams {
 }
 
 /// Walks the behavior tree in task context. `path` provides unique names
-/// for composite par branches.
-fn exec(b: &Behavior, ctx: &ProcCtx, env: &Arc<Env>, path: &str) {
+/// for composite par branches. Returns `false` when the calling task was
+/// killed by its deadline-miss policy (the caller must not touch the RTOS
+/// for this task again, in particular not `task_terminate`).
+fn exec(b: &Behavior, ctx: &ProcCtx, env: &Arc<Env>, path: &str) -> bool {
     match b {
-        Behavior::Leaf { actions, .. } => run_actions(actions, ctx, env),
+        Behavior::Leaf { actions, .. } => {
+            run_actions(actions, ctx, env);
+            true
+        }
         Behavior::Periodic { cycles, actions, .. } => {
             // The enclosing task was created periodic (validated placement):
             // run the body and end the cycle, letting the RTOS release the
-            // task again at the next period (Fig. 4 `task_endcycle`).
+            // task again at the next period (Fig. 4 `task_endcycle`). A
+            // `Stop` outcome means the task's deadline-miss policy killed
+            // it — unwind without touching the RTOS again.
             for _ in 0..*cycles {
                 run_actions(actions, ctx, env);
-                env.os.task_endcycle(ctx);
+                if env.os.task_endcycle(ctx) == rtos_model::CycleOutcome::Stop {
+                    return false;
+                }
             }
+            true
         }
         Behavior::Seq(children) => {
             for (i, c) in children.iter().enumerate() {
-                exec(c, ctx, env, &format!("{path}.{i}"));
+                if !exec(c, ctx, env, &format!("{path}.{i}")) {
+                    return false;
+                }
             }
+            true
         }
         Behavior::Par(children) => {
             // Fig. 6: create child tasks, suspend the parent in the RTOS,
@@ -332,13 +346,15 @@ fn exec(b: &Behavior, ctx: &ProcCtx, env: &Arc<Env>, path: &str) {
                     let child_path = name.clone();
                     Child::new(name, move |ctx: &ProcCtx| {
                         env.os.task_activate(ctx, tid);
-                        exec(&c, ctx, &env, &child_path);
-                        env.os.task_terminate(ctx);
+                        if exec(&c, ctx, &env, &child_path) {
+                            env.os.task_terminate(ctx);
+                        }
                     })
                 })
                 .collect();
             ctx.par(kids);
             env.os.par_end(ctx);
+            true
         }
     }
 }

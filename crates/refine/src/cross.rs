@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use sldl_sim::sync::Mutex;
 use rtos_model::{Rtos, RtosEvent};
 use sldl_sim::ProcCtx;
 

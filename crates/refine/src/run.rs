@@ -124,6 +124,7 @@ mod tests {
             report: Report {
                 end_time: SimTime::from_micros(10),
                 blocked: vec![],
+                faults: vec![],
             },
             records: vec![
                 Record {

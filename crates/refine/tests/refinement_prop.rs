@@ -2,6 +2,10 @@
 //! single-PE specs, the architecture model serializes (makespan = total
 //! compute, zero overlap), the unscheduled model never finishes later than
 //! the architecture model, and both executors are deterministic.
+//!
+//! Randomized inputs are drawn from the workspace's seeded
+//! [`SmallRng`] (fixed seeds, many cases per property), so failures are
+//! reproducible from the printed seed alone.
 
 use std::collections::HashMap;
 use std::time::Duration;
@@ -9,35 +13,37 @@ use std::time::Duration;
 use model_refine::{
     run_architecture, run_unscheduled, Action, Behavior, PeSpec, RunConfig, SystemSpec,
 };
-use proptest::prelude::*;
 use rtos_model::{Priority, SchedAlg, TimeSlice};
-use sldl_sim::SimTime;
+use sldl_sim::{SimTime, SmallRng};
 
 /// Random compute-only behavior trees (no channels: always deadlock-free).
-fn behavior_strategy(depth: u32) -> BoxedStrategy<Behavior> {
-    let leaf = (0u32..1000, proptest::collection::vec(1u64..300, 1..4)).prop_map(
-        move |(salt, durs)| {
-            Behavior::Leaf {
-                name: format!("leaf{salt}"), // renamed later for uniqueness
-                actions: durs
-                    .into_iter()
-                    .enumerate()
-                    .map(|(k, d)| Action::compute(format!("d{k}"), Duration::from_micros(d)))
-                    .collect(),
-            }
-        },
-    );
+fn random_behavior(rng: &mut SmallRng, depth: u32) -> Behavior {
+    let leaf = |rng: &mut SmallRng| {
+        let n = 1 + rng.gen_range_usize(3);
+        Behavior::Leaf {
+            name: format!("leaf{}", rng.gen_range_u64(1000)), // renamed later
+            actions: (0..n)
+                .map(|k| {
+                    let d = 1 + rng.gen_range_u64(299);
+                    Action::compute(format!("d{k}"), Duration::from_micros(d))
+                })
+                .collect(),
+        }
+    };
     if depth == 0 {
-        leaf.boxed()
-    } else {
-        prop_oneof![
-            3 => leaf,
-            1 => proptest::collection::vec(behavior_strategy(depth - 1), 1..4)
-                .prop_map(Behavior::Seq),
-            2 => proptest::collection::vec(behavior_strategy(depth - 1), 2..4)
-                .prop_map(Behavior::Par),
-        ]
-        .boxed()
+        return leaf(rng);
+    }
+    // Weighted 3:1:2 leaf/seq/par, like the original strategy.
+    match rng.gen_range_u64(6) {
+        0..=2 => leaf(rng),
+        3 => {
+            let n = 1 + rng.gen_range_usize(3);
+            Behavior::Seq((0..n).map(|_| random_behavior(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = 2 + rng.gen_range_usize(2);
+            Behavior::Par((0..n).map(|_| random_behavior(rng, depth - 1)).collect())
+        }
     }
 }
 
@@ -71,49 +77,50 @@ fn spec_from(root: Behavior) -> SystemSpec {
     spec
 }
 
-fn alg_strategy() -> impl Strategy<Value = SchedAlg> {
-    prop_oneof![
-        Just(SchedAlg::PriorityPreemptive),
-        Just(SchedAlg::PriorityCooperative),
-        Just(SchedAlg::Fifo),
-        Just(SchedAlg::RoundRobin {
-            quantum: Duration::from_micros(80)
-        }),
-        Just(SchedAlg::Edf),
-    ]
+fn random_alg(rng: &mut SmallRng) -> SchedAlg {
+    match rng.gen_range_u64(5) {
+        0 => SchedAlg::PriorityPreemptive,
+        1 => SchedAlg::PriorityCooperative,
+        2 => SchedAlg::Fifo,
+        3 => SchedAlg::RoundRobin {
+            quantum: Duration::from_micros(80),
+        },
+        _ => SchedAlg::Edf,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
-
-    #[test]
-    fn architecture_serializes_total_compute(
-        root in behavior_strategy(2),
-        alg in alg_strategy(),
-    ) {
-        let spec = spec_from(root);
+#[test]
+fn architecture_serializes_total_compute() {
+    for seed in 0..20u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let spec = spec_from(random_behavior(&mut rng, 2));
+        let alg = random_alg(&mut rng);
         let total = spec.total_compute();
         let run = run_architecture(&spec, alg, TimeSlice::WholeDelay, &RunConfig::default())
             .expect("architecture run");
-        prop_assert!(run.report.blocked.is_empty());
-        prop_assert_eq!(run.end_time(), SimTime::ZERO + total);
+        assert!(run.report.blocked.is_empty(), "seed {seed}");
+        assert_eq!(run.end_time(), SimTime::ZERO + total, "seed {seed}");
 
         // No two task tracks overlap.
         let segs = run.segments();
         let tracks: Vec<_> = segs.values().collect();
         for i in 0..tracks.len() {
             for j in (i + 1)..tracks.len() {
-                prop_assert_eq!(
+                assert_eq!(
                     sldl_sim::trace::overlap(tracks[i], tracks[j]),
-                    Duration::ZERO
+                    Duration::ZERO,
+                    "seed {seed}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn unscheduled_is_a_lower_bound(root in behavior_strategy(2)) {
-        let spec = spec_from(root);
+#[test]
+fn unscheduled_is_a_lower_bound() {
+    for seed in 100..120u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let spec = spec_from(random_behavior(&mut rng, 2));
         let unsched = run_unscheduled(&spec, &RunConfig::default()).expect("unscheduled run");
         let arch = run_architecture(
             &spec,
@@ -122,25 +129,26 @@ proptest! {
             &RunConfig::default(),
         )
         .expect("architecture run");
-        prop_assert!(unsched.end_time() <= arch.end_time());
+        assert!(unsched.end_time() <= arch.end_time(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn executors_are_deterministic(
-        root in behavior_strategy(2),
-        alg in alg_strategy(),
-    ) {
-        let spec = spec_from(root);
+#[test]
+fn executors_are_deterministic() {
+    for seed in 200..220u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let spec = spec_from(random_behavior(&mut rng, 2));
+        let alg = random_alg(&mut rng);
         let a = run_architecture(&spec, alg, TimeSlice::WholeDelay, &RunConfig::default())
             .expect("run a");
         let b = run_architecture(&spec, alg, TimeSlice::WholeDelay, &RunConfig::default())
             .expect("run b");
-        prop_assert_eq!(a.end_time(), b.end_time());
-        prop_assert_eq!(a.context_switches(), b.context_switches());
-        prop_assert_eq!(a.records, b.records);
+        assert_eq!(a.end_time(), b.end_time(), "seed {seed}");
+        assert_eq!(a.context_switches(), b.context_switches(), "seed {seed}");
+        assert_eq!(a.records, b.records, "seed {seed}");
 
         let u1 = run_unscheduled(&spec, &RunConfig::default()).expect("run u1");
         let u2 = run_unscheduled(&spec, &RunConfig::default()).expect("run u2");
-        prop_assert_eq!(u1.records, u2.records);
+        assert_eq!(u1.records, u2.records, "seed {seed}");
     }
 }

@@ -9,7 +9,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use crate::ids::EventId;
 use crate::kernel::ProcCtx;
@@ -47,6 +47,35 @@ pub struct SldlSync {
 impl core::fmt::Debug for SldlSync {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.write_str("SldlSync")
+    }
+}
+
+impl SldlSync {
+    /// Declares a wait-for edge for deadlock detection: `waiter` (e.g. a
+    /// task name) is blocked on `resource` (e.g. a mutex name), which is
+    /// currently held by `holder`. A waiter has at most one outstanding
+    /// edge; declaring again replaces it. The kernel checks the declared
+    /// graph for cycles when all activity is exhausted (see
+    /// [`StallPolicy`](crate::StallPolicy)) and reports any cycle through
+    /// [`RunError::Deadlock`](crate::RunError::Deadlock).
+    ///
+    /// Synchronization layers built on the kernel (e.g. the RTOS model's
+    /// mutex) call this when a process blocks on an owned resource and
+    /// [`clear_wait`](SldlSync::clear_wait) once it acquires it.
+    pub fn declare_wait(
+        &self,
+        waiter: impl Into<String>,
+        resource: impl Into<String>,
+        holder: impl Into<String>,
+    ) {
+        self.shared
+            .declare_wait(waiter.into(), resource.into(), holder.into());
+    }
+
+    /// Removes `waiter`'s declared wait-for edge, if any (called once the
+    /// resource was acquired or the wait was abandoned).
+    pub fn clear_wait(&self, waiter: &str) {
+        self.shared.clear_wait(waiter);
     }
 }
 

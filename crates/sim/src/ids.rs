@@ -15,7 +15,6 @@ use core::fmt;
 /// [`ProcCtx::event_del`]: crate::ProcCtx::event_del
 /// [`Simulation::event_new`]: crate::Simulation::event_new
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EventId(pub(crate) u32);
 
 impl EventId {
@@ -34,7 +33,6 @@ impl fmt::Display for EventId {
 
 /// Handle to a simulated process (the SLDL behavior instance).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ProcessId(pub(crate) u32);
 
 impl ProcessId {

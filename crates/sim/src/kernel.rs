@@ -17,17 +17,17 @@
 //! simulations are sequential and deterministic — the same co-routine model
 //! used by the SpecC reference simulator.
 
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-
-use crate::error::RunError;
+use crate::error::{AbortReason, ModelError, RunError, WaitEdge};
+use crate::fault::{FaultPlan, FaultRecord, FaultState, NotifyFate};
 use crate::ids::{EventId, ProcessId};
+use crate::sync::Mutex;
 use crate::time::SimTime;
 use crate::trace::{RecordKind, SuspendReason, TraceConfig, TraceHandle};
 
@@ -93,6 +93,31 @@ pub struct Report {
     pub end_time: SimTime,
     /// Names of processes that never finished (blocked at end of run).
     pub blocked: Vec<String>,
+    /// Faults injected during the run by the installed
+    /// [`FaultPlan`](crate::FaultPlan) (empty when no plan was installed).
+    pub faults: Vec<FaultRecord>,
+}
+
+/// What the kernel does when all activity is exhausted while processes are
+/// still blocked (a *stall*). Configured with
+/// [`Simulation::set_stall_policy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum StallPolicy {
+    /// Blocked processes end the run normally **unless** the declared
+    /// wait-for graph (see [`SldlSync::declare_wait`](crate::SldlSync))
+    /// contains a cycle, in which case the run fails with
+    /// [`RunError::Deadlock`]. The default: server processes blocked on
+    /// events that never come are a normal modeling idiom and never
+    /// declare edges, so they keep ending runs cleanly.
+    #[default]
+    FailOnWaitCycle,
+    /// Never fail on a stall, even with a declared wait cycle (the
+    /// pre-deadlock-detection behavior).
+    AllowBlocked,
+    /// The strictest liveness predicate: *any* blocked process at the end
+    /// of the run is an error.
+    FailIfAnyBlocked,
 }
 
 // ---------------------------------------------------------------------------
@@ -111,6 +136,21 @@ enum Token {
 /// Payload used to unwind a cancelled process thread.
 struct CancelUnwind;
 
+/// Payload used to unwind a process that misused the model; the misuse
+/// details were already stored in the kernel state.
+struct MisuseUnwind;
+
+/// Payload used to unwind a process that aborted the run (watchdog expiry
+/// or fault-triggered abort); the reason was already stored.
+struct AbortUnwind;
+
+/// Stored misuse details, turned into [`RunError::ModelMisuse`].
+struct Misuse {
+    process: String,
+    location: String,
+    error: ModelError,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ProcState {
     Ready,
@@ -127,7 +167,7 @@ enum ProcState {
 struct ProcEntry {
     name: String,
     state: ProcState,
-    resume_tx: Sender<Token>,
+    resume_tx: SyncSender<Token>,
     handle: Option<JoinHandle<()>>,
     /// Parent joining on this process through `par`, if any.
     parent: Option<ProcessId>,
@@ -184,6 +224,16 @@ struct State {
     event_alive: Vec<bool>,
     live_procs: usize,
     panic: Option<(String, String)>,
+    misuse: Option<Misuse>,
+    abort: Option<AbortReason>,
+    /// Armed fault-injection state; `None` unless a non-empty
+    /// [`FaultPlan`] was installed, which guarantees structurally that an
+    /// empty plan perturbs nothing.
+    faults: Option<FaultState>,
+    /// Declared wait-for edges, keyed by waiter name (sorted for
+    /// deterministic cycle reporting): waiter → (resource, holder).
+    wait_graph: BTreeMap<String, (String, String)>,
+    stall_policy: StallPolicy,
     trace: Option<TraceHandle>,
     trace_kernel: bool,
 }
@@ -225,6 +275,73 @@ impl State {
         self.ready.push_back(pid);
     }
 
+    /// Checks the configured liveness predicate at a stall (all activity
+    /// exhausted). Returns the error to fail the run with, if any.
+    fn stall_error(&self) -> Option<RunError> {
+        let blocked: Vec<String> = self
+            .procs
+            .iter()
+            .filter(|p| p.state != ProcState::Finished)
+            .map(|p| p.name.clone())
+            .collect();
+        if blocked.is_empty() {
+            return None;
+        }
+        match self.stall_policy {
+            StallPolicy::AllowBlocked => None,
+            StallPolicy::FailOnWaitCycle => self.find_wait_cycle().map(|cycle| {
+                RunError::Deadlock {
+                    at: self.now,
+                    cycle,
+                    blocked,
+                }
+            }),
+            StallPolicy::FailIfAnyBlocked => Some(RunError::Deadlock {
+                at: self.now,
+                cycle: self.find_wait_cycle().unwrap_or_default(),
+                blocked,
+            }),
+        }
+    }
+
+    /// Finds a cycle in the declared wait-for graph, if one exists.
+    /// Iteration order is deterministic (edges are kept sorted by waiter
+    /// name), so the reported cycle is stable across runs.
+    fn find_wait_cycle(&self) -> Option<Vec<WaitEdge>> {
+        for start in self.wait_graph.keys() {
+            let mut path: Vec<&String> = Vec::new();
+            let mut cur = start;
+            loop {
+                if let Some(pos) = path.iter().position(|&w| w == cur) {
+                    // Found a cycle: path[pos..] closes back on `cur`.
+                    let cycle = path[pos..]
+                        .iter()
+                        .map(|&w| {
+                            let (resource, holder) = &self.wait_graph[w];
+                            WaitEdge {
+                                waiter: w.clone(),
+                                resource: resource.clone(),
+                                holder: holder.clone(),
+                            }
+                        })
+                        .collect();
+                    return Some(cycle);
+                }
+                path.push(cur);
+                match self
+                    .wait_graph
+                    .get(cur)
+                    .and_then(|(_, holder)| self.wait_graph.get_key_value(holder))
+                {
+                    Some((next, _)) => cur = next,
+                    // Chain ends at a holder that is not itself waiting.
+                    None => break,
+                }
+            }
+        }
+        None
+    }
+
     /// Marks `pid` finished and propagates par-join bookkeeping.
     fn finish(&mut self, pid: ProcessId) {
         let entry = &mut self.procs[pid.index()];
@@ -259,6 +376,20 @@ impl Shared {
     /// outside of a running process).
     pub(crate) fn alloc_event(&self) -> EventId {
         alloc_event(&mut self.state.lock())
+    }
+
+    /// Declares a wait-for edge: `waiter` is blocked on `resource`, held
+    /// by `holder` (used by `SldlSync::declare_wait`).
+    pub(crate) fn declare_wait(&self, waiter: String, resource: String, holder: String) {
+        self.state
+            .lock()
+            .wait_graph
+            .insert(waiter, (resource, holder));
+    }
+
+    /// Removes `waiter`'s declared wait-for edge, if any.
+    pub(crate) fn clear_wait(&self, waiter: &str) {
+        self.state.lock().wait_graph.remove(waiter);
     }
 }
 
@@ -297,7 +428,7 @@ impl Simulation {
     /// Creates an empty simulation at time zero.
     #[must_use]
     pub fn new() -> Self {
-        let (kernel_tx, kernel_rx) = unbounded();
+        let (kernel_tx, kernel_rx) = channel();
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 now: SimTime::ZERO,
@@ -310,6 +441,11 @@ impl Simulation {
                 event_alive: Vec::new(),
                 live_procs: 0,
                 panic: None,
+                misuse: None,
+                abort: None,
+                faults: None,
+                wait_graph: BTreeMap::new(),
+                stall_policy: StallPolicy::default(),
                 trace: None,
                 trace_kernel: false,
             }),
@@ -320,6 +456,26 @@ impl Simulation {
             kernel_rx,
             torn_down: false,
         }
+    }
+
+    /// Installs a seeded [`FaultPlan`]. An empty plan
+    /// ([`FaultPlan::none`] or all-zero rates) is not armed at all, so it
+    /// is guaranteed byte-identical to no injection. Call before
+    /// [`run`](Simulation::run); installing a new plan replaces the old
+    /// one and clears the fault log.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        let mut st = self.shared.state.lock();
+        st.faults = if plan.is_empty() {
+            None
+        } else {
+            Some(FaultState::new(plan))
+        };
+    }
+
+    /// Configures what happens when all activity is exhausted while
+    /// processes are still blocked (see [`StallPolicy`]).
+    pub fn set_stall_policy(&mut self, policy: StallPolicy) {
+        self.shared.state.lock().stall_policy = policy;
     }
 
     /// Attaches a trace recorder and returns a handle for later analysis.
@@ -380,14 +536,23 @@ impl Simulation {
         match result {
             Err(e) => Err(e),
             Ok(end_time) => {
-                let st = self.shared.state.lock();
+                let mut st = self.shared.state.lock();
                 let blocked = st
                     .procs
                     .iter()
                     .filter(|p| p.state != ProcState::Finished)
                     .map(|p| p.name.clone())
                     .collect();
-                Ok(Report { end_time, blocked })
+                let faults = st
+                    .faults
+                    .as_mut()
+                    .map(|f| std::mem::take(&mut f.log))
+                    .unwrap_or_default();
+                Ok(Report {
+                    end_time,
+                    blocked,
+                    faults,
+                })
             }
         }
     }
@@ -398,6 +563,23 @@ impl Simulation {
                 let mut st = self.shared.state.lock();
                 if let Some((process, message)) = st.panic.take() {
                     return Err(RunError::ProcessPanicked { process, message });
+                }
+                if let Some(m) = st.misuse.take() {
+                    return Err(RunError::ModelMisuse {
+                        process: m.process,
+                        location: m.location,
+                        error: m.error,
+                    });
+                }
+                if let Some(reason) = st.abort.take() {
+                    let at = st.now;
+                    return Err(match reason {
+                        AbortReason::Watchdog { name } => RunError::WatchdogExpired {
+                            watchdog: name,
+                            at,
+                        },
+                        AbortReason::Fault { reason } => RunError::FaultAbort { reason, at },
+                    });
                 }
                 if let Some(pid) = st.ready.pop_front() {
                     let entry = &mut st.procs[pid.index()];
@@ -451,8 +633,29 @@ impl Simulation {
                             }
                         }
                     }
+                    // Fault hook: registered events may fire spuriously on
+                    // every advance of simulated time (glitching interrupt
+                    // lines). `st.faults` is `None` unless a non-empty plan
+                    // was armed, so the common path draws no randomness.
+                    if let Some(mut f) = st.faults.take() {
+                        for e in f.spurious_events(now) {
+                            if st.event_alive.get(e.index()) == Some(&true)
+                                && !st.notified.contains(&e)
+                            {
+                                st.record_kernel(RecordKind::EventNotified { event: e });
+                                st.notified.push(e);
+                            }
+                        }
+                        st.faults = Some(f);
+                    }
                     None
                 } else {
+                    // Quiescent: no ready process, no pending notification,
+                    // no timed wake-up. Apply the stall policy before ending
+                    // the run normally.
+                    if let Some(err) = st.stall_error() {
+                        return Err(err);
+                    }
                     return Ok(st.now);
                 }
             };
@@ -478,9 +681,10 @@ impl Simulation {
                 let alive = st.procs[i].state != ProcState::Finished;
                 if alive {
                     st.procs[i].cancelled = true;
-                    // Ignore send failure: the thread may have exited after a
-                    // panic without consuming its token.
-                    let _ = st.procs[i].resume_tx.send(Token::Cancel);
+                    // `try_send`, and ignore failure: the thread may have
+                    // exited after a panic without consuming its token (the
+                    // one-slot buffer could still hold a stale `Go`).
+                    let _ = st.procs[i].resume_tx.try_send(Token::Cancel);
                 }
                 if let Some(h) = st.procs[i].handle.take() {
                     handles.push(h);
@@ -526,7 +730,7 @@ fn spawn_locked(
     parent: Option<ProcessId>,
 ) -> ProcessId {
     let pid = ProcessId(u32::try_from(st.procs.len()).expect("process ids exhausted"));
-    let (resume_tx, resume_rx) = bounded(1);
+    let (resume_tx, resume_rx) = sync_channel(1);
     st.procs.push(ProcEntry {
         name: child.name.clone(),
         state: ProcState::Ready,
@@ -582,6 +786,19 @@ fn run_process(ctx: ProcCtx, body: ProcBody) {
             if payload.downcast_ref::<CancelUnwind>().is_some() {
                 // Cancelled: bookkeeping was done by the canceller (or by
                 // teardown); just exit the thread.
+                return;
+            }
+            if payload.downcast_ref::<MisuseUnwind>().is_some()
+                || payload.downcast_ref::<AbortUnwind>().is_some()
+            {
+                // Misuse/abort details were already stored in kernel state
+                // by `ProcCtx::misuse` / `ProcCtx::abort_run`; finish this
+                // process and hand control back to the kernel, which will
+                // convert the stored record into a structured `RunError`.
+                let mut st = ctx.shared.state.lock();
+                st.finish(ctx.pid);
+                drop(st);
+                let _ = ctx.shared.kernel_tx.send(());
                 return;
             }
             let message = panic_message(payload);
@@ -670,36 +887,140 @@ impl ProcCtx {
         alloc_event(&mut self.shared.state.lock())
     }
 
+    /// Reports model misuse: stores the details (with the caller's source
+    /// location) for the kernel to turn into [`RunError::ModelMisuse`] and
+    /// unwinds this process. Never returns.
+    #[track_caller]
+    fn misuse(&self, error: ModelError) -> ! {
+        let location = core::panic::Location::caller();
+        let mut st = self.shared.state.lock();
+        if st.misuse.is_none() {
+            st.misuse = Some(Misuse {
+                process: self.name.clone(),
+                location: format!("{}:{}", location.file(), location.line()),
+                error,
+            });
+        }
+        drop(st);
+        // `resume_unwind` (not `panic_any`) so the global panic hook does
+        // not fire for this expected control-flow unwind.
+        panic::resume_unwind(Box::new(MisuseUnwind));
+    }
+
+    /// Reports misuse of a higher-level model layer (e.g. the RTOS model)
+    /// through the kernel's structured-error channel: the run fails with
+    /// [`RunError::ModelMisuse`] carrying
+    /// [`ModelError::Layer`] and the caller's
+    /// source location. Never returns — this process unwinds, the
+    /// simulation tears down cleanly and every other process is joined.
+    #[track_caller]
+    pub fn misuse_layer(&self, layer: impl Into<String>, message: impl Into<String>) -> ! {
+        self.misuse(ModelError::Layer {
+            layer: layer.into(),
+            message: message.into(),
+        })
+    }
+
+    /// Aborts the whole run from inside the simulation: the run fails with
+    /// [`RunError::WatchdogExpired`] or [`RunError::FaultAbort`] depending
+    /// on `reason`. Never returns. Used by health monitors (e.g. the RTOS
+    /// watchdog service) whose expiry action is to stop the run.
+    pub fn abort_run(&self, reason: AbortReason) -> ! {
+        let mut st = self.shared.state.lock();
+        if st.abort.is_none() {
+            st.abort = Some(reason);
+        }
+        drop(st);
+        panic::resume_unwind(Box::new(AbortUnwind));
+    }
+
+    /// Applies the installed [`FaultPlan`]'s WCET jitter to a delay
+    /// annotation, returning the (possibly stretched) delay and logging the
+    /// injection. With no plan (or no jitter configured) this returns
+    /// `requested` unchanged and draws no randomness.
+    ///
+    /// Model layers route *computation* delays through this hook before
+    /// consuming them with [`waitfor`](ProcCtx::waitfor); pure passage of
+    /// time (e.g. waiting out a periodic release) should not be perturbed.
+    #[must_use]
+    pub fn perturb_delay(&self, requested: Duration) -> Duration {
+        let mut st = self.shared.state.lock();
+        let Some(mut f) = st.faults.take() else {
+            return requested;
+        };
+        let now = st.now;
+        let injected = f.perturb_delay(now, &self.name, requested);
+        st.faults = Some(f);
+        injected
+    }
+
     /// Deletes an event. Processes still waiting on it will never be woken
     /// by it again (they appear in [`Report::blocked`] unless woken
     /// otherwise).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the event was already deleted.
+    /// Deleting an unknown or already-deleted event is model misuse: this
+    /// process stops and the run fails with [`RunError::ModelMisuse`].
+    #[track_caller]
     pub fn event_del(&self, event: EventId) {
         let mut st = self.shared.state.lock();
-        let alive = st
-            .event_alive
-            .get_mut(event.index())
-            .unwrap_or_else(|| panic!("{event} was never created"));
-        assert!(*alive, "{event} deleted twice");
-        *alive = false;
+        match st.event_alive.get(event.index()).copied() {
+            None => {
+                drop(st);
+                self.misuse(ModelError::EventNeverCreated { event });
+            }
+            Some(false) => {
+                drop(st);
+                self.misuse(ModelError::EventDeletedTwice { event });
+            }
+            Some(true) => st.event_alive[event.index()] = false,
+        }
     }
 
     /// Notifies `event` for the current delta cycle: every process waiting
     /// on it when the running processes of this delta have all yielded will
     /// resume; then the notification expires (SpecC `notify` semantics).
     ///
-    /// # Panics
+    /// If a [`FaultPlan`] with notification faults is installed, the
+    /// notification may be silently dropped (a lost interrupt) or
+    /// duplicated into a later delta of the same time step (a
+    /// double-latched interrupt); injections are logged in
+    /// [`Report::faults`].
     ///
-    /// Panics if `event` has been deleted.
+    /// # Errors
+    ///
+    /// Notifying a deleted event is model misuse: this process stops and
+    /// the run fails with [`RunError::ModelMisuse`].
+    #[track_caller]
     pub fn notify(&self, event: EventId) {
         let mut st = self.shared.state.lock();
-        assert!(
-            st.event_alive.get(event.index()) == Some(&true),
-            "notify on dead {event}"
-        );
+        if st.event_alive.get(event.index()) != Some(&true) {
+            drop(st);
+            self.misuse(ModelError::NotifyDeadEvent { event });
+        }
+        // Fault hook: decide the notification's fate. `st.faults` is `None`
+        // unless a non-empty plan was armed.
+        if let Some(mut f) = st.faults.take() {
+            let now = st.now;
+            let fate = f.notify_fate(now, event);
+            st.faults = Some(f);
+            match fate {
+                NotifyFate::Drop => return,
+                NotifyFate::Duplicate => {
+                    // Re-deliver in a later delta at the same timestamp via
+                    // a zero-delay timed notification.
+                    let time = st.now;
+                    let seq = st.next_seq();
+                    st.timed.push(TimedEntry {
+                        time,
+                        seq,
+                        kind: TimedKind::Notify(event),
+                    });
+                }
+                NotifyFate::Deliver => {}
+            }
+        }
         st.record_kernel(RecordKind::EventNotified { event });
         if !st.notified.contains(&event) {
             st.notified.push(event);
@@ -722,9 +1043,11 @@ impl ProcCtx {
 
     /// Suspends until `event` is notified.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `event` has been deleted.
+    /// Waiting on a deleted event is model misuse: this process stops and
+    /// the run fails with [`RunError::ModelMisuse`].
+    #[track_caller]
     pub fn wait(&self, event: EventId) {
         let woke = self.wait_any(&[event]);
         debug_assert_eq!(woke, event);
@@ -734,11 +1057,15 @@ impl ProcCtx {
     /// woke this process. If several of them fire in the same delta, the
     /// earliest-notified one is reported.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `events` is empty or contains a deleted event.
+    /// Passing an empty set or a deleted event is model misuse: this
+    /// process stops and the run fails with [`RunError::ModelMisuse`].
+    #[track_caller]
     pub fn wait_any(&self, events: &[EventId]) -> EventId {
-        assert!(!events.is_empty(), "wait_any on empty event set");
+        if events.is_empty() {
+            self.misuse(ModelError::WaitEmptySet);
+        }
         self.block_on_events(events, None)
             .expect("no timeout was set")
     }
@@ -746,18 +1073,29 @@ impl ProcCtx {
     /// Suspends until `event` is notified or `timeout` elapses.
     ///
     /// Returns `Some(event)` if the event fired, `None` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// Waiting on a deleted event is model misuse: this process stops and
+    /// the run fails with [`RunError::ModelMisuse`].
+    #[track_caller]
     pub fn wait_timeout(&self, event: EventId, timeout: Duration) -> Option<EventId> {
         self.block_on_events(&[event], Some(timeout))
     }
 
+    #[track_caller]
     fn block_on_events(&self, events: &[EventId], timeout: Option<Duration>) -> Option<EventId> {
         {
             let mut st = self.shared.state.lock();
+            // Validate the whole set before registering anything, so misuse
+            // leaves no stale waiter entries behind.
             for &e in events {
-                assert!(
-                    st.event_alive.get(e.index()) == Some(&true),
-                    "wait on dead {e}"
-                );
+                if st.event_alive.get(e.index()) != Some(&true) {
+                    drop(st);
+                    self.misuse(ModelError::WaitDeadEvent { event: e });
+                }
+            }
+            for &e in events {
                 st.waiters.entry(e).or_default().push(self.pid);
             }
             let entry = &mut st.procs[self.pid.index()];
@@ -852,20 +1190,27 @@ impl ProcCtx {
     ///
     /// Cancelling an already-finished process is a no-op.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `pid` is this process itself (finish by returning instead)
-    /// or if the target is currently running (impossible for well-formed
-    /// single-processor models).
+    /// Cancelling this process itself (finish by returning instead) or the
+    /// currently running process (impossible for well-formed
+    /// single-processor models) is model misuse: this process stops and
+    /// the run fails with [`RunError::ModelMisuse`].
+    #[track_caller]
     pub fn cancel(&self, pid: ProcessId) {
-        assert_ne!(pid, self.pid, "a process cannot cancel itself");
+        if pid == self.pid {
+            self.misuse(ModelError::CancelSelf { pid });
+        }
         let mut st = self.shared.state.lock();
-        let entry = &mut st.procs[pid.index()];
-        match entry.state {
+        match st.procs[pid.index()].state {
             ProcState::Finished => return,
-            ProcState::Running => panic!("cannot cancel the running process {pid}"),
+            ProcState::Running => {
+                drop(st);
+                self.misuse(ModelError::CancelRunning { pid });
+            }
             _ => {}
         }
+        let entry = &mut st.procs[pid.index()];
         entry.cancelled = true;
         entry.wake_gen += 1; // invalidate stale timed wake-ups
         let waiting = std::mem::take(&mut entry.waiting_on);
@@ -879,7 +1224,9 @@ impl ProcCtx {
         st.finish(pid);
         drop(st);
         // Wake the thread so it can unwind; it will not touch kernel state.
-        let _ = tx.send(Token::Cancel);
+        // `try_send`: the one-slot buffer is empty for a blocked process,
+        // and a full buffer would mean the thread is already on its way out.
+        let _ = tx.try_send(Token::Cancel);
     }
 
     /// Yields to the kernel and blocks until resumed.

@@ -49,17 +49,36 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+//! ## Robustness
+//!
+//! The kernel also hosts the workspace's fault-injection and
+//! health-monitoring substrate:
+//!
+//! * [`FaultPlan`] — seeded, deterministic injection of WCET jitter,
+//!   dropped/duplicated notifications and spurious event releases
+//!   (see [`fault`]).
+//! * [`StallPolicy`] / [`RunError::Deadlock`] — wait-for-graph deadlock
+//!   detection at quiescence, with edges declared by synchronization
+//!   layers through [`SldlSync::declare_wait`].
+//! * [`RunError::ModelMisuse`] — structured reporting of model misuse
+//!   (formerly bare panics), with `file:line` caller context.
+
 pub mod channel;
 mod error;
+pub mod fault;
 mod ids;
 mod kernel;
+pub mod rng;
+pub mod sync;
 pub mod trace;
 
 mod time;
 
 pub use channel::{Handshake, Queue, Semaphore, SldlSync, SyncLayer};
-pub use error::RunError;
+pub use error::{AbortReason, ModelError, RunError, WaitEdge};
+pub use fault::{FaultPlan, FaultRecord, InjectedFault, SpuriousRelease, WcetJitter};
 pub use ids::{EventId, ProcessId};
-pub use kernel::{Child, ProcBody, ProcCtx, Report, Simulation};
+pub use kernel::{Child, ProcBody, ProcCtx, Report, Simulation, StallPolicy};
+pub use rng::SmallRng;
 pub use time::SimTime;
 pub use trace::{Record, RecordKind, TraceConfig, TraceHandle};

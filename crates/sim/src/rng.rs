@@ -1,0 +1,140 @@
+//! A small, fast, seeded pseudo-random number generator.
+//!
+//! Used by the fault-injection layer ([`crate::fault`]) and by randomized
+//! tests and benchmarks across the workspace. The generator is SplitMix64
+//! (Steele, Lea & Flood, *Fast Splittable Pseudorandom Number Generators*,
+//! OOPSLA'14): tiny, statistically solid for simulation workloads, and —
+//! crucially for reproducible fault plans — fully determined by its seed.
+//!
+//! This is **not** a cryptographic RNG.
+
+/// A seeded SplitMix64 pseudo-random number generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    state: u64,
+}
+
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl SmallRng {
+    /// Creates a generator from a 64-bit seed. Equal seeds yield equal
+    /// streams.
+    #[must_use]
+    pub const fn seed_from_u64(seed: u64) -> Self {
+        SmallRng { state: seed }
+    }
+
+    /// Derives an independent child stream; used so each fault category
+    /// draws from its own sequence and injections of one kind do not
+    /// perturb the decisions of another.
+    #[must_use]
+    pub fn fork(&self, stream: u64) -> SmallRng {
+        let mut child = SmallRng {
+            state: self.state ^ stream.wrapping_mul(GAMMA),
+        };
+        // Burn one output so trivially related seeds decorrelate.
+        let _ = child.next_u64();
+        child
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 uniformly distributed bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_range_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range_u64 bound must be nonzero");
+        // Widening-multiply rejection-free mapping (Lemire); the tiny bias
+        // (< 2^-64 * bound) is irrelevant for simulation workloads.
+        let wide = u128::from(self.next_u64()) * u128::from(bound);
+        (wide >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_range_usize(&mut self, bound: usize) -> usize {
+        usize::try_from(self.gen_range_u64(bound as u64)).expect("bound fits usize")
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.gen_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(r.gen_range_u64(10) < 10);
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut r = SmallRng::seed_from_u64(1);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn forked_streams_differ() {
+        let base = SmallRng::seed_from_u64(5);
+        let mut a = base.fork(1);
+        let mut b = base.fork(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn mean_is_plausible() {
+        let mut r = SmallRng::seed_from_u64(99);
+        let mean: f64 = (0..10_000).map(|_| r.gen_f64()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -27,7 +27,6 @@ use std::time::Duration;
 ///
 /// [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimTime(u64);
 
 impl SimTime {

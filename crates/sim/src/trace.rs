@@ -11,14 +11,13 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use crate::ids::{EventId, ProcessId};
 use crate::time::SimTime;
 
 /// Why a process was suspended (kernel-level record detail).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SuspendReason {
     /// Blocked in `wait`/`wait_any`/`wait_timeout`.
     WaitEvent,
@@ -30,7 +29,6 @@ pub enum SuspendReason {
 
 /// One kind of trace record.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum RecordKind {
     /// A process was created (kernel record).
@@ -85,7 +83,6 @@ pub enum RecordKind {
 
 /// A time-stamped trace record.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Record {
     /// Simulated time of the record.
     pub time: SimTime,
@@ -143,7 +140,6 @@ impl TraceHandle {
 /// One contiguous execution segment on a track, produced by
 /// [`segments`].
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Segment {
     /// Track the segment belongs to.
     pub track: String,

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use sldl_sim::sync::Mutex;
 use sldl_sim::{Child, Handshake, Queue, Semaphore, SimTime, Simulation};
 
 fn us(n: u64) -> Duration {

@@ -2,13 +2,16 @@
 //! deterministically (identical end time, event log and trace) across
 //! repeated runs, and accumulated per-process delays must match the
 //! analytic sum.
+//!
+//! Randomized inputs are drawn from the workspace's seeded
+//! [`SmallRng`] (fixed seeds, many cases per property), so failures are
+//! reproducible from the printed seed alone.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
-use proptest::prelude::*;
-use sldl_sim::{Child, RecordKind, SimTime, Simulation, TraceConfig};
+use sldl_sim::sync::Mutex;
+use sldl_sim::{Child, RecordKind, SimTime, Simulation, SmallRng, TraceConfig};
 
 /// One scripted step of a random process.
 #[derive(Debug, Clone)]
@@ -19,13 +22,16 @@ enum Step {
     TimeoutWait(u8, u16),
 }
 
-fn step_strategy(num_events: u8) -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (1u16..100).prop_map(Step::Wait),
-        (0..num_events).prop_map(Step::Notify),
-        (0..num_events).prop_map(Step::WaitEvent),
-        ((0..num_events), 1u16..50).prop_map(|(e, d)| Step::TimeoutWait(e, d)),
-    ]
+fn random_step(rng: &mut SmallRng, num_events: u8) -> Step {
+    match rng.gen_range_u64(4) {
+        0 => Step::Wait(1 + rng.gen_range_u64(99) as u16),
+        1 => Step::Notify(rng.gen_range_u64(u64::from(num_events)) as u8),
+        2 => Step::WaitEvent(rng.gen_range_u64(u64::from(num_events)) as u8),
+        _ => Step::TimeoutWait(
+            rng.gen_range_u64(u64::from(num_events)) as u8,
+            1 + rng.gen_range_u64(49) as u16,
+        ),
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -34,17 +40,19 @@ struct Workload {
     num_events: u8,
 }
 
-fn workload_strategy() -> impl Strategy<Value = Workload> {
-    (2u8..5).prop_flat_map(|num_events| {
-        proptest::collection::vec(
-            proptest::collection::vec(step_strategy(num_events), 1..8),
-            1..6,
-        )
-        .prop_map(move |scripts| Workload {
-            scripts,
-            num_events,
+fn random_workload(rng: &mut SmallRng) -> Workload {
+    let num_events = 2 + rng.gen_range_u64(3) as u8; // 2..5
+    let num_procs = 1 + rng.gen_range_usize(5); // 1..6
+    let scripts = (0..num_procs)
+        .map(|_| {
+            let len = 1 + rng.gen_range_usize(7); // 1..8
+            (0..len).map(|_| random_step(rng, num_events)).collect()
         })
-    })
+        .collect();
+    Workload {
+        scripts,
+        num_events,
+    }
 }
 
 fn run_workload(w: &Workload) -> (SimTime, Vec<String>, usize) {
@@ -88,20 +96,29 @@ fn run_workload(w: &Workload) -> (SimTime, Vec<String>, usize) {
     (report.end_time, log, trace.len())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn random_workloads_are_deterministic(w in workload_strategy()) {
+#[test]
+fn random_workloads_are_deterministic() {
+    for seed in 0..32u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let w = random_workload(&mut rng);
         let first = run_workload(&w);
         let second = run_workload(&w);
-        prop_assert_eq!(first, second);
+        assert_eq!(first, second, "nondeterministic run for seed {seed}");
     }
+}
 
-    #[test]
-    fn pure_delay_processes_end_at_sum(delays in proptest::collection::vec(
-        proptest::collection::vec(1u64..200, 1..10), 1..6))
-    {
+#[test]
+fn pure_delay_processes_end_at_sum() {
+    for seed in 100..132u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let delays: Vec<Vec<u64>> = (0..1 + rng.gen_range_usize(5))
+            .map(|_| {
+                (0..1 + rng.gen_range_usize(9))
+                    .map(|_| 1 + rng.gen_range_u64(199))
+                    .collect()
+            })
+            .collect();
+
         let mut sim = Simulation::new();
         let finish_times = Arc::new(Mutex::new(Vec::new()));
         for (i, ds) in delays.iter().enumerate() {
@@ -115,21 +132,28 @@ proptest! {
             }));
         }
         let report = sim.run().unwrap();
-        prop_assert!(report.blocked.is_empty());
+        assert!(report.blocked.is_empty(), "seed {seed}");
         // Each process finishes exactly at the sum of its delays (true
         // parallelism: no serialization in the unscheduled model).
         let fts = finish_times.lock().clone();
         for (i, ds) in delays.iter().enumerate() {
             let expect = SimTime::from_micros(ds.iter().sum());
             let got = fts.iter().find(|(n, _)| n == &format!("p{i}")).unwrap().1;
-            prop_assert_eq!(got, expect);
+            assert_eq!(got, expect, "seed {seed}");
         }
         let max: u64 = delays.iter().map(|ds| ds.iter().sum()).max().unwrap();
-        prop_assert_eq!(report.end_time, SimTime::from_micros(max));
+        assert_eq!(report.end_time, SimTime::from_micros(max), "seed {seed}");
     }
+}
 
-    #[test]
-    fn trace_spans_match_annotated_delays(durs in proptest::collection::vec(1u64..100, 1..12)) {
+#[test]
+fn trace_spans_match_annotated_delays() {
+    for seed in 200..232u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let durs: Vec<u64> = (0..1 + rng.gen_range_usize(11))
+            .map(|_| 1 + rng.gen_range_u64(99))
+            .collect();
+
         let mut sim = Simulation::new();
         let trace = sim.enable_trace(TraceConfig::default());
         let durs2 = durs.clone();
@@ -146,9 +170,9 @@ proptest! {
         sim.run().unwrap();
         let segs = sldl_sim::trace::segments(&trace.snapshot());
         let segs = &segs["t"];
-        prop_assert_eq!(segs.len(), durs.len());
+        assert_eq!(segs.len(), durs.len(), "seed {seed}");
         for (seg, d) in segs.iter().zip(&durs) {
-            prop_assert_eq!(seg.duration(), Duration::from_micros(*d));
+            assert_eq!(seg.duration(), Duration::from_micros(*d), "seed {seed}");
         }
     }
 }

@@ -6,27 +6,39 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use sldl_sim::sync::Mutex;
 use sldl_sim::trace::SuspendReason;
-use sldl_sim::{Child, RecordKind, RunError, SimTime, Simulation, TraceConfig};
+use sldl_sim::{Child, ModelError, RecordKind, RunError, SimTime, Simulation, TraceConfig};
 
 fn us(n: u64) -> Duration {
     Duration::from_micros(n)
 }
 
 #[test]
-fn wait_on_deleted_event_panics() {
+fn wait_on_deleted_event_is_model_misuse() {
     let mut sim = Simulation::new();
     let e = sim.event_new();
     sim.spawn(Child::new("p", move |ctx| {
         ctx.event_del(e);
         ctx.wait(e);
     }));
-    assert!(matches!(sim.run(), Err(RunError::ProcessPanicked { .. })));
+    match sim.run() {
+        Err(RunError::ModelMisuse {
+            process,
+            location,
+            error,
+        }) => {
+            assert_eq!(process, "p");
+            assert_eq!(error, ModelError::WaitDeadEvent { event: e });
+            // `#[track_caller]` points at the offending call in this file.
+            assert!(location.contains("edge_cases.rs"), "{location}");
+        }
+        other => panic!("expected model misuse, got {other:?}"),
+    }
 }
 
 #[test]
-fn double_event_del_panics() {
+fn double_event_del_is_model_misuse() {
     let mut sim = Simulation::new();
     let e = sim.event_new();
     sim.spawn(Child::new("p", move |ctx| {
@@ -34,10 +46,10 @@ fn double_event_del_panics() {
         ctx.event_del(e);
     }));
     match sim.run() {
-        Err(RunError::ProcessPanicked { message, .. }) => {
-            assert!(message.contains("deleted twice"), "{message}");
+        Err(RunError::ModelMisuse { error, .. }) => {
+            assert_eq!(error, ModelError::EventDeletedTwice { event: e });
         }
-        other => panic!("expected panic, got {other:?}"),
+        other => panic!("expected model misuse, got {other:?}"),
     }
 }
 

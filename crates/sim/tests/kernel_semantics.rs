@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use sldl_sim::sync::Mutex;
 use sldl_sim::{Child, RunError, SimTime, Simulation};
 
 fn us(n: u64) -> Duration {
@@ -408,16 +408,16 @@ fn waitfor_zero_yields_to_end_of_current_time() {
 }
 
 #[test]
-fn event_del_then_notify_panics_inside_process() {
+fn event_del_then_notify_is_model_misuse() {
     let mut sim = Simulation::new();
     let e = sim.event_new();
     sim.spawn(Child::new("deleter", move |ctx| {
         ctx.event_del(e);
-        ctx.notify(e); // must panic
+        ctx.notify(e); // must fail the run with a structured error
     }));
     assert!(matches!(
         sim.run(),
-        Err(RunError::ProcessPanicked { .. })
+        Err(RunError::ModelMisuse { .. })
     ));
 }
 

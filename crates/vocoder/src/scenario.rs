@@ -14,9 +14,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
-use rtos_model::{MetricsSnapshot, Priority, Rtos, SchedAlg, TaskParams, TimeSlice};
-use sldl_sim::{Child, ProcCtx, Queue, RunError, SimTime, Simulation, SyncLayer};
+use sldl_sim::sync::Mutex;
+use rtos_model::{MetricsSnapshot, Priority, Rtos, SchedAlg, TaskParams, TimeSlice, WatchdogAction};
+use sldl_sim::{Child, FaultPlan, ProcCtx, Queue, RunError, SimTime, Simulation, SyncLayer};
 
 use crate::codec::{Decoder, Encoder, EncodedFrame};
 use crate::dsp::snr_db;
@@ -43,6 +43,26 @@ pub struct VocoderConfig {
     /// model (zero = the paper's idealized model; calibrate against a
     /// target kernel for back-annotation).
     pub switch_cost: Duration,
+    /// Seeded fault plan injected at the kernel level
+    /// ([`FaultPlan::none`] leaves the run byte-identical to an
+    /// uninstrumented one).
+    pub faults: FaultPlan,
+    /// Optional decoder health watchdog (architecture model only): the
+    /// decoder kicks it on every subframe it completes; if the decoder
+    /// falls silent for the given timeout — e.g. starved by overruns or
+    /// blocked on a dropped notification — the watchdog fires.
+    pub watchdog: Option<WatchdogSpec>,
+}
+
+/// A watchdog configuration for [`VocoderConfig::watchdog`].
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogSpec {
+    /// Silence tolerated before the watchdog fires.
+    pub timeout: Duration,
+    /// What firing does: abort the run with
+    /// [`RunError::WatchdogExpired`](sldl_sim::RunError::WatchdogExpired)
+    /// or count the trip in the RTOS metrics.
+    pub action: WatchdogAction,
 }
 
 impl Default for VocoderConfig {
@@ -52,6 +72,8 @@ impl Default for VocoderConfig {
             seed: 0xC0DEC,
             timing: CodecTiming::dsp56600(),
             switch_cost: Duration::ZERO,
+            faults: FaultPlan::none(),
+            watchdog: None,
         }
     }
 }
@@ -73,6 +95,8 @@ pub struct VocoderRun {
     pub mean_snr_db: f64,
     /// Host wall-clock time of the simulation (Table 1 "execution time").
     pub host_time: Duration,
+    /// Number of faults the kernel injected (0 without a fault plan).
+    pub faults_injected: usize,
 }
 
 impl VocoderRun {
@@ -210,6 +234,7 @@ fn finish(
         },
         metrics,
         host_time: started.elapsed(),
+        faults_injected: report.faults.len(),
     })
 }
 
@@ -222,6 +247,7 @@ fn finish(
 pub fn simulate_unscheduled(cfg: &VocoderConfig) -> Result<VocoderRun, RunError> {
     let started = std::time::Instant::now();
     let mut sim = Simulation::new();
+    sim.set_fault_plan(cfg.faults.clone());
     let layer = sim.sync_layer();
     let sink = Arc::new(Mutex::new(Sink::default()));
     spawn_pipeline(
@@ -251,11 +277,22 @@ pub fn simulate_architecture(
 ) -> Result<VocoderRun, RunError> {
     let started = std::time::Instant::now();
     let mut sim = Simulation::new();
+    sim.set_fault_plan(cfg.faults.clone());
     let os = Rtos::new("dsp", sim.sync_layer());
     os.start(alg);
     os.set_time_slice(slice);
     os.set_context_switch_cost(cfg.switch_cost);
     let sink = Arc::new(Mutex::new(Sink::default()));
+
+    // Decoder health watchdog: armed before the pipeline, kicked on every
+    // decoder stage, disarmed when the decoder task completes normally.
+    let wd = cfg.watchdog.map(|spec| {
+        let (wd, monitor) = os.watchdog("decoder", spec.timeout, spec.action);
+        sim.spawn(monitor);
+        wd
+    });
+    let wd_dec = wd.clone();
+    let wd_wrap = wd;
 
     let os_enc = os.clone();
     let os_dec = os.clone();
@@ -267,7 +304,12 @@ pub fn simulate_architecture(
         cfg,
         Arc::clone(&sink),
         move |ctx, label, d| os_enc.time_wait_as(ctx, d, label),
-        move |ctx, label, d| os_dec.time_wait_as(ctx, d, label),
+        move |ctx, label, d| {
+            os_dec.time_wait_as(ctx, d, label);
+            if let Some(wd) = &wd_dec {
+                wd.kick(ctx);
+            }
+        },
         move |ctx| os_src.interrupt_return(ctx),
         move |child, name| {
             let os = os_wrap.clone();
@@ -275,12 +317,18 @@ pub fn simulate_architecture(
                 "decoder" => Priority(1),
                 _ => Priority(2),
             };
+            let wd = (name == "decoder").then(|| wd_wrap.clone()).flatten();
             let inner = child;
             Child::new(name, move |ctx: &ProcCtx| {
                 let me = os.task_create(&TaskParams::aperiodic(name, prio));
                 os.task_activate(ctx, me);
                 // Run the task body inline.
                 (inner.into_body())(ctx);
+                // Healthy completion: retire the watchdog before leaving.
+                if let Some(wd) = &wd {
+                    wd.disarm();
+                    wd.kick(ctx);
+                }
                 os.task_terminate(ctx);
             })
         },
