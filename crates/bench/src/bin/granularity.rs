@@ -9,23 +9,28 @@
 //! shows a 250 µs response error; finer slicing converges to the true
 //! response at increasing simulation cost.
 //!
-//! Run with `cargo run -p bench --bin granularity`.
+//! Each quantum is one declarative [`ScenarioSpec`] point on the
+//! experiment farm. The JSON document contains only the deterministic
+//! columns (response error, trace records); host time is printed to
+//! stdout only.
+//!
+//! Run with `cargo run -p bench --bin granularity -- [--jobs N]
+//! [--seed S] [--json PATH] [--quiet]`.
 
 use std::time::Duration;
 
-use model_refine::{figure3_spec, run_architecture, Figure3Delays, RunConfig};
-use rtos_model::{SchedAlg, TimeSlice};
-use sldl_sim::SimTime;
-
+use bench::cli;
+use bench::farm::run_sweep;
+use bench::json::Json;
+use bench::results::ResultsDoc;
+use bench::scenario::{ScenarioSpec, Workload};
 use bench::{fmt_host, TextTable};
+use rtos_model::TimeSlice;
+
+const ABOUT: &str = "A1: preemption-granularity sweep on the Fig. 3 workload";
 
 fn main() {
-    let delays = Figure3Delays::default();
-    let spec = figure3_spec(&delays);
-    let cfg = RunConfig::default();
-    // The interrupt fires at b1 + interrupt_at = 800 µs; an ideal RTOS
-    // (zero-latency preemption) would start d3 right then.
-    let irq_at = SimTime::ZERO + delays.b1 + delays.interrupt_at;
+    let args = cli::parse("granularity", ABOUT, 0xA1, &[]);
 
     let quanta: [(&str, TimeSlice); 7] = [
         ("whole-delay", TimeSlice::WholeDelay),
@@ -36,38 +41,67 @@ fn main() {
         ("10 us", TimeSlice::Quantum(Duration::from_micros(10))),
         ("5 us", TimeSlice::Quantum(Duration::from_micros(5))),
     ];
+    let points: Vec<ScenarioSpec> = quanta
+        .iter()
+        .map(|(name, slice)| {
+            ScenarioSpec::new(format!("slice={name}"), Workload::Figure3).slice(*slice)
+        })
+        .collect();
 
-    println!("A1: preemption-granularity sweep (Fig. 3 workload, interrupt at {irq_at})\n");
-    let mut t = TextTable::new();
-    t.row([
-        "slice",
-        "d3 start",
-        "response error",
-        "trace records",
-        "host time",
-    ]);
-    for (name, slice) in quanta {
-        let started = std::time::Instant::now();
-        let run = run_architecture(&spec, SchedAlg::PriorityPreemptive, slice, &cfg)
-            .expect("architecture run");
-        let host = started.elapsed();
-        let segs = run.segments();
-        let d3_start = segs["task_b3"]
-            .iter()
-            .find(|s| s.label == "d3")
-            .map(|s| s.start)
-            .expect("d3 executed");
-        let error = d3_start.saturating_since(irq_at);
+    let started = std::time::Instant::now();
+    let outcomes = run_sweep(args.seed, args.jobs, &points, |ctx, p| {
+        p.run_seeded(ctx.seed)
+    });
+    let wall = started.elapsed();
+
+    if !args.quiet {
+        println!("A1: preemption-granularity sweep (Fig. 3 workload, interrupt at 800 us)\n");
+        let mut t = TextTable::new();
         t.row([
-            name.to_string(),
-            d3_start.to_string(),
-            format!("{} us", error.as_micros()),
-            run.records.len().to_string(),
-            fmt_host(host),
+            "slice",
+            "d3 start",
+            "response error",
+            "trace records",
+            "host time",
         ]);
+        for ((name, _), o) in quanta.iter().zip(&outcomes) {
+            t.row([
+                (*name).to_string(),
+                format!("{} us", o.fmt_metric("d3_start_us", 0)),
+                format!("{} us", o.fmt_metric("response_error_us", 0)),
+                o.fmt_metric("trace_records", 0),
+                fmt_host(o.host_time),
+            ]);
+        }
+        print!("{}", t.render());
+        println!("\nShape check: error shrinks monotonically with the quantum, cost grows.");
+        println!(
+            "\nfarm: {} points, jobs={}, wall {}",
+            points.len(),
+            args.jobs,
+            fmt_host(wall)
+        );
     }
-    print!("{}", t.render());
-    println!(
-        "\nShape check: error shrinks monotonically with the quantum, cost grows."
-    );
+
+    if let Some(path) = &args.json {
+        let mut doc = ResultsDoc::new("granularity", args.seed);
+        for (i, ((name, _), (p, o))) in quanta
+            .iter()
+            .zip(points.iter().zip(&outcomes))
+            .enumerate()
+        {
+            doc.push_point(&p.name, i, Json::obj([("slice", Json::str(*name))]), o);
+        }
+        match doc.write(path) {
+            Ok(_) => {
+                if !args.quiet {
+                    println!("wrote {}", path.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("error: writing {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -4,58 +4,111 @@
 //! deadlines start missing and the backlog diverges — the kind of
 //! headroom exploration the paper's abstract models exist to make cheap.
 //!
-//! Run with `cargo run -p bench --bin load_sweep`.
+//! Each scale factor is one declarative [`ScenarioSpec`] point on the
+//! experiment farm (`--jobs` parallel, bit-identical results; `--json`
+//! writes the `rtos-sld-bench/1` document).
+//!
+//! Run with `cargo run -p bench --bin load_sweep -- [--frames N]
+//! [--jobs N] [--seed S] [--json PATH] [--quiet]`.
 
-use std::time::Duration;
+use bench::cli;
+use bench::farm::run_sweep;
+use bench::json::Json;
+use bench::results::ResultsDoc;
+use bench::scenario::{ScenarioSpec, Workload};
+use bench::stats::Aggregate;
+use bench::TextTable;
 
-use bench::{fmt_ms, TextTable};
-use rtos_model::{SchedAlg, TimeSlice};
-use vocoder::{simulate_architecture, VocoderConfig};
+const ABOUT: &str = "A6: codec load sweep — stage times scaled across the DSP saturation point";
 
 fn main() {
-    let frames = 30;
-    println!(
-        "A6: codec load sweep — stage times scaled, {frames} frames, priority-preemptive\n"
-    );
-    let mut t = TextTable::new();
-    t.row([
-        "scale",
-        "utilization",
-        "mean transcode",
-        "worst transcode",
-        "frames > 20ms",
-    ]);
-    for scale_pct in [60u32, 100, 140, 155, 170, 190] {
-        let scale = f64::from(scale_pct) / 100.0;
-        let base = VocoderConfig::default();
-        let cfg = VocoderConfig {
-            frames,
-            timing: base.timing.scaled(scale),
-            ..base
-        };
-        let util = cfg.timing.utilization(vocoder::FRAME_PERIOD);
-        let run = simulate_architecture(
-            &cfg,
-            SchedAlg::PriorityPreemptive,
-            TimeSlice::WholeDelay,
-        )
-        .expect("architecture run");
-        let late = run
-            .transcode_delays
-            .iter()
-            .filter(|d| **d > Duration::from_millis(20))
-            .count();
+    let args = cli::parse("load_sweep", ABOUT, 0xA6, &[]);
+    let frames = args.frames.unwrap_or(30);
+    let scales: Vec<f64> = [60u32, 100, 140, 155, 170, 190]
+        .iter()
+        .map(|pct| f64::from(*pct) / 100.0)
+        .collect();
+
+    let points: Vec<ScenarioSpec> = scales
+        .iter()
+        .map(|scale| {
+            ScenarioSpec::new(
+                format!("scale={scale:.2}"),
+                Workload::VocoderArchitecture,
+            )
+            .frames(frames)
+            .timing_scale(*scale)
+        })
+        .collect();
+
+    let started = std::time::Instant::now();
+    let outcomes = run_sweep(args.seed, args.jobs, &points, |ctx, p| {
+        p.run_seeded(ctx.seed)
+    });
+    let wall = started.elapsed();
+
+    if !args.quiet {
+        println!(
+            "A6: codec load sweep — stage times scaled, {frames} frames, priority-preemptive\n"
+        );
+        let mut t = TextTable::new();
         t.row([
-            format!("{scale:.2}"),
-            format!("{:.2}", util),
-            fmt_ms(run.mean_transcode_delay()),
-            fmt_ms(run.max_transcode_delay().expect("frames ran")),
-            format!("{late}/{frames}"),
+            "scale",
+            "utilization",
+            "mean transcode",
+            "worst transcode",
+            "frames > 20ms",
         ]);
+        for (scale, o) in scales.iter().zip(&outcomes) {
+            t.row([
+                format!("{scale:.2}"),
+                o.fmt_metric("utilization_offered", 2),
+                format!("{} ms", o.fmt_metric("mean_transcode_delay_ms", 2)),
+                format!("{} ms", o.fmt_metric("max_transcode_delay_ms", 2)),
+                format!("{}/{frames}", o.fmt_metric("late_frames", 0)),
+            ]);
+        }
+        print!("{}", t.render());
+        println!(
+            "\nShape check: delay is flat below utilization 1.0 and diverges past it\n\
+             (each frame adds a constant backlog once the DSP saturates)."
+        );
+        println!(
+            "\nfarm: {} points, jobs={}, wall {}",
+            points.len(),
+            args.jobs,
+            bench::fmt_host(wall)
+        );
     }
-    print!("{}", t.render());
-    println!(
-        "\nShape check: delay is flat below utilization 1.0 and diverges past it\n\
-         (each frame adds a constant backlog once the DSP saturates)."
-    );
+
+    if let Some(path) = &args.json {
+        let mut doc = ResultsDoc::new("load_sweep", args.seed);
+        doc.header("frames", Json::U64(frames as u64));
+        for (i, (p, o)) in points.iter().zip(&outcomes).enumerate() {
+            doc.push_point(
+                &p.name,
+                i,
+                Json::obj([("scale", Json::Num(scales[i]))]),
+                o,
+            );
+        }
+        let means: Vec<f64> = outcomes
+            .iter()
+            .filter_map(|o| o.metric("mean_transcode_delay_ms"))
+            .collect();
+        if let Some(a) = Aggregate::from_samples(&means) {
+            doc.push_aggregate("all_scales", [("mean_transcode_delay_ms", a)]);
+        }
+        match doc.write(path) {
+            Ok(_) => {
+                if !args.quiet {
+                    println!("wrote {}", path.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("error: writing {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -2,31 +2,47 @@
 //! fault injection, per scheduling policy, plus a deadline-miss-policy
 //! ablation on a forced-overrun periodic set.
 //!
-//! Part 1 installs a [`FaultPlan`] with increasing WCET-jitter rates into
-//! the architecture model and reports how transcoding delay degrades per
-//! scheduler, how many faults were injected, and whether the decoder
-//! watchdog fired. Dropped-notification plans can starve the pipeline
-//! outright — the health layer turns that from a silent hang into a
-//! `WatchdogExpired`/`Deadlock` diagnosis.
+//! Part 1 (R1a) installs a [`FaultPlan`] with increasing WCET-jitter
+//! rates into the architecture model and reports how transcoding delay
+//! degrades per scheduler, how many faults were injected, and whether
+//! the decoder watchdog fired. Part 2 (R1b) drops notifications —
+//! the health layer turns silent starvation into a
+//! `WatchdogExpired`/`Deadlock` diagnosis. Part 3 (R1c) forces a 2×
+//! WCET overrun and shows the metric deltas of each `MissPolicy`.
 //!
-//! Part 2 forces a 2× WCET overrun on one periodic task and shows the
-//! metric deltas produced by each [`MissPolicy`]: `Count` keeps missing,
-//! `SkipCycle` sheds load, `RestartTask` re-phases, `Degrade` demotes,
-//! `KillTask` removes the task entirely.
+//! All points are declarative [`ScenarioSpec`]s executed by the
+//! experiment farm: `--jobs N` parallelizes the sweep with bit-identical
+//! results, `--json PATH` writes the `rtos-sld-bench/1` document.
 //!
-//! Run with `cargo run -p bench --bin robustness [-- --frames N]`.
+//! Run with `cargo run -p bench --bin robustness -- [--frames N]
+//! [--jobs N] [--seed S] [--json PATH] [--quiet]`.
 
 use std::time::Duration;
 
+use bench::cli;
+use bench::farm::run_sweep;
+use bench::json::Json;
+use bench::results::ResultsDoc;
+use bench::scenario::{ScenarioOutcome, ScenarioSpec, Workload};
+use bench::stats::Aggregate;
 use bench::TextTable;
-use rtos_model::{
-    CycleOutcome, MissPolicy, Priority, Rtos, SchedAlg, TaskParams, TimeSlice, WatchdogAction,
-};
-use sldl_sim::{Child, FaultPlan, RunError, SimTime, Simulation};
-use vocoder::{simulate_architecture, VocoderConfig, WatchdogSpec};
+use rtos_model::{MissPolicy, Priority, SchedAlg, WatchdogAction};
+use sldl_sim::FaultPlan;
+use vocoder::WatchdogSpec;
 
-fn fault_sweep(frames: usize) {
-    let algs: [(&str, SchedAlg); 3] = [
+const ABOUT: &str =
+    "R1: vocoder fault-injection sweep per scheduler + deadline-miss-policy ablation";
+
+/// One sweep point: the spec plus the knobs that defined it (for tables
+/// and the JSON `params` object).
+struct Point {
+    section: &'static str,
+    spec: ScenarioSpec,
+    params: Vec<(&'static str, Json)>,
+}
+
+fn algs() -> [(&'static str, SchedAlg); 3] {
+    [
         ("prio-preemptive", SchedAlg::PriorityPreemptive),
         ("prio-cooperative", SchedAlg::PriorityCooperative),
         (
@@ -35,10 +51,92 @@ fn fault_sweep(frames: usize) {
                 quantum: Duration::from_micros(500),
             },
         ),
+    ]
+}
+
+fn watchdog() -> WatchdogSpec {
+    WatchdogSpec {
+        timeout: Duration::from_millis(60),
+        action: WatchdogAction::AbortRun,
+    }
+}
+
+fn build_points(frames: usize) -> Vec<Point> {
+    let mut points = Vec::new();
+    // R1a: WCET jitter rate x scheduler.
+    for rate in [0.0, 0.05, 0.2, 0.5] {
+        for (name, alg) in algs() {
+            points.push(Point {
+                section: "r1a",
+                spec: ScenarioSpec::new(
+                    format!("r1a/jitter={rate:.2}/{name}"),
+                    Workload::VocoderArchitecture,
+                )
+                .frames(frames)
+                .sched(alg)
+                .faults(FaultPlan::none().with_wcet_jitter(rate, 2.0))
+                .watchdog(watchdog()),
+                params: vec![
+                    ("jitter_rate", Json::Num(rate)),
+                    ("scheduler", Json::str(name)),
+                ],
+            });
+        }
+    }
+    // R1b: dropped notifications x watchdog armed.
+    for rate in [0.0, 0.3] {
+        for armed in [false, true] {
+            let mut spec = ScenarioSpec::new(
+                format!(
+                    "r1b/drop={rate:.2}/wd={}",
+                    if armed { "armed" } else { "off" }
+                ),
+                Workload::VocoderArchitecture,
+            )
+            .frames(frames)
+            .faults(FaultPlan::none().with_drop_notify(rate));
+            if armed {
+                spec = spec.watchdog(watchdog());
+            }
+            points.push(Point {
+                section: "r1b",
+                spec,
+                params: vec![
+                    ("drop_rate", Json::Num(rate)),
+                    ("watchdog", Json::Bool(armed)),
+                ],
+            });
+        }
+    }
+    // R1c: deadline-miss policies on a forced 2x WCET overrun.
+    let policies: [(&str, MissPolicy); 5] = [
+        ("Count", MissPolicy::Count),
+        ("SkipCycle", MissPolicy::SkipCycle),
+        ("RestartTask", MissPolicy::RestartTask),
+        ("Degrade(6)", MissPolicy::Degrade(Priority(6))),
+        ("KillTask", MissPolicy::KillTask),
     ];
-    println!("R1a: vocoder under WCET jitter ({frames} frames, watchdog 60 ms, seed 7)\n");
-    let mut table = TextTable::new();
-    table.row([
+    for (name, policy) in policies {
+        points.push(Point {
+            section: "r1c",
+            spec: ScenarioSpec::new(
+                format!("r1c/policy={name}"),
+                Workload::MissPolicyOverrun { policy },
+            ),
+            params: vec![("policy", Json::str(name))],
+        });
+    }
+    points
+}
+
+fn print_tables(points: &[Point], outcomes: &[ScenarioOutcome], frames: usize) {
+    let ms = |o: &ScenarioOutcome, key: &str| {
+        o.metric(key)
+            .map_or_else(|| "-".into(), |v| format!("{v:.2} ms"))
+    };
+    println!("R1a: vocoder under WCET jitter ({frames} frames, watchdog 60 ms)\n");
+    let mut t = TextTable::new();
+    t.row([
         "jitter rate",
         "scheduler",
         "outcome",
@@ -47,162 +145,136 @@ fn fault_sweep(frames: usize) {
         "max delay",
         "switches",
     ]);
-    for rate in [0.0, 0.05, 0.2, 0.5] {
-        for (name, alg) in algs.iter() {
-            let cfg = VocoderConfig {
-                frames,
-                faults: FaultPlan::seeded(7).with_wcet_jitter(rate, 2.0),
-                watchdog: Some(WatchdogSpec {
-                    timeout: Duration::from_millis(60),
-                    action: WatchdogAction::AbortRun,
-                }),
-                ..VocoderConfig::default()
-            };
-            match simulate_architecture(&cfg, *alg, TimeSlice::WholeDelay) {
-                Ok(run) => table.row([
-                    format!("{rate:.2}"),
-                    (*name).to_string(),
-                    "completed".into(),
-                    run.faults_injected.to_string(),
-                    bench::fmt_ms(run.mean_transcode_delay()),
-                    bench::fmt_ms(run.max_transcode_delay().unwrap_or_default()),
-                    run.context_switches.to_string(),
-                ]),
-                Err(e) => table.row([
-                    format!("{rate:.2}"),
-                    (*name).to_string(),
-                    describe(&e),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                ]),
-            };
-        }
-    }
-    print!("{}", table.render());
-}
-
-fn dropped_interrupts(frames: usize) {
-    println!("\nR1b: dropped notifications — watchdog vs. silent starvation\n");
-    let mut table = TextTable::new();
-    table.row(["drop rate", "watchdog", "outcome", "faults injected"]);
-    for rate in [0.0, 0.3] {
-        for armed in [false, true] {
-            let cfg = VocoderConfig {
-                frames,
-                faults: FaultPlan::seeded(11).with_drop_notify(rate),
-                watchdog: armed.then_some(WatchdogSpec {
-                    timeout: Duration::from_millis(60),
-                    action: WatchdogAction::AbortRun,
-                }),
-                ..VocoderConfig::default()
-            };
-            let (outcome, faults) = match simulate_architecture(
-                &cfg,
-                SchedAlg::PriorityPreemptive,
-                TimeSlice::WholeDelay,
-            ) {
-                Ok(run) => ("completed".to_string(), run.faults_injected.to_string()),
-                Err(e) => (describe(&e), "-".into()),
-            };
-            table.row([
-                format!("{rate:.2}"),
-                if armed { "armed" } else { "off" }.to_string(),
-                outcome,
-                faults,
-            ]);
-        }
-    }
-    print!("{}", table.render());
-}
-
-/// One periodic task forced into a 2× WCET overrun every cycle, run under
-/// each miss policy; a well-behaved background task shares the PE.
-fn miss_policy_ablation() {
-    println!("\nR1c: deadline-miss policies on a forced 2x WCET overrun (budget 2)\n");
-    let policies: [(&str, MissPolicy); 5] = [
-        ("Count", MissPolicy::Count),
-        ("SkipCycle", MissPolicy::SkipCycle),
-        ("RestartTask", MissPolicy::RestartTask),
-        ("Degrade(6)", MissPolicy::Degrade(Priority(6))),
-        ("KillTask", MissPolicy::KillTask),
-    ];
-    let mut table = TextTable::new();
-    table.row([
-        "policy", "misses", "skipped", "restarts", "degraded", "killed", "cycles run",
-    ]);
-    for (name, policy) in policies {
-        let mut sim = Simulation::new();
-        let os = Rtos::new("pe", sim.sync_layer());
-        os.start(SchedAlg::PriorityPreemptive);
-        let os2 = os.clone();
-        sim.spawn(Child::new("overrunner", move |ctx| {
-            let mut p = TaskParams::periodic("overrunner", Duration::from_micros(100));
-            p.priority(Priority(1))
-                .wcet(Duration::from_micros(80))
-                .miss_policy(policy)
-                .miss_budget(2);
-            let me = os2.task_create(&p);
-            os2.task_activate(ctx, me);
-            for _ in 0..40 {
-                // 2x the WCET annotation: guaranteed overrun.
-                os2.time_wait(ctx, Duration::from_micros(160));
-                if os2.task_endcycle(ctx) == CycleOutcome::Stop {
-                    return; // killed: never touch the RTOS again
-                }
-            }
-            os2.task_terminate(ctx);
-        }));
-        let report = sim
-            .run_until(SimTime::from_millis(10))
-            .expect("run completes");
-        let m = os.metrics_at(report.end_time);
-        let s = &m.tasks[0];
-        table.row([
-            name.to_string(),
-            s.deadline_misses.to_string(),
-            s.cycles_skipped.to_string(),
-            s.restarts.to_string(),
-            s.degradations.to_string(),
-            if s.killed_by_policy { "yes" } else { "no" }.to_string(),
-            s.cycle_response_times.len().to_string(),
+    for (p, o) in points.iter().zip(outcomes).filter(|(p, _)| p.section == "r1a") {
+        t.row([
+            fmt_num(&p.params[0].1),
+            strip_quotes(&p.params[1].1),
+            o.status.clone(),
+            o.fmt_metric("faults_injected", 0),
+            ms(o, "mean_transcode_delay_ms"),
+            ms(o, "max_transcode_delay_ms"),
+            o.fmt_metric("context_switches", 0),
         ]);
     }
-    print!("{}", table.render());
+    print!("{}", t.render());
+
+    println!("\nR1b: dropped notifications — watchdog vs. silent starvation\n");
+    let mut t = TextTable::new();
+    t.row(["drop rate", "watchdog", "outcome", "faults injected"]);
+    for (p, o) in points.iter().zip(outcomes).filter(|(p, _)| p.section == "r1b") {
+        t.row([
+            fmt_num(&p.params[0].1),
+            if p.params[1].1 == Json::Bool(true) {
+                "armed"
+            } else {
+                "off"
+            }
+            .to_string(),
+            o.status.clone(),
+            o.fmt_metric("faults_injected", 0),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!("\nR1c: deadline-miss policies on a forced 2x WCET overrun (budget 2)\n");
+    let mut t = TextTable::new();
+    t.row([
+        "policy", "misses", "skipped", "restarts", "degraded", "killed", "cycles run",
+    ]);
+    for (p, o) in points.iter().zip(outcomes).filter(|(p, _)| p.section == "r1c") {
+        t.row([
+            strip_quotes(&p.params[0].1),
+            o.fmt_metric("deadline_misses", 0),
+            o.fmt_metric("cycles_skipped", 0),
+            o.fmt_metric("restarts", 0),
+            o.fmt_metric("degradations", 0),
+            if o.metric("killed") == Some(1.0) {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
+            o.fmt_metric("cycles_run", 0),
+        ]);
+    }
+    print!("{}", t.render());
     println!(
         "\nShape checks: Count accumulates misses; SkipCycle sheds cycles; RestartTask \
          re-phases (misses reset); KillTask stops the task early (fewest cycles)."
     );
 }
 
-fn describe(e: &RunError) -> String {
-    match e {
-        RunError::WatchdogExpired { watchdog, at } => {
-            format!("watchdog `{watchdog}` expired at {at}")
-        }
-        RunError::Deadlock { cycle, .. } => format!(
-            "deadlock: {}",
-            cycle
-                .iter()
-                .map(|e| e.to_string())
-                .collect::<Vec<_>>()
-                .join("; ")
-        ),
-        other => format!("{other}"),
+fn fmt_num(j: &Json) -> String {
+    match j {
+        Json::Num(x) => format!("{x:.2}"),
+        other => other.render().trim().to_string(),
+    }
+}
+
+fn strip_quotes(j: &Json) -> String {
+    match j {
+        Json::Str(s) => s.clone(),
+        other => other.render().trim().to_string(),
     }
 }
 
 fn main() {
-    let mut frames = 20usize;
-    let args: Vec<String> = std::env::args().collect();
-    if let Some(i) = args.iter().position(|a| a == "--frames") {
-        frames = args
-            .get(i + 1)
-            .and_then(|v| v.parse().ok())
-            .expect("--frames N");
+    let args = cli::parse("robustness", ABOUT, 7, &[]);
+    let frames = args.frames.unwrap_or(20);
+    let points = build_points(frames);
+
+    let started = std::time::Instant::now();
+    let outcomes = run_sweep(args.seed, args.jobs, &points, |ctx, p| {
+        p.spec.run_seeded(ctx.seed)
+    });
+    let wall = started.elapsed();
+
+    if !args.quiet {
+        print_tables(&points, &outcomes, frames);
+        println!(
+            "\nfarm: {} points, jobs={}, wall {}",
+            points.len(),
+            args.jobs,
+            bench::fmt_host(wall)
+        );
     }
-    fault_sweep(frames);
-    dropped_interrupts(frames);
-    miss_policy_ablation();
+
+    if let Some(path) = &args.json {
+        let mut doc = ResultsDoc::new("robustness", args.seed);
+        doc.header("frames", Json::U64(frames as u64));
+        for (i, (p, o)) in points.iter().zip(&outcomes).enumerate() {
+            let mut params = vec![("section", Json::str(p.section))];
+            params.extend(p.params.iter().map(|(k, v)| (*k, v.clone())));
+            doc.push_point(&p.spec.name, i, Json::obj(params), o);
+        }
+        // Aggregate transcoding delay across the jitter sweep, per
+        // scheduler.
+        for (name, _) in algs() {
+            let samples: Vec<f64> = points
+                .iter()
+                .zip(&outcomes)
+                .filter(|(p, _)| {
+                    p.section == "r1a" && strip_quotes(&p.params[1].1) == name
+                })
+                .filter_map(|(_, o)| o.metric("mean_transcode_delay_ms"))
+                .collect();
+            if let Some(agg) = Aggregate::from_samples(&samples) {
+                doc.push_aggregate(
+                    format!("r1a/{name}"),
+                    [("mean_transcode_delay_ms", agg)],
+                );
+            }
+        }
+        match doc.write(path) {
+            Ok(_) => {
+                if !args.quiet {
+                    println!("wrote {}", path.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("error: writing {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 }

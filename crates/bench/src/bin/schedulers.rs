@@ -9,147 +9,215 @@
 //!
 //! For each target utilization, random task sets (log-uniform periods,
 //! UUniFast-style utilization split) run to a fixed horizon under each
-//! algorithm; we report deadline-miss rates and worst relative response
-//! times.
+//! algorithm. Every `(utilization, algorithm, set)` triple is one
+//! declarative [`ScenarioSpec`] point on the experiment farm; the set's
+//! generator seed depends only on `(base seed, utilization, set index)` —
+//! **not** on the algorithm — so all four algorithms face identical task
+//! sets (paired sampling) and results are `--jobs`-independent.
 //!
-//! Run with `cargo run -p bench --bin schedulers [-- --sets N]`.
+//! Run with `cargo run -p bench --bin schedulers -- [--sets N]
+//! [--frames HORIZON_MS] [--jobs N] [--seed S] [--json PATH] [--quiet]`.
 
 use std::time::Duration;
 
-use rtos_model::{CycleOutcome, Priority, Rtos, SchedAlg, TaskParams, TimeSlice};
-use sldl_sim::{Child, SimTime, Simulation, SmallRng};
-
+use bench::cli;
+use bench::farm::{derive_seed, run_sweep};
+use bench::json::Json;
+use bench::results::ResultsDoc;
+use bench::scenario::{ScenarioSpec, Workload};
+use bench::stats::Aggregate;
 use bench::TextTable;
+use rtos_model::{SchedAlg, TimeSlice};
 
-#[derive(Debug, Clone)]
-struct PeriodicTask {
-    period: Duration,
-    wcet: Duration,
+const ABOUT: &str = "A2: scheduler comparison on random periodic task sets (RMS/EDF/fixed-prio/FIFO)";
+const N_TASKS: usize = 5;
+
+struct Point {
+    util: f64,
+    alg_name: &'static str,
+    set_idx: usize,
+    spec: ScenarioSpec,
 }
 
-/// UUniFast: splits `total_util` across `n` tasks uniformly.
-fn task_set(rng: &mut SmallRng, n: usize, total_util: f64) -> Vec<PeriodicTask> {
-    let mut utils = Vec::with_capacity(n);
-    let mut sum = total_util;
-    for i in 1..n {
-        let next = sum * rng.gen_f64().powf(1.0 / (n - i) as f64);
-        utils.push(sum - next);
-        sum = next;
-    }
-    utils.push(sum);
-    utils
-        .into_iter()
-        .map(|u| {
-            // Periods log-uniform in [2 ms, 50 ms].
-            let exp = rng.gen_f64();
-            let period_us = (2_000.0 * (25.0f64).powf(exp)) as u64;
-            let period = Duration::from_micros(period_us);
-            let wcet = Duration::from_nanos((period.as_nanos() as f64 * u) as u64).max(
-                Duration::from_micros(10),
-            );
-            PeriodicTask { period, wcet }
-        })
-        .collect()
-}
-
-struct Outcome {
-    misses: u64,
-    cycles: u64,
-    worst_rel_response: f64,
-}
-
-/// Runs one task set under `alg` to the horizon; returns miss statistics.
-fn run_set(tasks: &[PeriodicTask], alg: SchedAlg, horizon: SimTime) -> Outcome {
-    let mut sim = Simulation::new();
-    let os = Rtos::new("pe", sim.sync_layer());
-    os.start(alg);
-    os.set_time_slice(TimeSlice::Quantum(Duration::from_micros(100)));
-    for (i, t) in tasks.iter().enumerate() {
-        let os = os.clone();
-        let spec = t.clone();
-        // Under fixed-priority, assign rate-monotonic priorities manually
-        // (shorter period → more urgent) so the comparison is fair.
-        let prio = Priority(u32::try_from(spec.period.as_micros()).unwrap_or(u32::MAX));
-        sim.spawn(Child::new(format!("p{i}"), move |ctx| {
-            let mut params = TaskParams::periodic(format!("p{i}"), spec.period);
-            params.priority(prio).wcet(spec.wcet);
-            let me = os.task_create(&params);
-            os.task_activate(ctx, me);
-            loop {
-                os.time_wait(ctx, spec.wcet);
-                if os.task_endcycle(ctx) == CycleOutcome::Stop {
-                    break;
-                }
-            }
-        }));
-    }
-    let report = sim.run_until(horizon).expect("no panics");
-    let m = os.metrics_at(report.end_time);
-    let mut worst = 0.0f64;
-    for (stats, t) in m.tasks.iter().zip(tasks) {
-        for r in &stats.cycle_response_times {
-            worst = worst.max(r.as_secs_f64() / t.period.as_secs_f64());
-        }
-    }
-    Outcome {
-        misses: m.deadline_misses(),
-        cycles: m.tasks.iter().map(|t| t.cycle_response_times.len() as u64).sum(),
-        worst_rel_response: worst,
-    }
-}
-
-fn main() {
-    let mut sets_per_point = 10usize;
-    let args: Vec<String> = std::env::args().collect();
-    if let Some(i) = args.iter().position(|a| a == "--sets") {
-        sets_per_point = args
-            .get(i + 1)
-            .and_then(|v| v.parse().ok())
-            .expect("--sets N");
-    }
-    let algs: [(&str, SchedAlg); 4] = [
+fn algs() -> [(&'static str, SchedAlg); 4] {
+    [
         ("RMS", SchedAlg::Rms),
         ("EDF", SchedAlg::Edf),
         ("fixed-prio (RM-assigned)", SchedAlg::PriorityPreemptive),
         ("FIFO", SchedAlg::Fifo),
-    ];
-    let horizon = SimTime::from_millis(400);
-    let n_tasks = 5;
-    println!(
-        "A2: scheduler comparison — {n_tasks} periodic tasks, {sets_per_point} random sets/point, horizon {horizon}\n"
+    ]
+}
+
+fn main() {
+    let args = cli::parse(
+        "schedulers",
+        ABOUT,
+        0xA2,
+        &[("sets", "N", "random task sets per sweep point (default 10)")],
     );
-    let mut table = TextTable::new();
-    table.row([
-        "utilization",
-        "algorithm",
-        "miss rate",
-        "worst resp/period",
-        "cycles run",
-    ]);
-    for util in [0.5, 0.69, 0.85, 0.95, 1.05] {
-        for (name, alg) in algs {
-            let mut misses = 0u64;
-            let mut cycles = 0u64;
-            let mut worst = 0.0f64;
+    let sets_per_point: usize = args.extra_or("sets", 10);
+    let horizon_ms = args.frames.unwrap_or(400);
+    let horizon_us = horizon_ms as u64 * 1000;
+
+    let utils = [0.5, 0.69, 0.85, 0.95, 1.05];
+    let mut points = Vec::new();
+    for (u_idx, util) in utils.iter().enumerate() {
+        for (alg_name, alg) in algs() {
             for set_idx in 0..sets_per_point {
-                let mut rng = SmallRng::seed_from_u64(
-                    0xA2_0000 + set_idx as u64 + (util * 1000.0) as u64,
-                );
-                let tasks = task_set(&mut rng, n_tasks, util);
-                let out = run_set(&tasks, alg, horizon);
-                misses += out.misses;
-                cycles += out.cycles;
-                worst = worst.max(out.worst_rel_response);
+                // Paired sampling: the task-set seed is shared by all four
+                // algorithms (it ignores the algorithm), derived via two
+                // SplitMix64 splits from the base seed.
+                let set_seed = derive_seed(derive_seed(args.seed, u_idx as u64), set_idx as u64);
+                points.push(Point {
+                    util: *util,
+                    alg_name,
+                    set_idx,
+                    spec: ScenarioSpec::new(
+                        format!("u={util:.2}/{alg_name}/set={set_idx}"),
+                        Workload::TaskSet {
+                            tasks: N_TASKS,
+                            utilization: *util,
+                            horizon_us,
+                        },
+                    )
+                    .sched(alg)
+                    // 100 µs preemption quantum: fine enough that the
+                    // textbook schedulability results emerge (whole-delay
+                    // slicing would charge priority inversions of entire
+                    // delay annotations and miss deadlines at low load).
+                    .slice(TimeSlice::Quantum(Duration::from_micros(100)))
+                    .seeded(set_seed),
+                });
             }
-            table.row([
-                format!("{util:.2}"),
-                name.to_string(),
-                format!("{:.3}%", 100.0 * misses as f64 / cycles.max(1) as f64),
-                format!("{worst:.2}"),
-                cycles.to_string(),
-            ]);
         }
     }
-    print!("{}", table.render());
-    println!("\nShape checks: EDF misses ≈ 0 up to util 1.0; RMS safe ≤ 0.69 (Liu–Layland, n=5 bound 0.743); FIFO degrades first.");
+
+    let started = std::time::Instant::now();
+    // Seeds are pre-baked into the specs (paired sampling), so the farm's
+    // per-index seed is unused here.
+    let outcomes = run_sweep(args.seed, args.jobs, &points, |_ctx, p| p.spec.run());
+    let wall = started.elapsed();
+
+    // Aggregate per (utilization, algorithm) over the paired sets, in
+    // sweep order — deterministic regardless of --jobs.
+    struct Group {
+        util: f64,
+        alg_name: &'static str,
+        misses: u64,
+        cycles: u64,
+        worst: f64,
+        worst_samples: Vec<f64>,
+    }
+    let mut groups: Vec<Group> = Vec::new();
+    for (p, o) in points.iter().zip(&outcomes) {
+        if !o.completed {
+            eprintln!("warning: point {} failed: {}", p.spec.name, o.status);
+            continue;
+        }
+        let pos = groups
+            .iter()
+            .position(|g| g.util == p.util && g.alg_name == p.alg_name)
+            .unwrap_or_else(|| {
+                groups.push(Group {
+                    util: p.util,
+                    alg_name: p.alg_name,
+                    misses: 0,
+                    cycles: 0,
+                    worst: 0.0,
+                    worst_samples: Vec::new(),
+                });
+                groups.len() - 1
+            });
+        let g = &mut groups[pos];
+        g.misses += o.metric("deadline_misses").unwrap_or(0.0) as u64;
+        g.cycles += o.metric("cycles_run").unwrap_or(0.0) as u64;
+        let w = o.metric("worst_resp_over_period").unwrap_or(0.0);
+        g.worst = g.worst.max(w);
+        g.worst_samples.push(w);
+    }
+
+    if !args.quiet {
+        println!(
+            "A2: scheduler comparison — {N_TASKS} periodic tasks, {sets_per_point} random \
+             sets/point, horizon {horizon_ms} ms\n"
+        );
+        let mut table = TextTable::new();
+        table.row([
+            "utilization",
+            "algorithm",
+            "miss rate",
+            "worst resp/period",
+            "cycles run",
+        ]);
+        for g in &groups {
+            table.row([
+                format!("{:.2}", g.util),
+                g.alg_name.to_string(),
+                format!("{:.3}%", 100.0 * g.misses as f64 / g.cycles.max(1) as f64),
+                format!("{:.2}", g.worst),
+                g.cycles.to_string(),
+            ]);
+        }
+        print!("{}", table.render());
+        println!(
+            "\nShape checks: EDF misses ≈ 0 up to util 1.0; RMS safe ≤ 0.69 (Liu–Layland, \
+             n=5 bound 0.743); FIFO degrades first."
+        );
+        println!(
+            "\nfarm: {} points, jobs={}, wall {}",
+            points.len(),
+            args.jobs,
+            bench::fmt_host(wall)
+        );
+    }
+
+    if let Some(path) = &args.json {
+        let mut doc = ResultsDoc::new("schedulers", args.seed);
+        doc.header("tasks", Json::U64(N_TASKS as u64));
+        doc.header("sets_per_point", Json::U64(sets_per_point as u64));
+        doc.header("horizon_ms", Json::U64(horizon_ms as u64));
+        for (i, (p, o)) in points.iter().zip(&outcomes).enumerate() {
+            doc.push_point(
+                &p.spec.name,
+                i,
+                Json::obj([
+                    ("utilization", Json::Num(p.util)),
+                    ("algorithm", Json::str(p.alg_name)),
+                    ("set", Json::U64(p.set_idx as u64)),
+                    ("set_seed", Json::U64(p.spec.seed)),
+                ]),
+                o,
+            );
+        }
+        for g in &groups {
+            let collect = |key: &str| -> Vec<f64> {
+                points
+                    .iter()
+                    .zip(&outcomes)
+                    .filter(|(p, o)| {
+                        p.util == g.util && p.alg_name == g.alg_name && o.completed
+                    })
+                    .filter_map(|(_, o)| o.metric(key))
+                    .collect()
+            };
+            let mut metrics: Vec<(&str, Aggregate)> = Vec::new();
+            for key in ["deadline_misses", "cycles_run", "worst_resp_over_period"] {
+                if let Some(a) = Aggregate::from_samples(&collect(key)) {
+                    metrics.push((key, a));
+                }
+            }
+            doc.push_aggregate(format!("u={:.2}/{}", g.util, g.alg_name), metrics);
+        }
+        match doc.write(path) {
+            Ok(_) => {
+                if !args.quiet {
+                    println!("wrote {}", path.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("error: writing {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 }

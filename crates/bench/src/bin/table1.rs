@@ -12,106 +12,158 @@
 //! real GSM codec); the *shape* — ordering and rough ratios — is the claim
 //! being reproduced.
 //!
-//! Run with `cargo run -p bench --bin table1 [-- --frames N]`.
+//! The three models are declarative [`ScenarioSpec`] points on the
+//! experiment farm, so they run concurrently under `--jobs ≥ 3`. The
+//! JSON document carries the deterministic rows (LoC, switches, delay,
+//! SNR); host execution time is printed to stdout only.
+//!
+//! Run with `cargo run -p bench --bin table1 -- [--frames N] [--jobs N]
+//! [--json PATH] [--quiet]`.
 
-use rtos_model::{SchedAlg, TimeSlice};
-use vocoder::{simulate_architecture, simulate_unscheduled, VocoderConfig};
+use bench::cli;
+use bench::farm::run_sweep;
+use bench::json::Json;
+use bench::results::ResultsDoc;
+use bench::scenario::{ScenarioSpec, Workload};
+use bench::{fmt_host, model_loc, TextTable};
 
-use bench::{fmt_host, fmt_ms, model_loc, TextTable};
-use dsp_iss::vocoder_app::{run_impl_model, ImplConfig};
+const ABOUT: &str = "Table 1 reproduction: vocoder under the three system-level models";
 
 fn main() {
-    let mut frames: u32 = 163; // ≈ 3.26 s of speech
-    let args: Vec<String> = std::env::args().collect();
-    if let Some(i) = args.iter().position(|a| a == "--frames") {
-        frames = args
-            .get(i + 1)
-            .and_then(|v| v.parse().ok())
-            .expect("--frames N");
+    let args = cli::parse("table1", ABOUT, 0x71, &[]);
+    let frames = args.frames.unwrap_or(163); // ≈ 3.26 s of speech
+
+    let points: Vec<(&str, ScenarioSpec)> = vec![
+        (
+            "unscheduled",
+            ScenarioSpec::new("unscheduled", Workload::VocoderUnscheduled).frames(frames),
+        ),
+        (
+            "architecture",
+            ScenarioSpec::new("architecture", Workload::VocoderArchitecture).frames(frames),
+        ),
+        (
+            "implementation",
+            ScenarioSpec::new("implementation", Workload::VocoderImpl).frames(frames),
+        ),
+    ];
+
+    let started = std::time::Instant::now();
+    let outcomes = run_sweep(args.seed, args.jobs, &points, |ctx, (_, spec)| {
+        spec.run_seeded(ctx.seed)
+    });
+    let wall = started.elapsed();
+    let (unsched, arch, impl_run) = (&outcomes[0], &outcomes[1], &outcomes[2]);
+    for o in &outcomes {
+        assert!(o.completed, "model run failed: {}", o.status);
     }
-    println!("Table 1 reproduction: vocoder, {frames} frames (20 ms each)\n");
-
-    let voc_cfg = VocoderConfig {
-        frames: frames as usize,
-        ..VocoderConfig::default()
-    };
-
-    let unsched = simulate_unscheduled(&voc_cfg).expect("unscheduled run");
-    let arch = simulate_architecture(
-        &voc_cfg,
-        SchedAlg::PriorityPreemptive,
-        TimeSlice::WholeDelay,
-    )
-    .expect("architecture run");
-    let impl_cfg = ImplConfig {
-        frames,
-        ..ImplConfig::default()
-    };
-    let impl_run = run_impl_model(&impl_cfg);
-
     let (loc_u, loc_a, loc_i) = model_loc();
-    let mut t = TextTable::new();
-    t.row(["", "unscheduled", "architecture", "implementation"]);
-    t.row([
-        "Lines of Code".to_string(),
-        loc_u.to_string(),
-        loc_a.to_string(),
-        loc_i.to_string(),
-    ]);
-    t.row([
-        "Execution Time".to_string(),
-        fmt_host(unsched.host_time),
-        fmt_host(arch.host_time),
-        fmt_host(impl_run.host_time),
-    ]);
-    t.row([
-        "Context Switches".to_string(),
-        unsched.context_switches.to_string(),
-        arch.context_switches.to_string(),
-        impl_run.context_switches.to_string(),
-    ]);
-    t.row([
-        "Transcoding Delay".to_string(),
-        fmt_ms(unsched.mean_transcode_delay()),
-        fmt_ms(arch.mean_transcode_delay()),
-        fmt_ms(impl_run.mean_transcode_delay()),
-    ]);
-    print!("{}", t.render());
 
-    println!("\nDetail:");
-    println!(
-        "  codec fidelity (mean SNR): {:.1} dB (identical across models: {})",
-        unsched.mean_snr_db,
-        (unsched.mean_snr_db - arch.mean_snr_db).abs() < 1e-9
-    );
-    println!(
-        "  impl model: {} cycles, {} instructions ({:.1} MHz-seconds of DSP time)",
-        impl_run.cycles,
-        impl_run.instructions,
-        impl_run.cycles as f64 / 60e6
-    );
-    if let Some(m) = &arch.metrics {
+    if !args.quiet {
+        println!("Table 1 reproduction: vocoder, {frames} frames (20 ms each)\n");
+        let mut t = TextTable::new();
+        t.row(["", "unscheduled", "architecture", "implementation"]);
+        t.row([
+            "Lines of Code".to_string(),
+            loc_u.to_string(),
+            loc_a.to_string(),
+            loc_i.to_string(),
+        ]);
+        t.row([
+            "Execution Time".to_string(),
+            fmt_host(unsched.host_time),
+            fmt_host(arch.host_time),
+            fmt_host(impl_run.host_time),
+        ]);
+        t.row([
+            "Context Switches".to_string(),
+            unsched.fmt_metric("context_switches", 0),
+            arch.fmt_metric("context_switches", 0),
+            impl_run.fmt_metric("context_switches", 0),
+        ]);
+        t.row([
+            "Transcoding Delay".to_string(),
+            format!("{} ms", unsched.fmt_metric("mean_transcode_delay_ms", 2)),
+            format!("{} ms", arch.fmt_metric("mean_transcode_delay_ms", 2)),
+            format!("{} ms", impl_run.fmt_metric("mean_transcode_delay_ms", 2)),
+        ]);
+        print!("{}", t.render());
+
+        let snr_u = unsched.metric("mean_snr_db").unwrap_or(0.0);
+        let snr_a = arch.metric("mean_snr_db").unwrap_or(0.0);
+        println!("\nDetail:");
         println!(
-            "  architecture model DSP utilization: {:.1}%",
-            m.utilization() * 100.0
+            "  codec fidelity (mean SNR): {:.1} dB (identical across models: {})",
+            snr_u,
+            (snr_u - snr_a).abs() < 1e-9
+        );
+        let cycles = impl_run.metric("cycles").unwrap_or(0.0);
+        println!(
+            "  impl model: {} cycles, {} instructions ({:.1} MHz-seconds of DSP time)",
+            impl_run.fmt_metric("cycles", 0),
+            impl_run.fmt_metric("instructions", 0),
+            cycles / 60e6
+        );
+        if let Some(u) = arch.metric("utilization_measured") {
+            println!("  architecture model DSP utilization: {:.1}%", u * 100.0);
+        }
+
+        let delay = |o: &bench::scenario::ScenarioOutcome| {
+            o.metric("mean_transcode_delay_ms").unwrap_or(0.0)
+        };
+        let sw = |o: &bench::scenario::ScenarioOutcome| o.metric("context_switches").unwrap_or(0.0);
+        println!("\nShape checks (paper Table 1):");
+        println!(
+            "  transcode delay: unsched < impl < arch: {}",
+            delay(unsched) < delay(impl_run) && delay(impl_run) < delay(arch)
+        );
+        println!(
+            "  context switches: unsched(0) < arch ≈ impl (±5%): {}",
+            sw(unsched) == 0.0
+                && sw(arch) > 0.0
+                && (sw(arch) - sw(impl_run)).abs() / sw(arch) < 0.05
+        );
+        println!(
+            "  execution time: abstract models fast, ISS much slower: {}",
+            impl_run.host_time > arch.host_time
+        );
+        println!(
+            "\nfarm: {} points, jobs={}, wall {}",
+            points.len(),
+            args.jobs,
+            fmt_host(wall)
         );
     }
-    println!("\nShape checks (paper Table 1):");
-    println!(
-        "  transcode delay: unsched < impl < arch: {}",
-        unsched.mean_transcode_delay() < impl_run.mean_transcode_delay()
-            && impl_run.mean_transcode_delay() < arch.mean_transcode_delay()
-    );
-    let arch_sw = arch.context_switches as f64;
-    let impl_sw = impl_run.context_switches as f64;
-    println!(
-        "  context switches: unsched(0) < arch ≈ impl (±5%): {}",
-        unsched.context_switches == 0
-            && arch.context_switches > 0
-            && (arch_sw - impl_sw).abs() / arch_sw < 0.05
-    );
-    println!(
-        "  execution time: abstract models fast, ISS much slower: {}",
-        impl_run.host_time > arch.host_time
-    );
+
+    if let Some(path) = &args.json {
+        let mut doc = ResultsDoc::new("table1", args.seed);
+        doc.header("frames", Json::U64(frames as u64));
+        doc.header(
+            "lines_of_code",
+            Json::obj([
+                ("unscheduled", Json::U64(loc_u as u64)),
+                ("architecture", Json::U64(loc_a as u64)),
+                ("implementation", Json::U64(loc_i as u64)),
+            ]),
+        );
+        for (i, ((model, spec), o)) in points.iter().zip(&outcomes).enumerate() {
+            doc.push_point(
+                &spec.name,
+                i,
+                Json::obj([("model", Json::str(*model))]),
+                o,
+            );
+        }
+        match doc.write(path) {
+            Ok(_) => {
+                if !args.quiet {
+                    println!("wrote {}", path.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("error: writing {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -1,0 +1,264 @@
+//! Shared argv parsing for every bench binary.
+//!
+//! All five converted experiment binaries (`robustness`, `schedulers`,
+//! `load_sweep`, `granularity`, `table1`) accept the same core flags:
+//!
+//! * `--frames N` — workload size (binary-specific default);
+//! * `--jobs N` — farm worker threads (default: all host cores). Results
+//!   are bit-identical for any value, see [`crate::farm`];
+//! * `--seed S` — base seed from which per-point seeds are derived;
+//! * `--json PATH` — write the machine-readable results document
+//!   (see `EXPERIMENTS.md` for the schema) to `PATH`;
+//! * `--quiet` — suppress the human-readable tables;
+//! * `--help` — print usage.
+//!
+//! Unknown flags produce a usage message and a nonzero exit instead of
+//! being silently ignored. Binary-specific extras (e.g. `schedulers
+//! --sets N`) are declared at the parse site and folded into the same
+//! usage text.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// One binary-specific extra flag: `(--name, VALUE, help)`.
+pub type ExtraFlag = (&'static str, &'static str, &'static str);
+
+/// Parsed command-line arguments shared by every bench binary.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// `--frames N`: workload size, if given (binaries apply their own
+    /// defaults).
+    pub frames: Option<usize>,
+    /// `--jobs N`: number of farm workers (defaults to the host's
+    /// available parallelism; always ≥ 1).
+    pub jobs: usize,
+    /// `--seed S`: base seed for per-point seed derivation.
+    pub seed: u64,
+    /// `--json PATH`: where to write the machine-readable results.
+    pub json: Option<PathBuf>,
+    /// `--quiet`: suppress human-readable output.
+    pub quiet: bool,
+    extras: BTreeMap<&'static str, String>,
+}
+
+impl Args {
+    /// The raw value of a binary-specific extra flag, if it was passed.
+    #[must_use]
+    pub fn extra(&self, name: &str) -> Option<&str> {
+        self.extras.get(name).map(String::as_str)
+    }
+
+    /// Parses an extra flag's value, falling back to `default` when the
+    /// flag was not passed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flag was passed but does not parse as `T` (the value
+    /// was already validated syntactically at parse time for core flags;
+    /// extras are validated here).
+    #[must_use]
+    pub fn extra_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.extra(name) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("--{name} {v}: invalid value")),
+        }
+    }
+}
+
+/// Error produced by [`parse_from`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// `--help` was requested; the payload is the usage text.
+    Help(String),
+    /// Parsing failed; the payload is `(message, usage text)`.
+    Invalid(String, String),
+}
+
+fn usage(bin: &str, about: &str, extras: &[ExtraFlag]) -> String {
+    let mut u = format!(
+        "{about}\n\n\
+         Usage: cargo run -p bench --bin {bin} -- [FLAGS]\n\n\
+         Flags:\n\
+         \x20 --frames N    workload size (frames / horizon points; binary default)\n\
+         \x20 --jobs N      worker threads (default: all cores; results identical for any N)\n\
+         \x20 --seed S      base seed for per-point seed derivation\n\
+         \x20 --json PATH   write machine-readable results JSON to PATH\n\
+         \x20 --quiet       suppress human-readable tables\n\
+         \x20 --help        print this message\n"
+    );
+    for (name, value, help) in extras {
+        u.push_str(&format!("  --{name} {value}    {help}\n"));
+    }
+    u
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Parses `argv` (excluding the program name). Pure function for testing;
+/// binaries use [`parse`].
+///
+/// # Errors
+///
+/// Returns [`CliError::Help`] on `--help` and [`CliError::Invalid`] on an
+/// unknown flag, a missing value, or an unparsable value.
+pub fn parse_from(
+    bin: &str,
+    about: &str,
+    default_seed: u64,
+    extras: &[ExtraFlag],
+    argv: &[String],
+) -> Result<Args, CliError> {
+    let usage_text = usage(bin, about, extras);
+    let invalid = |msg: String| CliError::Invalid(msg, usage_text.clone());
+    let mut args = Args {
+        frames: None,
+        jobs: default_jobs(),
+        seed: default_seed,
+        json: None,
+        quiet: false,
+        extras: BTreeMap::new(),
+    };
+    let mut it = argv.iter().peekable();
+    while let Some(arg) = it.next() {
+        // Accept `--flag value` and `--flag=value`.
+        let (flag, mut inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        let mut value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>| {
+            inline
+                .take()
+                .or_else(|| it.next().cloned())
+                .ok_or_else(|| invalid(format!("{flag} requires a value")))
+        };
+        match flag {
+            "--help" | "-h" => return Err(CliError::Help(usage_text)),
+            "--quiet" | "-q" => args.quiet = true,
+            "--frames" => {
+                let v = value(&mut it)?;
+                args.frames = Some(
+                    v.parse()
+                        .map_err(|_| invalid(format!("--frames {v}: expected a count")))?,
+                );
+            }
+            "--jobs" | "-j" => {
+                let v = value(&mut it)?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| invalid(format!("--jobs {v}: expected a count")))?;
+                if n == 0 {
+                    return Err(invalid("--jobs must be >= 1".into()));
+                }
+                args.jobs = n;
+            }
+            "--seed" => {
+                let v = value(&mut it)?;
+                args.seed = v
+                    .parse()
+                    .map_err(|_| invalid(format!("--seed {v}: expected a u64")))?;
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(value(&mut it)?));
+            }
+            other => {
+                let extra = extras
+                    .iter()
+                    .find(|(name, _, _)| other.strip_prefix("--") == Some(*name));
+                match extra {
+                    Some((name, _, _)) => {
+                        let v = value(&mut it)?;
+                        args.extras.insert(name, v);
+                    }
+                    None => return Err(invalid(format!("unknown flag `{other}`"))),
+                }
+            }
+        }
+    }
+    Ok(args)
+}
+
+/// Parses the process argv; prints usage and exits on `--help` (code 0)
+/// or on a bad flag (code 2).
+#[must_use]
+pub fn parse(bin: &str, about: &str, default_seed: u64, extras: &[ExtraFlag]) -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_from(bin, about, default_seed, extras, &argv) {
+        Ok(args) => args,
+        Err(CliError::Help(u)) => {
+            print!("{u}");
+            std::process::exit(0);
+        }
+        Err(CliError::Invalid(msg, u)) => {
+            eprint!("error: {msg}\n\n{u}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn defaults_and_core_flags() {
+        let a = parse_from("t", "about", 7, &[], &argv(&[])).unwrap();
+        assert_eq!(a.seed, 7);
+        assert!(a.jobs >= 1);
+        assert!(a.frames.is_none() && a.json.is_none() && !a.quiet);
+
+        let a = parse_from(
+            "t",
+            "about",
+            7,
+            &[],
+            &argv(&["--frames", "5", "--jobs=3", "--seed", "9", "--json", "o.json", "-q"]),
+        )
+        .unwrap();
+        assert_eq!(a.frames, Some(5));
+        assert_eq!(a.jobs, 3);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.json.as_deref(), Some(std::path::Path::new("o.json")));
+        assert!(a.quiet);
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected_with_usage() {
+        let e = parse_from("t", "about", 0, &[], &argv(&["--bogus"])).unwrap_err();
+        match e {
+            CliError::Invalid(msg, usage) => {
+                assert!(msg.contains("--bogus"), "{msg}");
+                assert!(usage.contains("--jobs"), "{usage}");
+            }
+            CliError::Help(_) => panic!("expected Invalid"),
+        }
+    }
+
+    #[test]
+    fn extras_are_declared_per_binary() {
+        let extras = [("sets", "N", "random sets per point")];
+        let a = parse_from("t", "about", 0, &extras, &argv(&["--sets", "4"])).unwrap();
+        assert_eq!(a.extra_or("sets", 10usize), 4);
+        assert_eq!(a.extra_or("missing", 10usize), 10);
+        // Undeclared extras are still rejected.
+        assert!(parse_from("t", "about", 0, &[], &argv(&["--sets", "4"])).is_err());
+    }
+
+    #[test]
+    fn bad_values_are_rejected() {
+        assert!(parse_from("t", "a", 0, &[], &argv(&["--jobs", "0"])).is_err());
+        assert!(parse_from("t", "a", 0, &[], &argv(&["--frames", "x"])).is_err());
+        assert!(parse_from("t", "a", 0, &[], &argv(&["--seed"])).is_err());
+        assert!(matches!(
+            parse_from("t", "a", 0, &[], &argv(&["--help"])),
+            Err(CliError::Help(_))
+        ));
+    }
+}

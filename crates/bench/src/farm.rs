@@ -1,0 +1,171 @@
+//! The experiment farm: a fixed pool of OS worker threads running
+//! independent simulation sweep points in parallel.
+//!
+//! The paper's whole pitch is cheap early design-space exploration; its
+//! sweeps (Table 1, ablations A1–A6) are *embarrassingly parallel* — each
+//! point constructs and runs an isolated [`Simulation`] — so the farm
+//! simply hands out point indices from a shared atomic counter (a
+//! degenerate work-stealing queue: every worker steals the next
+//! not-yet-claimed index) and merges results back **in point order**.
+//!
+//! ## Determinism
+//!
+//! Aggregated results are bit-identical for any `--jobs` value because:
+//!
+//! 1. each point's seed is a pure function of `(base_seed, point_index)`
+//!    ([`derive_seed`], SplitMix64 stream splitting);
+//! 2. each point runs an isolated simulation (the kernel itself is
+//!    deterministic);
+//! 3. results are reassembled by point index before any aggregation, so
+//!    the completion order of workers is unobservable.
+//!
+//! `crates/bench/tests/farm_determinism.rs` pins this down end to end.
+//!
+//! [`Simulation`]: sldl_sim::Simulation
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use sldl_sim::SmallRng;
+
+/// Derives the deterministic seed of sweep point `index` from the sweep's
+/// base seed, via SplitMix64 stream splitting (fork + one draw). Distinct
+/// indices yield distinct, decorrelated seeds (collision-freedom across a
+/// 256-point sweep is pinned by the determinism suite).
+#[must_use]
+pub fn derive_seed(base_seed: u64, index: u64) -> u64 {
+    SmallRng::seed_from_u64(base_seed).fork(index).next_u64()
+}
+
+/// Per-point context handed to the sweep closure.
+#[derive(Debug, Clone, Copy)]
+pub struct PointCtx {
+    /// The point's position in the sweep (stable across `--jobs` values).
+    pub index: usize,
+    /// The point's derived seed ([`derive_seed`] of the base seed and
+    /// `index`).
+    pub seed: u64,
+}
+
+/// Runs `f` over every point of `points` on `jobs` worker threads and
+/// returns the results **in point order** (index `i` of the output is the
+/// result of `points[i]`, regardless of which worker ran it when).
+///
+/// `f` must be a pure function of `(ctx, point)` for the output to be
+/// `--jobs`-independent; simulations constructed from plain-data specs
+/// satisfy this by construction.
+///
+/// # Panics
+///
+/// Propagates the first panic raised inside `f`.
+pub fn run_sweep<P, R, F>(base_seed: u64, jobs: usize, points: &[P], f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(PointCtx, &P) -> R + Sync,
+{
+    let jobs = jobs.clamp(1, points.len().max(1));
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None)
+        .take(points.len())
+        .collect();
+
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..jobs)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut mine: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        // The "queue": claim the next unclaimed index.
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= points.len() {
+                            break;
+                        }
+                        let ctx = PointCtx {
+                            index,
+                            seed: derive_seed(base_seed, index as u64),
+                        };
+                        mine.push((index, f(ctx, &points[index])));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for worker in workers {
+            match worker.join() {
+                Ok(results) => {
+                    for (index, r) in results {
+                        slots[index] = Some(r);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_point_order() {
+        let points: Vec<u64> = (0..97).collect();
+        for jobs in [1, 3, 8, 200] {
+            let out = run_sweep(42, jobs, &points, |ctx, p| {
+                assert_eq!(ctx.index as u64, *p);
+                (*p * 2, ctx.seed)
+            });
+            assert_eq!(out.len(), 97);
+            for (i, (doubled, seed)) in out.iter().enumerate() {
+                assert_eq!(*doubled, 2 * i as u64);
+                assert_eq!(*seed, derive_seed(42, i as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn jobs_count_does_not_change_results() {
+        let points: Vec<usize> = (0..64).collect();
+        let run = |jobs| {
+            run_sweep(7, jobs, &points, |ctx, _| {
+                // A tiny seeded computation standing in for a simulation.
+                let mut rng = SmallRng::seed_from_u64(ctx.seed);
+                (0..100).map(|_| rng.next_u64() % 1000).sum::<u64>()
+            })
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4));
+        assert_eq!(serial, run(16));
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let out: Vec<u8> = run_sweep(0, 8, &[] as &[u8], |_, p| *p);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn derived_seeds_do_not_collide() {
+        let mut seeds: Vec<u64> = (0..256).map(|i| derive_seed(0xBEEF, i)).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let points = [0u8, 1, 2];
+        let _ = run_sweep(0, 2, &points, |_, p| {
+            assert!(*p != 2, "boom");
+            *p
+        });
+    }
+}

@@ -1,0 +1,188 @@
+//! A tiny hand-rolled JSON document model and writer.
+//!
+//! The workspace is deliberately dependency-free (hermetic/offline
+//! builds), so the machine-readable bench results are produced by this
+//! ~150-line writer instead of an external crate. Rendering is fully
+//! deterministic: object keys are emitted in insertion order, floats use
+//! Rust's shortest-roundtrip formatting, and non-finite floats become
+//! `null` — two equal documents always render byte-identically, which is
+//! what lets `farm_determinism.rs` compare `--jobs 1` vs `--jobs N`
+//! output as raw bytes.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A float (rendered shortest-roundtrip; NaN/inf render as `null`).
+    Num(f64),
+    /// An exact unsigned integer (counts, seeds).
+    U64(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys render in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    #[must_use]
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds a string value.
+    #[must_use]
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Renders the document with 2-space indentation and a trailing
+    /// newline.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // Shortest-roundtrip float formatting is deterministic
+                    // and always contains enough precision to reparse.
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Str(s) => escape_into(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    item.render_into(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    escape_into(out, k);
+                    out.push_str(": ");
+                    v.render_into(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Renders and writes the document to `path`, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.render())
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    out.extend(std::iter::repeat_n(' ', indent * 2));
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_document() {
+        let doc = Json::obj([
+            ("name", Json::str("sweep \"x\"")),
+            ("count", Json::U64(3)),
+            ("mean", Json::Num(1.5)),
+            ("bad", Json::Num(f64::NAN)),
+            ("flags", Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("empty", Json::obj::<String>([])),
+        ]);
+        let s = doc.render();
+        assert_eq!(
+            s,
+            "{\n  \"name\": \"sweep \\\"x\\\"\",\n  \"count\": 3,\n  \"mean\": 1.5,\n  \"bad\": null,\n  \"flags\": [\n    true,\n    null\n  ],\n  \"empty\": {}\n}\n"
+        );
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let mk = || {
+            Json::obj([
+                ("a", Json::Num(0.1 + 0.2)),
+                ("b", Json::Arr(vec![Json::Num(1e-9), Json::Num(1e20)])),
+            ])
+        };
+        assert_eq!(mk().render(), mk().render());
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        let mut out = String::new();
+        escape_into(&mut out, "a\u{1}\tb");
+        assert_eq!(out, "\"a\\u0001\\tb\"");
+    }
+}

@@ -1,4 +1,24 @@
 //! Shared helpers for the table/figure reproduction binaries and benches.
+//!
+//! Beyond the formatting/table utilities below, this crate hosts the
+//! *experiment farm* (see `docs/ARCHITECTURE.md`):
+//!
+//! * [`scenario`] — declarative [`ScenarioSpec`](scenario::ScenarioSpec)s
+//!   that construct and run fresh simulations on demand;
+//! * [`farm`] — the fixed worker pool executing sweep points in parallel
+//!   with `--jobs`-independent, bit-identical aggregate results;
+//! * [`cli`] — the shared `--frames/--jobs/--seed/--json/--quiet` argv
+//!   parsing used by every bench binary;
+//! * [`stats`] / [`json`] / [`results`] — typed aggregates and the
+//!   hand-rolled, deterministic JSON results writer
+//!   (`bench-results/<bin>.json`, schema `rtos-sld-bench/1`).
+
+pub mod cli;
+pub mod farm;
+pub mod json;
+pub mod results;
+pub mod scenario;
+pub mod stats;
 
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -77,7 +97,10 @@ pub fn model_loc() -> (usize, usize, usize) {
 /// Minimal wall-clock micro-benchmark group (self-contained; no external
 /// harness): each [`bench_function`](BenchGroup::bench_function) runs the
 /// closure once for warm-up, then `sample_size` timed iterations, and
-/// [`finish`](BenchGroup::finish) prints min/median/mean per benchmark.
+/// [`finish`](BenchGroup::finish) prints min/p50/mean/max per benchmark
+/// together with host-timing context (sample count per function, total
+/// timed wall clock of the group) so overhead numbers (ablation A3) are
+/// comparable across runs and hosts.
 ///
 /// Set the `BENCH_SAMPLES` environment variable to override every group's
 /// sample count (e.g. `BENCH_SAMPLES=3` for a smoke run).
@@ -86,6 +109,7 @@ pub struct BenchGroup {
     name: String,
     sample_size: usize,
     results: Vec<(String, Vec<Duration>)>,
+    created: Instant,
 }
 
 impl BenchGroup {
@@ -100,6 +124,7 @@ impl BenchGroup {
             name: name.into(),
             sample_size,
             results: Vec::new(),
+            created: Instant::now(),
         }
     }
 
@@ -126,21 +151,36 @@ impl BenchGroup {
         self
     }
 
-    /// Prints the result table.
+    /// Prints the result table (min/p50/mean/max per function, plus
+    /// per-function sample counts and the group's total timed wall
+    /// clock).
     pub fn finish(&self) {
         let mut table = TextTable::new();
-        table.row(["benchmark", "min", "median", "mean"]);
+        table.row(["benchmark", "n", "min", "p50", "mean", "max"]);
+        let mut timed_total = Duration::ZERO;
         for (id, samples) in &self.results {
             let n = samples.len();
-            let mean = samples.iter().sum::<Duration>() / u32::try_from(n).unwrap_or(1);
+            let sum: Duration = samples.iter().sum();
+            timed_total += sum;
+            let mean = sum / u32::try_from(n).unwrap_or(1);
             table.row([
                 id.clone(),
+                n.to_string(),
                 fmt_host(samples[0]),
                 fmt_host(samples[n / 2]),
                 fmt_host(mean),
+                fmt_host(samples[n - 1]),
             ]);
         }
-        println!("{} ({} samples)\n{}", self.name, self.sample_size, table.render());
+        println!(
+            "{} ({} functions, {} samples each; timed {}, elapsed {})\n{}",
+            self.name,
+            self.results.len(),
+            self.sample_size,
+            fmt_host(timed_total),
+            fmt_host(self.created.elapsed()),
+            table.render()
+        );
     }
 }
 

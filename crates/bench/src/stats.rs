@@ -1,0 +1,128 @@
+//! Typed sample aggregation for sweep results.
+//!
+//! Every repeated measurement in the experiment farm is summarized by an
+//! [`Aggregate`] — count, mean, percentiles (nearest-rank), min and max —
+//! so results documents carry distributions, not just means. Aggregation
+//! is a pure function of the (deterministically ordered) samples, keeping
+//! JSON output independent of `--jobs`.
+
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// Summary statistics of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggregate {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (nearest-rank 50th percentile).
+    pub p50: f64,
+    /// Nearest-rank 95th percentile.
+    pub p95: f64,
+    /// Nearest-rank 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Aggregate {
+    /// Aggregates `samples`; returns `None` for an empty set.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let count = sorted.len();
+        Some(Aggregate {
+            count,
+            mean: sorted.iter().sum::<f64>() / count as f64,
+            min: sorted[0],
+            p50: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            p99: percentile_sorted(&sorted, 99.0),
+            max: sorted[count - 1],
+        })
+    }
+
+    /// Aggregates durations, in seconds.
+    #[must_use]
+    pub fn from_durations(samples: &[Duration]) -> Option<Self> {
+        let secs: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+        Self::from_samples(&secs)
+    }
+
+    /// The JSON representation used in results documents.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::U64(self.count as u64)),
+            ("mean", Json::Num(self.mean)),
+            ("min", Json::Num(self.min)),
+            ("p50", Json::Num(self.p50)),
+            ("p95", Json::Num(self.p95)),
+            ("p99", Json::Num(self.p99)),
+            ("max", Json::Num(self.max)),
+        ])
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted, non-empty slice.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty.
+#[must_use]
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample set");
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_of_known_set() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        let a = Aggregate::from_samples(&xs).unwrap();
+        assert_eq!(a.count, 100);
+        assert!((a.mean - 50.5).abs() < 1e-12);
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.p50, 50.0);
+        assert_eq!(a.p95, 95.0);
+        assert_eq!(a.p99, 99.0);
+        assert_eq!(a.max, 100.0);
+    }
+
+    #[test]
+    fn aggregate_handles_singleton_and_empty() {
+        assert!(Aggregate::from_samples(&[]).is_none());
+        let a = Aggregate::from_samples(&[2.5]).unwrap();
+        assert_eq!((a.min, a.p50, a.p99, a.max), (2.5, 2.5, 2.5, 2.5));
+    }
+
+    #[test]
+    fn aggregate_is_order_independent() {
+        let a = Aggregate::from_samples(&[3.0, 1.0, 2.0]).unwrap();
+        let b = Aggregate::from_samples(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn durations_convert_to_seconds() {
+        let a = Aggregate::from_durations(&[
+            Duration::from_millis(10),
+            Duration::from_millis(30),
+        ])
+        .unwrap();
+        assert!((a.mean - 0.02).abs() < 1e-12);
+    }
+}

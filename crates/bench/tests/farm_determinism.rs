@@ -1,0 +1,101 @@
+//! End-to-end determinism suite for the experiment farm: the JSON
+//! results documents of the converted bench binaries must be
+//! **byte-identical** for any `--jobs` value, and per-point seeds must
+//! not collide across a large sweep.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use bench::farm::{derive_seed, run_sweep};
+use bench::scenario::{ScenarioSpec, Workload};
+use sldl_sim::FaultPlan;
+
+/// Runs a bench binary with the given args plus `--json <tmp> -q` and
+/// returns the rendered JSON bytes.
+fn run_bin_json(exe: &str, tag: &str, args: &[&str]) -> Vec<u8> {
+    let path: PathBuf = std::env::temp_dir().join(format!(
+        "farm-determinism-{}-{tag}-{}.json",
+        std::process::id(),
+        exe.replace(['/', '\\'], "_")
+    ));
+    let status = Command::new(exe)
+        .args(args)
+        .arg("--json")
+        .arg(&path)
+        .arg("-q")
+        .status()
+        .expect("bench binary runs");
+    assert!(status.success(), "{exe} {args:?} failed: {status}");
+    let bytes = std::fs::read(&path).expect("json written");
+    let _ = std::fs::remove_file(&path);
+    bytes
+}
+
+#[test]
+fn robustness_sweep_json_is_jobs_invariant() {
+    let exe = env!("CARGO_BIN_EXE_robustness");
+    let base = &["--frames", "2", "--seed", "7"];
+    let j1 = run_bin_json(exe, "j1", &[base as &[&str], &["--jobs", "1"]].concat());
+    let j4 = run_bin_json(exe, "j4", &[base as &[&str], &["--jobs", "4"]].concat());
+    assert!(!j1.is_empty());
+    assert_eq!(j1, j4, "robustness JSON differs between --jobs 1 and 4");
+    let text = String::from_utf8(j1).unwrap();
+    assert!(text.contains("\"schema\": \"rtos-sld-bench/1\""), "{text}");
+    assert!(text.contains("\"aggregates\""), "{text}");
+}
+
+#[test]
+fn scheduler_sweep_json_is_jobs_invariant() {
+    let exe = env!("CARGO_BIN_EXE_schedulers");
+    let base = &["--frames", "10", "--sets", "2", "--seed", "11"];
+    let j1 = run_bin_json(exe, "j1", &[base as &[&str], &["--jobs", "1"]].concat());
+    let j4 = run_bin_json(exe, "j4", &[base as &[&str], &["--jobs", "4"]].concat());
+    assert_eq!(j1, j4, "schedulers JSON differs between --jobs 1 and 4");
+}
+
+#[test]
+fn changing_the_base_seed_changes_the_document() {
+    let exe = env!("CARGO_BIN_EXE_robustness");
+    let a = run_bin_json(exe, "s7", &["--frames", "2", "--seed", "7", "--jobs", "2"]);
+    let b = run_bin_json(exe, "s8", &["--frames", "2", "--seed", "8", "--jobs", "2"]);
+    assert_ne!(a, b, "base seed must key the fault streams");
+}
+
+#[test]
+fn in_process_sweep_is_jobs_invariant() {
+    // Same property without process overhead, over a faulted vocoder
+    // sweep driven directly through the ScenarioSpec layer.
+    let points: Vec<ScenarioSpec> = (0..8)
+        .map(|i| {
+            ScenarioSpec::new(format!("p{i}"), Workload::VocoderArchitecture)
+                .frames(2)
+                .faults(FaultPlan::none().with_wcet_jitter(0.3, 2.0))
+        })
+        .collect();
+    let run = |jobs| {
+        run_sweep(3, jobs, &points, |ctx, p| p.run_seeded(ctx.seed))
+            .into_iter()
+            .map(|o| o.to_json().render())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(1), run(4));
+}
+
+#[test]
+fn per_point_seeds_do_not_collide_across_256_points() {
+    for base in [0u64, 7, 0xDEAD_BEEF, u64::MAX] {
+        let mut seeds: Vec<u64> = (0..256).map(|i| derive_seed(base, i)).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 256, "seed collision under base {base}");
+    }
+}
+
+#[test]
+fn point_seeds_differ_across_indices_and_bases() {
+    assert_ne!(derive_seed(1, 0), derive_seed(1, 1));
+    assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+    // And are stable (part of the documented schema: the `seed` field of
+    // each point is reproducible from `base_seed` + `index`).
+    assert_eq!(derive_seed(42, 17), derive_seed(42, 17));
+}

@@ -58,8 +58,8 @@ fn run_set(
     alg: SchedAlg,
     slice: TimeSlice,
 ) -> (SimTime, Vec<(String, u64)>, u64, Duration) {
-    let mut sim = Simulation::new();
-    let trace = sim.enable_trace(TraceConfig::default());
+    let mut sim = Simulation::builder().trace(TraceConfig::default()).build();
+    let trace = sim.trace_handle().expect("trace configured");
     let os = Rtos::new("pe", sim.sync_layer());
     os.start(alg);
     os.set_time_slice(slice);

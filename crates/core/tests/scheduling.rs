@@ -485,8 +485,8 @@ fn par_start_end_forks_child_tasks() {
 
 #[test]
 fn trace_records_task_spans_without_overlap() {
-    let mut sim = Simulation::new();
-    let trace = sim.enable_trace(TraceConfig::default());
+    let mut sim = Simulation::builder().trace(TraceConfig::default()).build();
+    let trace = sim.trace_handle().expect("trace configured");
     let os = Rtos::new("pe", sim.sync_layer());
     os.start(SchedAlg::PriorityPreemptive);
     os.attach_trace(trace.clone());

@@ -111,8 +111,8 @@ fn run_architecture_inner(
     cfg: &RunConfig,
 ) -> Result<ModelRun, RunModelError> {
     spec.validate()?;
-    let mut sim = Simulation::new();
-    let trace = sim.enable_trace(TraceConfig::default());
+    let mut sim = Simulation::builder().trace(TraceConfig::default()).build();
+    let trace = sim.trace_handle().expect("trace configured");
     let layer = sim.sync_layer();
 
     // One RTOS instance per PE.

@@ -39,8 +39,8 @@ impl SpecChan {
 /// [`RunModelError::Sim`] if a process panics during simulation.
 pub fn run_unscheduled(spec: &SystemSpec, cfg: &RunConfig) -> Result<ModelRun, RunModelError> {
     spec.validate()?;
-    let mut sim = Simulation::new();
-    let trace = sim.enable_trace(TraceConfig::default());
+    let mut sim = Simulation::builder().trace(TraceConfig::default()).build();
+    let trace = sim.trace_handle().expect("trace configured");
     let layer = sim.sync_layer();
 
     let chans: Arc<Vec<SpecChan>> = Arc::new(

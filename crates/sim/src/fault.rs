@@ -56,7 +56,7 @@ pub struct SpuriousRelease {
 /// A seeded description of the anomalies to inject into a run.
 ///
 /// Install on a simulation with
-/// [`Simulation::set_fault_plan`](crate::Simulation::set_fault_plan);
+/// [`SimulationBuilder::fault_plan`](crate::SimulationBuilder::fault_plan);
 /// injections performed during the run are logged in
 /// [`Report::faults`](crate::Report::faults).
 #[derive(Debug, Clone, PartialEq)]
@@ -131,6 +131,15 @@ impl FaultPlan {
     #[must_use]
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Returns the same plan (rates and registrations kept) re-keyed to
+    /// `seed`. Sweep harnesses use this to give every sweep point an
+    /// independent, reproducible fault stream derived from a base seed.
+    #[must_use]
+    pub fn reseed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 
     /// Whether this plan can never inject anything. Empty plans are not

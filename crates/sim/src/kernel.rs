@@ -424,7 +424,87 @@ impl Default for Simulation {
     }
 }
 
+/// Declarative configuration for a [`Simulation`], obtained from
+/// [`Simulation::builder`].
+///
+/// All options default to "off": `SimulationBuilder::default().build()` is
+/// byte-identical to [`Simulation::new`]. The builder is plain data, so a
+/// scenario description can carry one around (or the pieces to make one)
+/// and construct fresh, isolated simulations on demand — e.g. one per
+/// sweep point on a worker thread.
+#[derive(Debug, Default)]
+#[must_use = "call `.build()` to obtain the configured Simulation"]
+pub struct SimulationBuilder {
+    fault_plan: Option<FaultPlan>,
+    stall_policy: Option<StallPolicy>,
+    trace: Option<TraceConfig>,
+}
+
+impl SimulationBuilder {
+    /// Installs a seeded [`FaultPlan`]. An empty plan ([`FaultPlan::none`]
+    /// or all-zero rates) is not armed at all, so it is guaranteed
+    /// byte-identical to no injection.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Configures what happens when all activity is exhausted while
+    /// processes are still blocked (see [`StallPolicy`]).
+    pub fn stall_policy(mut self, policy: StallPolicy) -> Self {
+        self.stall_policy = Some(policy);
+        self
+    }
+
+    /// Attaches a trace recorder; fetch the handle from the built
+    /// simulation via [`Simulation::trace_handle`].
+    pub fn trace(mut self, config: TraceConfig) -> Self {
+        self.trace = Some(config);
+        self
+    }
+
+    /// Builds the configured simulation at time zero.
+    #[must_use]
+    pub fn build(self) -> Simulation {
+        let mut sim = Simulation::new();
+        if let Some(plan) = self.fault_plan {
+            sim.install_fault_plan(plan);
+        }
+        if let Some(policy) = self.stall_policy {
+            sim.install_stall_policy(policy);
+        }
+        if let Some(config) = self.trace {
+            let _handle = sim.install_trace(config);
+        }
+        sim
+    }
+}
+
 impl Simulation {
+    /// Starts configuring a simulation declaratively.
+    ///
+    /// This is the preferred way to set up pre-run kernel state (fault
+    /// plan, stall policy, tracing); the imperative mutators
+    /// ([`set_fault_plan`](Simulation::set_fault_plan),
+    /// [`set_stall_policy`](Simulation::set_stall_policy),
+    /// [`enable_trace`](Simulation::enable_trace)) are deprecated shims
+    /// over this builder.
+    ///
+    /// ```
+    /// use sldl_sim::{FaultPlan, Simulation, StallPolicy, TraceConfig};
+    ///
+    /// let sim = Simulation::builder()
+    ///     .fault_plan(FaultPlan::seeded(7).with_drop_notify(0.1))
+    ///     .stall_policy(StallPolicy::AllowBlocked)
+    ///     .trace(TraceConfig::default())
+    ///     .build();
+    /// let trace = sim.trace_handle().expect("trace was configured");
+    /// # let _ = trace;
+    /// ```
+    pub fn builder() -> SimulationBuilder {
+        SimulationBuilder::default()
+    }
+
     /// Creates an empty simulation at time zero.
     #[must_use]
     pub fn new() -> Self {
@@ -458,12 +538,7 @@ impl Simulation {
         }
     }
 
-    /// Installs a seeded [`FaultPlan`]. An empty plan
-    /// ([`FaultPlan::none`] or all-zero rates) is not armed at all, so it
-    /// is guaranteed byte-identical to no injection. Call before
-    /// [`run`](Simulation::run); installing a new plan replaces the old
-    /// one and clears the fault log.
-    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+    fn install_fault_plan(&mut self, plan: FaultPlan) {
         let mut st = self.shared.state.lock();
         st.faults = if plan.is_empty() {
             None
@@ -472,10 +547,39 @@ impl Simulation {
         };
     }
 
+    fn install_stall_policy(&mut self, policy: StallPolicy) {
+        self.shared.state.lock().stall_policy = policy;
+    }
+
+    fn install_trace(&mut self, config: TraceConfig) -> TraceHandle {
+        let handle = TraceHandle::new();
+        let mut st = self.shared.state.lock();
+        st.trace = Some(handle.clone());
+        st.trace_kernel = config.kernel_records;
+        handle
+    }
+
+    /// Installs a seeded [`FaultPlan`]. An empty plan
+    /// ([`FaultPlan::none`] or all-zero rates) is not armed at all, so it
+    /// is guaranteed byte-identical to no injection. Call before
+    /// [`run`](Simulation::run); installing a new plan replaces the old
+    /// one and clears the fault log.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Simulation::builder().fault_plan(plan).build()` instead"
+    )]
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.install_fault_plan(plan);
+    }
+
     /// Configures what happens when all activity is exhausted while
     /// processes are still blocked (see [`StallPolicy`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Simulation::builder().stall_policy(policy).build()` instead"
+    )]
     pub fn set_stall_policy(&mut self, policy: StallPolicy) {
-        self.shared.state.lock().stall_policy = policy;
+        self.install_stall_policy(policy);
     }
 
     /// Attaches a trace recorder and returns a handle for later analysis.
@@ -483,12 +587,21 @@ impl Simulation {
     /// Call before [`run`](Simulation::run); records produced by processes
     /// via [`ProcCtx::record`] and (if enabled) by the kernel are appended
     /// to the returned handle.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Simulation::builder().trace(config).build()` and \
+                `Simulation::trace_handle()` instead"
+    )]
     pub fn enable_trace(&mut self, config: TraceConfig) -> TraceHandle {
-        let handle = TraceHandle::new();
-        let mut st = self.shared.state.lock();
-        st.trace = Some(handle.clone());
-        st.trace_kernel = config.kernel_records;
-        handle
+        self.install_trace(config)
+    }
+
+    /// Returns the trace handle if tracing was configured (via
+    /// [`SimulationBuilder::trace`] or the deprecated
+    /// [`enable_trace`](Simulation::enable_trace)).
+    #[must_use]
+    pub fn trace_handle(&self) -> Option<TraceHandle> {
+        self.shared.state.lock().trace.clone()
     }
 
     /// Allocates a fresh event before the simulation starts.

@@ -78,7 +78,7 @@ pub use channel::{Handshake, Queue, Semaphore, SldlSync, SyncLayer};
 pub use error::{AbortReason, ModelError, RunError, WaitEdge};
 pub use fault::{FaultPlan, FaultRecord, InjectedFault, SpuriousRelease, WcetJitter};
 pub use ids::{EventId, ProcessId};
-pub use kernel::{Child, ProcBody, ProcCtx, Report, Simulation, StallPolicy};
+pub use kernel::{Child, ProcBody, ProcCtx, Report, Simulation, SimulationBuilder, StallPolicy};
 pub use rng::SmallRng;
 pub use time::SimTime;
 pub use trace::{Record, RecordKind, TraceConfig, TraceHandle};

@@ -90,7 +90,8 @@ pub struct Record {
     pub kind: RecordKind,
 }
 
-/// Configuration for [`Simulation::enable_trace`](crate::Simulation::enable_trace).
+/// Configuration for
+/// [`SimulationBuilder::trace`](crate::SimulationBuilder::trace).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TraceConfig {
     /// Also record kernel-level scheduling records (spawn/resume/suspend/
@@ -107,7 +108,8 @@ pub struct TraceHandle {
 
 impl TraceHandle {
     /// Creates an empty, detached trace buffer (usually obtained from
-    /// [`Simulation::enable_trace`](crate::Simulation::enable_trace) instead).
+    /// [`Simulation::trace_handle`](crate::Simulation::trace_handle) after
+    /// configuring tracing through the builder).
     #[must_use]
     pub fn new() -> Self {
         Self::default()

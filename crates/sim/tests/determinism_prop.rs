@@ -56,10 +56,12 @@ fn random_workload(rng: &mut SmallRng) -> Workload {
 }
 
 fn run_workload(w: &Workload) -> (SimTime, Vec<String>, usize) {
-    let mut sim = Simulation::new();
-    let trace = sim.enable_trace(TraceConfig {
-        kernel_records: true,
-    });
+    let mut sim = Simulation::builder()
+        .trace(TraceConfig {
+            kernel_records: true,
+        })
+        .build();
+    let trace = sim.trace_handle().expect("trace configured");
     let events: Vec<_> = (0..w.num_events).map(|_| sim.event_new()).collect();
     let log = Arc::new(Mutex::new(Vec::new()));
 
@@ -154,8 +156,8 @@ fn trace_spans_match_annotated_delays() {
             .map(|_| 1 + rng.gen_range_u64(99))
             .collect();
 
-        let mut sim = Simulation::new();
-        let trace = sim.enable_trace(TraceConfig::default());
+        let mut sim = Simulation::builder().trace(TraceConfig::default()).build();
+        let trace = sim.trace_handle().expect("trace configured");
         let durs2 = durs.clone();
         sim.spawn(Child::new("annotated", move |ctx| {
             for (k, d) in durs2.iter().enumerate() {

@@ -175,10 +175,12 @@ fn cancel_during_timed_wait_discards_stale_timer() {
 
 #[test]
 fn kernel_records_cover_process_lifecycle() {
-    let mut sim = Simulation::new();
-    let trace = sim.enable_trace(TraceConfig {
-        kernel_records: true,
-    });
+    let mut sim = Simulation::builder()
+        .trace(TraceConfig {
+            kernel_records: true,
+        })
+        .build();
+    let trace = sim.trace_handle().expect("trace configured");
     let e = sim.event_new();
     sim.spawn(Child::new("a", move |ctx| {
         ctx.waitfor(us(5));

@@ -24,14 +24,15 @@ fn us(n: u64) -> Duration {
 fn run_workload(
     plan: Option<FaultPlan>,
 ) -> (SimTime, Vec<Record>, Vec<sldl_sim::FaultRecord>, Vec<u64>) {
-    let mut sim = Simulation::new();
-    let trace = sim.enable_trace(TraceConfig {
+    let mut builder = Simulation::builder().trace(TraceConfig {
         kernel_records: true,
     });
-    let ev = sim.event_new();
     if let Some(p) = plan {
-        sim.set_fault_plan(p);
+        builder = builder.fault_plan(p);
     }
+    let mut sim = builder.build();
+    let trace = sim.trace_handle().expect("trace configured");
+    let ev = sim.event_new();
     let log = Arc::new(Mutex::new(Vec::new()));
 
     sim.spawn(Child::new("producer", move |ctx| {
@@ -129,9 +130,14 @@ fn certain_drop_loses_every_notification() {
 
 #[test]
 fn spurious_releases_fire_and_log() {
-    let mut sim = Simulation::new();
-    let ev = sim.event_new();
-    sim.set_fault_plan(FaultPlan::seeded(5).with_spurious(ev, 1.0));
+    // Spurious plans reference an event id, which only exists after
+    // allocation; allocation order is deterministic, so probe the id on a
+    // scratch simulation, then build the configured one.
+    let ev = Simulation::new().event_new();
+    let mut sim = Simulation::builder()
+        .fault_plan(FaultPlan::seeded(5).with_spurious(ev, 1.0))
+        .build();
+    assert_eq!(sim.event_new(), ev, "event ids are deterministic");
     let hits = Arc::new(Mutex::new(0u32));
     let h = Arc::clone(&hits);
     sim.spawn(Child::new("ticker", move |ctx| {

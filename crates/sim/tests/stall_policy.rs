@@ -83,9 +83,10 @@ fn cleared_edge_defuses_detection() {
 
 #[test]
 fn allow_blocked_policy_ignores_cycles() {
-    let mut sim = Simulation::new();
+    let mut sim = Simulation::builder()
+        .stall_policy(StallPolicy::AllowBlocked)
+        .build();
     let e = sim.event_new();
-    sim.set_stall_policy(StallPolicy::AllowBlocked);
     let sync = sim.sync_layer();
     sim.spawn(Child::new("a", move |ctx| {
         sync.declare_wait("a", "m", "a"); // even a self-cycle
@@ -97,9 +98,10 @@ fn allow_blocked_policy_ignores_cycles() {
 
 #[test]
 fn fail_if_any_blocked_is_strict() {
-    let mut sim = Simulation::new();
+    let mut sim = Simulation::builder()
+        .stall_policy(StallPolicy::FailIfAnyBlocked)
+        .build();
     let e = sim.event_new();
-    sim.set_stall_policy(StallPolicy::FailIfAnyBlocked);
     sim.spawn(Child::new("server", move |ctx| {
         ctx.wait(e);
     }));

@@ -246,8 +246,7 @@ fn finish(
 /// Returns [`RunError`] if a simulated process panics.
 pub fn simulate_unscheduled(cfg: &VocoderConfig) -> Result<VocoderRun, RunError> {
     let started = std::time::Instant::now();
-    let mut sim = Simulation::new();
-    sim.set_fault_plan(cfg.faults.clone());
+    let mut sim = Simulation::builder().fault_plan(cfg.faults.clone()).build();
     let layer = sim.sync_layer();
     let sink = Arc::new(Mutex::new(Sink::default()));
     spawn_pipeline(
@@ -276,8 +275,7 @@ pub fn simulate_architecture(
     slice: TimeSlice,
 ) -> Result<VocoderRun, RunError> {
     let started = std::time::Instant::now();
-    let mut sim = Simulation::new();
-    sim.set_fault_plan(cfg.faults.clone());
+    let mut sim = Simulation::builder().fault_plan(cfg.faults.clone()).build();
     let os = Rtos::new("dsp", sim.sync_layer());
     os.start(alg);
     os.set_time_slice(slice);
