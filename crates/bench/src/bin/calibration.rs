@@ -113,8 +113,7 @@ fn main() {
         switches_per_frame,
         est_switch_cost.as_nanos()
     );
-    let final_err =
-        (t_cal.as_secs_f64() - t_impl.as_secs_f64()).abs() / t_impl.as_secs_f64();
+    let final_err = (t_cal.as_secs_f64() - t_impl.as_secs_f64()).abs() / t_impl.as_secs_f64();
     println!(
         "calibrated model error: {:.2}% (shape check: < 1%: {})",
         final_err * 100.0,

@@ -3,7 +3,9 @@
 //! (b) a priority-scheduled architecture model with interleaved tasks and
 //! preemption delayed to the end of the running task's delay step.
 //!
-//! Run with `cargo run -p bench --bin figure8`.
+//! Run with `cargo run -p bench --bin figure8`. Pass `--trace-out PATH`
+//! to additionally export the architecture model's execution trace as
+//! Chrome-trace-event JSON (load it at <https://ui.perfetto.dev>).
 
 use model_refine::{figure3_spec, run_architecture, run_unscheduled, Figure3Delays, RunConfig};
 use rtos_model::{SchedAlg, TimeSlice};
@@ -50,6 +52,13 @@ fn print_model(title: &str, run: &model_refine::ModelRun, tracks: &[&str]) {
 }
 
 fn main() {
+    let args = bench::cli::parse(
+        "figure8",
+        "Reproduces Figure 8: unscheduled vs. architecture-model traces \
+         of the paper's Fig. 3 example.",
+        0,
+        &[],
+    );
     let delays = Figure3Delays::default();
     let spec = figure3_spec(&delays);
     let cfg = RunConfig::default();
@@ -58,13 +67,28 @@ fn main() {
     let unsched = run_unscheduled(&spec, &cfg).expect("unscheduled run");
     print_model("Figure 8(a): unscheduled model", &unsched, &tracks);
 
-    let arch = run_architecture(&spec, SchedAlg::PriorityPreemptive, TimeSlice::WholeDelay, &cfg)
-        .expect("architecture run");
+    let arch = run_architecture(
+        &spec,
+        SchedAlg::PriorityPreemptive,
+        TimeSlice::WholeDelay,
+        &cfg,
+    )
+    .expect("architecture run");
     print_model(
         "Figure 8(b): architecture model (priority-preemptive)",
         &arch,
         &tracks,
     );
+
+    if let Some(path) = &args.trace_out {
+        let n = bench::trace::write_chrome_trace(path, &arch.records).expect("write trace");
+        if !args.quiet {
+            println!(
+                "wrote {n} trace events to {} (load at https://ui.perfetto.dev)\n",
+                path.display()
+            );
+        }
+    }
 
     println!("Paper shape checks:");
     println!(

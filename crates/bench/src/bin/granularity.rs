@@ -20,7 +20,7 @@
 use std::time::Duration;
 
 use bench::cli;
-use bench::farm::run_sweep;
+use bench::farm::{derive_seed, run_sweep};
 use bench::json::Json;
 use bench::results::ResultsDoc;
 use bench::scenario::{ScenarioSpec, Workload};
@@ -85,10 +85,7 @@ fn main() {
 
     if let Some(path) = &args.json {
         let mut doc = ResultsDoc::new("granularity", args.seed);
-        for (i, ((name, _), (p, o))) in quanta
-            .iter()
-            .zip(points.iter().zip(&outcomes))
-            .enumerate()
+        for (i, ((name, _), (p, o))) in quanta.iter().zip(points.iter().zip(&outcomes)).enumerate()
         {
             doc.push_point(&p.name, i, Json::obj([("slice", Json::str(*name))]), o);
         }
@@ -103,5 +100,9 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    if let Some(p) = points.first() {
+        bench::trace::handle_trace_out(&args, p, derive_seed(args.seed, 0));
     }
 }

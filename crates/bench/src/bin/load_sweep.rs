@@ -12,7 +12,7 @@
 //! [--jobs N] [--seed S] [--json PATH] [--quiet]`.
 
 use bench::cli;
-use bench::farm::run_sweep;
+use bench::farm::{derive_seed, run_sweep};
 use bench::json::Json;
 use bench::results::ResultsDoc;
 use bench::scenario::{ScenarioSpec, Workload};
@@ -32,12 +32,9 @@ fn main() {
     let points: Vec<ScenarioSpec> = scales
         .iter()
         .map(|scale| {
-            ScenarioSpec::new(
-                format!("scale={scale:.2}"),
-                Workload::VocoderArchitecture,
-            )
-            .frames(frames)
-            .timing_scale(*scale)
+            ScenarioSpec::new(format!("scale={scale:.2}"), Workload::VocoderArchitecture)
+                .frames(frames)
+                .timing_scale(*scale)
         })
         .collect();
 
@@ -85,12 +82,7 @@ fn main() {
         let mut doc = ResultsDoc::new("load_sweep", args.seed);
         doc.header("frames", Json::U64(frames as u64));
         for (i, (p, o)) in points.iter().zip(&outcomes).enumerate() {
-            doc.push_point(
-                &p.name,
-                i,
-                Json::obj([("scale", Json::Num(scales[i]))]),
-                o,
-            );
+            doc.push_point(&p.name, i, Json::obj([("scale", Json::Num(scales[i]))]), o);
         }
         let means: Vec<f64> = outcomes
             .iter()
@@ -110,5 +102,9 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    if let Some(p) = points.first() {
+        bench::trace::handle_trace_out(&args, p, derive_seed(args.seed, 0));
     }
 }

@@ -20,7 +20,7 @@
 use std::time::Duration;
 
 use bench::cli;
-use bench::farm::run_sweep;
+use bench::farm::{derive_seed, run_sweep};
 use bench::json::Json;
 use bench::results::ResultsDoc;
 use bench::scenario::{ScenarioOutcome, ScenarioSpec, Workload};
@@ -145,7 +145,11 @@ fn print_tables(points: &[Point], outcomes: &[ScenarioOutcome], frames: usize) {
         "max delay",
         "switches",
     ]);
-    for (p, o) in points.iter().zip(outcomes).filter(|(p, _)| p.section == "r1a") {
+    for (p, o) in points
+        .iter()
+        .zip(outcomes)
+        .filter(|(p, _)| p.section == "r1a")
+    {
         t.row([
             fmt_num(&p.params[0].1),
             strip_quotes(&p.params[1].1),
@@ -161,7 +165,11 @@ fn print_tables(points: &[Point], outcomes: &[ScenarioOutcome], frames: usize) {
     println!("\nR1b: dropped notifications — watchdog vs. silent starvation\n");
     let mut t = TextTable::new();
     t.row(["drop rate", "watchdog", "outcome", "faults injected"]);
-    for (p, o) in points.iter().zip(outcomes).filter(|(p, _)| p.section == "r1b") {
+    for (p, o) in points
+        .iter()
+        .zip(outcomes)
+        .filter(|(p, _)| p.section == "r1b")
+    {
         t.row([
             fmt_num(&p.params[0].1),
             if p.params[1].1 == Json::Bool(true) {
@@ -179,9 +187,19 @@ fn print_tables(points: &[Point], outcomes: &[ScenarioOutcome], frames: usize) {
     println!("\nR1c: deadline-miss policies on a forced 2x WCET overrun (budget 2)\n");
     let mut t = TextTable::new();
     t.row([
-        "policy", "misses", "skipped", "restarts", "degraded", "killed", "cycles run",
+        "policy",
+        "misses",
+        "skipped",
+        "restarts",
+        "degraded",
+        "killed",
+        "cycles run",
     ]);
-    for (p, o) in points.iter().zip(outcomes).filter(|(p, _)| p.section == "r1c") {
+    for (p, o) in points
+        .iter()
+        .zip(outcomes)
+        .filter(|(p, _)| p.section == "r1c")
+    {
         t.row([
             strip_quotes(&p.params[0].1),
             o.fmt_metric("deadline_misses", 0),
@@ -253,16 +271,11 @@ fn main() {
             let samples: Vec<f64> = points
                 .iter()
                 .zip(&outcomes)
-                .filter(|(p, _)| {
-                    p.section == "r1a" && strip_quotes(&p.params[1].1) == name
-                })
+                .filter(|(p, _)| p.section == "r1a" && strip_quotes(&p.params[1].1) == name)
                 .filter_map(|(_, o)| o.metric("mean_transcode_delay_ms"))
                 .collect();
             if let Some(agg) = Aggregate::from_samples(&samples) {
-                doc.push_aggregate(
-                    format!("r1a/{name}"),
-                    [("mean_transcode_delay_ms", agg)],
-                );
+                doc.push_aggregate(format!("r1a/{name}"), [("mean_transcode_delay_ms", agg)]);
             }
         }
         match doc.write(path) {
@@ -276,5 +289,11 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    if let Some(p) = points.first() {
+        // Same derived seed the sweep used for point 0, so the exported
+        // trace matches the first results point.
+        bench::trace::handle_trace_out(&args, &p.spec, derive_seed(args.seed, 0));
     }
 }

@@ -29,7 +29,8 @@ use bench::stats::Aggregate;
 use bench::TextTable;
 use rtos_model::{SchedAlg, TimeSlice};
 
-const ABOUT: &str = "A2: scheduler comparison on random periodic task sets (RMS/EDF/fixed-prio/FIFO)";
+const ABOUT: &str =
+    "A2: scheduler comparison on random periodic task sets (RMS/EDF/fixed-prio/FIFO)";
 const N_TASKS: usize = 5;
 
 struct Point {
@@ -194,9 +195,7 @@ fn main() {
                 points
                     .iter()
                     .zip(&outcomes)
-                    .filter(|(p, o)| {
-                        p.util == g.util && p.alg_name == g.alg_name && o.completed
-                    })
+                    .filter(|(p, o)| p.util == g.util && p.alg_name == g.alg_name && o.completed)
                     .filter_map(|(_, o)| o.metric(key))
                     .collect()
             };
@@ -219,5 +218,11 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    if let Some(p) = points.first() {
+        // Seeds are pre-baked into the specs here (paired sampling), so
+        // the exported trace re-runs point 0 under its own seed.
+        bench::trace::handle_trace_out(&args, &p.spec, p.spec.seed);
     }
 }

@@ -21,7 +21,7 @@
 //! [--json PATH] [--quiet]`.
 
 use bench::cli;
-use bench::farm::run_sweep;
+use bench::farm::{derive_seed, run_sweep};
 use bench::json::Json;
 use bench::results::ResultsDoc;
 use bench::scenario::{ScenarioSpec, Workload};
@@ -147,12 +147,7 @@ fn main() {
             ]),
         );
         for (i, ((model, spec), o)) in points.iter().zip(&outcomes).enumerate() {
-            doc.push_point(
-                &spec.name,
-                i,
-                Json::obj([("model", Json::str(*model))]),
-                o,
-            );
+            doc.push_point(&spec.name, i, Json::obj([("model", Json::str(*model))]), o);
         }
         match doc.write(path) {
             Ok(_) => {
@@ -166,4 +161,8 @@ fn main() {
             }
         }
     }
+
+    // The architecture model (point 1) is the interesting trace: task
+    // spans, context-switch markers and scheduler decisions on one DSP.
+    bench::trace::handle_trace_out(&args, &points[1].1, derive_seed(args.seed, 1));
 }

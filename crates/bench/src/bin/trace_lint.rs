@@ -1,0 +1,117 @@
+//! Validates emitted JSON artifacts — used by CI to check that
+//! `--trace-out` trace files (and `--json` results documents) are
+//! well-formed before uploading them as artifacts.
+//!
+//! Usage: `cargo run -p bench --bin trace_lint -- FILE [FILE ...]`
+//!
+//! Every file must parse as JSON (with the same hand-rolled parser the
+//! workspace uses everywhere, so no external dependency). Files that
+//! contain a top-level `traceEvents` array are additionally checked
+//! against the Chrome-trace-event shape: every event must be an object
+//! with a string `name`, a string `ph` of a known phase, and numeric
+//! `pid`/`tid`; `X` events must carry `ts` and `dur`. Exits nonzero on
+//! the first invalid file.
+
+use std::process::ExitCode;
+
+use bench::json::Json;
+
+fn field<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn is_number(j: &Json) -> bool {
+    matches!(j, Json::Num(_) | Json::U64(_))
+}
+
+/// Checks one Chrome trace event; returns an error description.
+fn lint_event(idx: usize, event: &Json) -> Result<(), String> {
+    let Json::Obj(fields) = event else {
+        return Err(format!("traceEvents[{idx}] is not an object"));
+    };
+    match field(fields, "name") {
+        Some(Json::Str(_)) => {}
+        _ => return Err(format!("traceEvents[{idx}] lacks a string `name`")),
+    }
+    let ph = match field(fields, "ph") {
+        Some(Json::Str(p)) => p.as_str(),
+        _ => return Err(format!("traceEvents[{idx}] lacks a string `ph`")),
+    };
+    if !matches!(ph, "M" | "X" | "B" | "E" | "i" | "I") {
+        return Err(format!("traceEvents[{idx}] has unknown phase {ph:?}"));
+    }
+    for key in ["pid", "tid"] {
+        if !field(fields, key).is_some_and(is_number) {
+            return Err(format!("traceEvents[{idx}] lacks a numeric `{key}`"));
+        }
+    }
+    if ph == "X" {
+        for key in ["ts", "dur"] {
+            if !field(fields, key).is_some_and(is_number) {
+                return Err(format!(
+                    "traceEvents[{idx}] is an X event without numeric `{key}`"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn lint_file(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let Json::Obj(top) = &doc else {
+        return Ok("valid JSON (non-object top level)".into());
+    };
+    let Some(events) = field(top, "traceEvents") else {
+        return Ok("valid JSON (no traceEvents; not a Chrome trace)".into());
+    };
+    let Json::Arr(events) = events else {
+        return Err("`traceEvents` is not an array".into());
+    };
+    for (i, e) in events.iter().enumerate() {
+        lint_event(i, e)?;
+    }
+    Ok(format!("valid Chrome trace ({} events)", events.len()))
+}
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: trace_lint FILE [FILE ...]");
+        return ExitCode::from(2);
+    }
+    for f in &files {
+        match lint_file(f) {
+            Ok(msg) => println!("{f}: {msg}"),
+            Err(msg) => {
+                eprintln!("{f}: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_events() {
+        let e = Json::parse(r#"{"name":"a","ph":"X","pid":1,"tid":2,"ts":0,"dur":1.5}"#).unwrap();
+        assert!(lint_event(0, &e).is_ok());
+        let m = Json::parse(r#"{"name":"process_name","ph":"M","pid":1,"tid":0}"#).unwrap();
+        assert!(lint_event(0, &m).is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_events() {
+        let no_name = Json::parse(r#"{"ph":"i","pid":1,"tid":1}"#).unwrap();
+        assert!(lint_event(0, &no_name).is_err());
+        let bad_phase = Json::parse(r#"{"name":"a","ph":"Z","pid":1,"tid":1}"#).unwrap();
+        assert!(lint_event(0, &bad_phase).is_err());
+        let x_without_dur = Json::parse(r#"{"name":"a","ph":"X","pid":1,"tid":1,"ts":0}"#).unwrap();
+        assert!(lint_event(0, &x_without_dur).is_err());
+    }
+}

@@ -36,6 +36,10 @@ pub struct Args {
     pub seed: u64,
     /// `--json PATH`: where to write the machine-readable results.
     pub json: Option<PathBuf>,
+    /// `--trace-out PATH`: where to write a Chrome-trace-event /
+    /// Perfetto JSON execution trace of the sweep's representative point
+    /// (load the file at <https://ui.perfetto.dev>).
+    pub trace_out: Option<PathBuf>,
     /// `--quiet`: suppress human-readable output.
     pub quiet: bool,
     extras: BTreeMap<&'static str, String>,
@@ -85,6 +89,7 @@ fn usage(bin: &str, about: &str, extras: &[ExtraFlag]) -> String {
          \x20 --jobs N      worker threads (default: all cores; results identical for any N)\n\
          \x20 --seed S      base seed for per-point seed derivation\n\
          \x20 --json PATH   write machine-readable results JSON to PATH\n\
+         \x20 --trace-out PATH  write a Perfetto/Chrome trace JSON of a representative point\n\
          \x20 --quiet       suppress human-readable tables\n\
          \x20 --help        print this message\n"
     );
@@ -119,6 +124,7 @@ pub fn parse_from(
         jobs: default_jobs(),
         seed: default_seed,
         json: None,
+        trace_out: None,
         quiet: false,
         extras: BTreeMap::new(),
     };
@@ -163,6 +169,9 @@ pub fn parse_from(
             }
             "--json" => {
                 args.json = Some(PathBuf::from(value(&mut it)?));
+            }
+            "--trace-out" => {
+                args.trace_out = Some(PathBuf::from(value(&mut it)?));
             }
             other => {
                 let extra = extras
@@ -213,19 +222,32 @@ mod tests {
         assert_eq!(a.seed, 7);
         assert!(a.jobs >= 1);
         assert!(a.frames.is_none() && a.json.is_none() && !a.quiet);
+        assert!(a.trace_out.is_none());
 
         let a = parse_from(
             "t",
             "about",
             7,
             &[],
-            &argv(&["--frames", "5", "--jobs=3", "--seed", "9", "--json", "o.json", "-q"]),
+            &argv(&[
+                "--frames",
+                "5",
+                "--jobs=3",
+                "--seed",
+                "9",
+                "--json",
+                "o.json",
+                "--trace-out",
+                "t.json",
+                "-q",
+            ]),
         )
         .unwrap();
         assert_eq!(a.frames, Some(5));
         assert_eq!(a.jobs, 3);
         assert_eq!(a.seed, 9);
         assert_eq!(a.json.as_deref(), Some(std::path::Path::new("o.json")));
+        assert_eq!(a.trace_out.as_deref(), Some(std::path::Path::new("t.json")));
         assert!(a.quiet);
     }
 

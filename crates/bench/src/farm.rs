@@ -65,9 +65,7 @@ where
 {
     let jobs = jobs.clamp(1, points.len().max(1));
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None)
-        .take(points.len())
-        .collect();
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(points.len()).collect();
 
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..jobs)

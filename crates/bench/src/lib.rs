@@ -11,7 +11,9 @@
 //!   parsing used by every bench binary;
 //! * [`stats`] / [`json`] / [`results`] — typed aggregates and the
 //!   hand-rolled, deterministic JSON results writer
-//!   (`bench-results/<bin>.json`, schema `rtos-sld-bench/1`).
+//!   (`bench-results/<bin>.json`, schema `rtos-sld-bench/1`);
+//! * [`trace`] — the Chrome-trace-event / Perfetto JSON exporter behind
+//!   every binary's `--trace-out` flag.
 
 pub mod cli;
 pub mod farm;
@@ -19,6 +21,7 @@ pub mod json;
 pub mod results;
 pub mod scenario;
 pub mod stats;
+pub mod trace;
 
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};

@@ -116,10 +116,7 @@ impl ResultsDoc {
         fields.extend(self.header.iter().cloned());
         fields.push(("points".to_string(), Json::Arr(self.points.clone())));
         if !self.aggregates.is_empty() {
-            fields.push((
-                "aggregates".to_string(),
-                Json::Obj(self.aggregates.clone()),
-            ));
+            fields.push(("aggregates".to_string(), Json::Obj(self.aggregates.clone())));
         }
         Json::Obj(fields)
     }
@@ -150,12 +147,7 @@ mod tests {
         let build = || {
             let mut doc = ResultsDoc::new("demo", 9);
             doc.header("frames", Json::U64(2));
-            doc.push_point(
-                "p",
-                0,
-                Json::obj([("scale", Json::Num(1.0))]),
-                &outcome,
-            );
+            doc.push_point("p", 0, Json::obj([("scale", Json::Num(1.0))]), &outcome);
             doc.push_aggregate(
                 "all",
                 [(

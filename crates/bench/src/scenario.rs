@@ -18,9 +18,11 @@ use std::time::Duration;
 use dsp_iss::vocoder_app::{run_impl_model, ImplConfig};
 use model_refine::{figure3_spec, run_architecture, Figure3Delays, RunConfig, RunModelError};
 use rtos_model::{
-    CycleOutcome, MissPolicy, Priority, Rtos, SchedAlg, TaskParams, TimeSlice,
+    CycleOutcome, MissPolicy, Priority, Rtos, SchedAlg, TaskParams, TaskStats, TimeSlice,
 };
-use sldl_sim::{Child, FaultPlan, RunError, SimTime, Simulation, SmallRng};
+use sldl_sim::{
+    Child, FaultPlan, KernelStats, Record, RunError, SimTime, Simulation, SmallRng, TraceConfig,
+};
 use vocoder::{
     simulate_architecture, simulate_unscheduled, VocoderConfig, WatchdogSpec, FRAME_PERIOD,
 };
@@ -92,6 +94,12 @@ pub struct ScenarioSpec {
     /// stay comparable on identical input data, and so the Table-1
     /// SNR-identical cross-check holds across models).
     pub speech_seed: u64,
+    /// Collect execution trace records (task spans, context-switch
+    /// markers, scheduler decisions) into
+    /// [`ScenarioOutcome::records`]. Off by default so farm sweeps keep
+    /// a record-free hot path; `--trace-out` re-runs one representative
+    /// point with this enabled.
+    pub trace: bool,
 }
 
 impl ScenarioSpec {
@@ -111,6 +119,7 @@ impl ScenarioSpec {
             frames: 20,
             seed: 0,
             speech_seed: VocoderConfig::default().seed,
+            trace: false,
         }
     }
 
@@ -163,6 +172,13 @@ impl ScenarioSpec {
         self
     }
 
+    /// Enables (or disables) trace-record collection for this spec.
+    #[must_use]
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
     /// Clones the spec, overrides the seed, and runs it — the farm's
     /// per-point entry point.
     #[must_use]
@@ -201,6 +217,7 @@ impl ScenarioSpec {
             timing: base.timing.scaled(self.timing_scale),
             faults: self.faults.clone().reseed(self.seed),
             watchdog: self.watchdog,
+            trace: self.trace,
             ..base
         }
     }
@@ -241,7 +258,10 @@ impl ScenarioSpec {
                 if let Some(m) = &run.metrics {
                     o.set("utilization_measured", m.utilization());
                     o.set("deadline_misses", m.deadline_misses() as f64);
+                    o.tasks = m.tasks.clone();
                 }
+                o.kernel_stats = Some(run.kernel_stats.clone());
+                o.records = run.records;
                 o
             }
             Err(e) => ScenarioOutcome::failed(describe_run_error(&e)),
@@ -271,10 +291,16 @@ impl ScenarioSpec {
     fn run_task_set(&self, n: usize, utilization: f64, horizon_us: u64) -> ScenarioOutcome {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let tasks = uunifast_task_set(&mut rng, n, utilization);
-        let mut sim = Simulation::builder()
-            .fault_plan(self.faults.clone().reseed(self.seed))
-            .build();
+        let mut builder = Simulation::builder().fault_plan(self.faults.clone().reseed(self.seed));
+        if self.trace {
+            builder = builder.trace(TraceConfig::default());
+        }
+        let mut sim = builder.build();
+        let trace = sim.trace_handle();
         let os = Rtos::new("pe", sim.sync_layer());
+        if let Some(t) = &trace {
+            os.attach_trace(t.clone());
+        }
         os.start(self.sched);
         os.set_time_slice(self.slice);
         for (i, t) in tasks.iter().enumerate() {
@@ -313,6 +339,9 @@ impl ScenarioSpec {
                 o.set("cycles_run", cycles as f64);
                 o.set("worst_resp_over_period", worst);
                 o.set("faults_injected", report.faults.len() as f64);
+                o.kernel_stats = Some(report.kernel);
+                o.tasks = m.tasks;
+                o.records = trace.map(|t| t.snapshot()).unwrap_or_default();
                 o
             }
             Err(e) => ScenarioOutcome::failed(describe_run_error(&e)),
@@ -341,6 +370,15 @@ impl ScenarioSpec {
                         start.saturating_since(irq_at).as_micros() as f64,
                     );
                 }
+                o.kernel_stats = Some(run.report.kernel.clone());
+                o.tasks = run
+                    .pe_metrics
+                    .iter()
+                    .flat_map(|p| p.metrics.tasks.clone())
+                    .collect();
+                if self.trace {
+                    o.records = run.records;
+                }
                 o
             }
             Err(RunModelError::Sim(e)) => ScenarioOutcome::failed(describe_run_error(&e)),
@@ -349,10 +387,16 @@ impl ScenarioSpec {
     }
 
     fn run_miss_policy(&self, policy: MissPolicy) -> ScenarioOutcome {
-        let mut sim = Simulation::builder()
-            .fault_plan(self.faults.clone().reseed(self.seed))
-            .build();
+        let mut builder = Simulation::builder().fault_plan(self.faults.clone().reseed(self.seed));
+        if self.trace {
+            builder = builder.trace(TraceConfig::default());
+        }
+        let mut sim = builder.build();
+        let trace = sim.trace_handle();
         let os = Rtos::new("pe", sim.sync_layer());
+        if let Some(t) = &trace {
+            os.attach_trace(t.clone());
+        }
         os.start(self.sched);
         let os2 = os.clone();
         sim.spawn(Child::new("overrunner", move |ctx| {
@@ -383,6 +427,9 @@ impl ScenarioSpec {
                 o.set("degradations", s.degradations as f64);
                 o.set("killed", f64::from(u8::from(s.killed_by_policy)));
                 o.set("cycles_run", s.cycle_response_times.len() as f64);
+                o.kernel_stats = Some(report.kernel);
+                o.tasks = m.tasks;
+                o.records = trace.map(|t| t.snapshot()).unwrap_or_default();
                 o
             }
             Err(e) => ScenarioOutcome::failed(describe_run_error(&e)),
@@ -433,6 +480,20 @@ pub struct ScenarioOutcome {
     pub completed: bool,
     /// Named numeric metrics (sorted; deterministic serialization).
     pub metrics: BTreeMap<String, f64>,
+    /// Simulation-kernel self-metrics of the run ([`KernelStats`]); `None`
+    /// for workloads that do not run on the discrete-event kernel (the
+    /// ISS) or when the run failed before producing a report. Serialized
+    /// (minus the host-dependent wall time) in
+    /// [`to_json`](Self::to_json).
+    pub kernel_stats: Option<KernelStats>,
+    /// Per-task RTOS scheduling statistics (empty for unscheduled
+    /// workloads). Serialized as a compact summary in
+    /// [`to_json`](Self::to_json).
+    pub tasks: Vec<TaskStats>,
+    /// Execution trace records (empty unless [`ScenarioSpec::trace`] was
+    /// set). **Not** serialized by [`to_json`](Self::to_json); exported
+    /// separately via [`crate::trace::to_chrome_json`].
+    pub records: Vec<Record>,
     /// Host wall-clock cost of the run. **Not** part of the
     /// deterministic payload; excluded from [`to_json`](Self::to_json).
     pub host_time: Duration,
@@ -444,6 +505,9 @@ impl ScenarioOutcome {
             status: "completed".into(),
             completed: true,
             metrics: BTreeMap::new(),
+            kernel_stats: None,
+            tasks: Vec::new(),
+            records: Vec::new(),
             host_time: Duration::ZERO,
         }
     }
@@ -453,6 +517,9 @@ impl ScenarioOutcome {
             status,
             completed: false,
             metrics: BTreeMap::new(),
+            kernel_stats: None,
+            tasks: Vec::new(),
+            records: Vec::new(),
             host_time: Duration::ZERO,
         }
     }
@@ -475,11 +542,42 @@ impl ScenarioOutcome {
             .map_or_else(|| "-".into(), |v| format!("{v:.digits$}"))
     }
 
-    /// The deterministic JSON representation (status + metrics; host
-    /// timing intentionally excluded so documents are `--jobs`- and
-    /// machine-independent).
+    /// The deterministic JSON representation (status + metrics +
+    /// kernel/task observability summaries; host timing — including
+    /// [`KernelStats::wall_time`] — intentionally excluded so documents
+    /// are `--jobs`- and machine-independent).
     #[must_use]
     pub fn to_json(&self) -> Json {
+        let kernel = self.kernel_stats.as_ref().map_or(Json::Null, |k| {
+            Json::obj([
+                ("delta_cycles", Json::U64(k.delta_cycles)),
+                ("events_notified", Json::U64(k.events_notified)),
+                ("processes_spawned", Json::U64(k.processes_spawned)),
+                ("processes_resumed", Json::U64(k.processes_resumed)),
+                ("processes_suspended", Json::U64(k.processes_suspended)),
+                ("timer_ops", Json::U64(k.timer_ops)),
+                ("max_ready_depth", Json::U64(k.max_ready_depth)),
+                ("context_switches", Json::U64(k.context_switches)),
+            ])
+        });
+        let tasks = Json::Arr(
+            self.tasks
+                .iter()
+                .map(|t| {
+                    Json::obj([
+                        ("name", Json::str(&t.name)),
+                        ("activations", Json::U64(t.activations)),
+                        ("dispatches", Json::U64(t.dispatches)),
+                        ("preemptions", Json::U64(t.preemptions)),
+                        ("deadline_misses", Json::U64(t.deadline_misses)),
+                        (
+                            "busy_us",
+                            Json::U64(u64::try_from(t.busy.as_micros()).unwrap_or(u64::MAX)),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
         Json::obj([
             ("status", Json::str(&self.status)),
             ("completed", Json::Bool(self.completed)),
@@ -492,6 +590,8 @@ impl ScenarioOutcome {
                         .collect(),
                 ),
             ),
+            ("kernel_stats", kernel),
+            ("tasks", tasks),
         ])
     }
 }

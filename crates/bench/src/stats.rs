@@ -118,11 +118,8 @@ mod tests {
 
     #[test]
     fn durations_convert_to_seconds() {
-        let a = Aggregate::from_durations(&[
-            Duration::from_millis(10),
-            Duration::from_millis(30),
-        ])
-        .unwrap();
+        let a = Aggregate::from_durations(&[Duration::from_millis(10), Duration::from_millis(30)])
+            .unwrap();
         assert!((a.mean - 0.02).abs() < 1e-12);
     }
 }

@@ -82,6 +82,50 @@ fn in_process_sweep_is_jobs_invariant() {
 }
 
 #[test]
+fn trace_out_is_jobs_invariant_end_to_end() {
+    // Identical (ScenarioSpec, seed) ⇒ byte-identical Perfetto JSON no
+    // matter how many farm workers ran the sweep around it.
+    let exe = env!("CARGO_BIN_EXE_load_sweep");
+    let run_trace = |tag: &str, jobs: &str| -> Vec<u8> {
+        let path: PathBuf = std::env::temp_dir().join(format!(
+            "farm-determinism-trace-{}-{tag}.json",
+            std::process::id()
+        ));
+        let status = Command::new(exe)
+            .args(["--frames", "2", "--seed", "5", "--jobs", jobs, "-q"])
+            .arg("--trace-out")
+            .arg(&path)
+            .status()
+            .expect("load_sweep runs");
+        assert!(status.success(), "load_sweep --trace-out failed: {status}");
+        let bytes = std::fs::read(&path).expect("trace written");
+        let _ = std::fs::remove_file(&path);
+        bytes
+    };
+    let t1 = run_trace("j1", "1");
+    let t4 = run_trace("j4", "4");
+    assert!(!t1.is_empty());
+    assert_eq!(t1, t4, "trace JSON differs between --jobs 1 and 4");
+    // And it is a valid Chrome trace document.
+    let doc = bench::json::Json::parse(&String::from_utf8(t1).unwrap()).expect("valid JSON");
+    assert!(doc.render().contains("traceEvents"));
+}
+
+#[test]
+fn in_process_trace_json_is_deterministic() {
+    let spec = ScenarioSpec::new("t", Workload::VocoderArchitecture)
+        .frames(2)
+        .trace(true);
+    let render = || {
+        let o = spec.run_seeded(9);
+        assert!(o.completed, "{}", o.status);
+        assert!(!o.records.is_empty(), "trace enabled but no records");
+        bench::trace::to_chrome_json(&o.records).render()
+    };
+    assert_eq!(render(), render());
+}
+
+#[test]
 fn per_point_seeds_do_not_collide_across_256_points() {
     for base in [0u64, 7, 0xDEAD_BEEF, u64::MAX] {
         let mut seeds: Vec<u64> = (0..256).map(|i| derive_seed(base, i)).collect();

@@ -163,7 +163,7 @@ mod tests {
             PeriodicSpec::new(ms(4), ms(8)),
         ];
         assert!(edf_schedulable(&tasks)); // exactly 1.0
-        // RMS cannot always do utilization 1.0, but this harmonic set works.
+                                          // RMS cannot always do utilization 1.0, but this harmonic set works.
         assert!(rta_rms(&tasks).is_some());
     }
 

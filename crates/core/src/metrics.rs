@@ -138,7 +138,10 @@ mod tests {
             ],
             ..TaskStats::default()
         };
-        assert_eq!(stats.worst_cycle_response(), Some(Duration::from_micros(30)));
+        assert_eq!(
+            stats.worst_cycle_response(),
+            Some(Duration::from_micros(30))
+        );
         assert_eq!(stats.mean_cycle_response(), Some(Duration::from_micros(20)));
         assert_eq!(TaskStats::default().worst_cycle_response(), None);
         assert_eq!(TaskStats::default().mean_cycle_response(), None);

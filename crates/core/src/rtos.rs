@@ -21,8 +21,8 @@ use std::time::Duration;
 
 use sldl_sim::sync::Mutex;
 use sldl_sim::{
-    AbortReason, Child, EventId, ProcCtx, ProcessId, RecordKind, SimTime, SldlSync, SyncLayer,
-    TraceHandle,
+    AbortReason, Child, DecisionReason, EventId, LabelId, ProcCtx, ProcessId, SimTime, SldlSync,
+    SyncLayer, TraceHandle, TrackId,
 };
 
 use crate::metrics::{MetricsSnapshot, TaskStats};
@@ -149,6 +149,54 @@ struct OsEvent {
     waiters: Vec<TaskId>,
 }
 
+/// Attached trace handle plus interned ids for the RTOS's own tracks, so
+/// the dispatch/span hot paths never allocate strings.
+struct TraceIds {
+    handle: TraceHandle,
+    /// `"{pe}:sched"` — scheduler decision records.
+    sched_track: TrackId,
+    /// `"{pe}:switch"` — context-switch markers.
+    switch_track: TrackId,
+    /// Per-task interned ids, lazily filled:
+    /// (name-as-track, name-as-label, `"→name"` switch label).
+    per_task: Vec<Option<(TrackId, LabelId, LabelId)>>,
+}
+
+impl TraceIds {
+    fn new(handle: TraceHandle, pe: &str) -> Self {
+        let sched_track = handle.intern_track(&format!("{pe}:sched"));
+        let switch_track = handle.intern_track(&format!("{pe}:switch"));
+        TraceIds {
+            handle,
+            sched_track,
+            switch_track,
+            per_task: Vec::new(),
+        }
+    }
+}
+
+/// Cached interned ids for `task`, or `None` when no trace is attached.
+/// Interns (and allocates) only on first sight of a task.
+fn task_trace_ids(st: &mut OsState, task: TaskId) -> Option<(TrackId, LabelId, LabelId)> {
+    let idx = task.index();
+    let cached = st.trace.as_ref()?.per_task.get(idx).copied().flatten();
+    if cached.is_some() {
+        return cached;
+    }
+    let name = st.tasks[idx].name.clone();
+    let tr = st.trace.as_mut().expect("checked above");
+    if tr.per_task.len() <= idx {
+        tr.per_task.resize(idx + 1, None);
+    }
+    let ids = (
+        tr.handle.intern_track(&name),
+        tr.handle.intern_label(&name),
+        tr.handle.intern_label(&format!("→{name}")),
+    );
+    tr.per_task[idx] = Some(ids);
+    Some(ids)
+}
+
 struct OsState {
     alg: SchedAlg,
     started: bool,
@@ -163,7 +211,10 @@ struct OsState {
     last_dispatched: Option<TaskId>,
     seq: u64,
     events: Vec<OsEvent>,
-    trace: Option<TraceHandle>,
+    trace: Option<TraceIds>,
+    /// Why the CPU was last vacated, consumed by the next dispatch to emit
+    /// a scheduler *decision* record: (displaced task, reason).
+    pending_decision: Option<(TaskId, DecisionReason)>,
     context_switches: u64,
     cpu_busy: Duration,
     stats: Vec<TaskStats>,
@@ -254,6 +305,7 @@ impl Rtos {
                     seq: 0,
                     events: Vec::new(),
                     trace: None,
+                    pending_decision: None,
                     context_switches: 0,
                     cpu_busy: Duration::ZERO,
                     stats: Vec::new(),
@@ -305,6 +357,11 @@ impl Rtos {
         st.running = None;
         st.last_dispatched = None;
         st.events.clear();
+        st.pending_decision = None;
+        if let Some(tr) = st.trace.as_mut() {
+            // Task ids are reused after init; drop the stale interned ids.
+            tr.per_task.clear();
+        }
         st.context_switches = 0;
         st.cpu_busy = Duration::ZERO;
         st.stats.clear();
@@ -335,10 +392,13 @@ impl Rtos {
     }
 
     /// Attaches a trace: task execution segments (one track per task,
-    /// labeled by the `time_wait` annotation) and context-switch markers
-    /// are recorded to it.
+    /// labeled by the `time_wait` annotation), context-switch markers
+    /// (`"{pe}:switch"`), and scheduler decision records (`"{pe}:sched"`:
+    /// who got the CPU, who lost it, and why) are recorded to it. Track
+    /// and label names are interned once, so recording is allocation-free.
     pub fn attach_trace(&self, trace: TraceHandle) {
-        self.inner.state.lock().trace = Some(trace);
+        let ids = TraceIds::new(trace, &self.inner.name);
+        self.inner.state.lock().trace = Some(ids);
     }
 
     /// Notifies the kernel that an interrupt service routine has finished
@@ -505,7 +565,11 @@ impl Rtos {
     /// task was terminated, or if a resumption targets a non-sleeping task.
     pub fn task_activate(&self, ctx: &ProcCtx, task: TaskId) {
         let mut st = self.inner.state.lock();
-        assert!(st.started, "{}: task_activate before start()", self.inner.name);
+        assert!(
+            st.started,
+            "{}: task_activate before start()",
+            self.inner.name
+        );
         let tcb = &st.tasks[task.index()];
         assert!(
             tcb.state != TaskState::Terminated,
@@ -562,7 +626,7 @@ impl Rtos {
         let mut st = self.inner.state.lock();
         let tid = self.running_caller(&st, ctx);
         let now = ctx.now();
-        self.undispatch(&mut st, tid, now, false);
+        self.undispatch(&mut st, tid, now, DecisionReason::Terminate);
         st.tasks[tid.index()].state = TaskState::Terminated;
         if let Some(pid) = st.tasks[tid.index()].pid {
             st.by_pid.remove(&pid);
@@ -581,7 +645,7 @@ impl Rtos {
             let mut st = self.inner.state.lock();
             let tid = self.running_caller(&st, ctx);
             let now = ctx.now();
-            self.undispatch(&mut st, tid, now, false);
+            self.undispatch(&mut st, tid, now, DecisionReason::Yield);
             st.tasks[tid.index()].state = TaskState::Sleeping;
             self.dispatch_best(&mut st, ctx);
             tid
@@ -698,7 +762,7 @@ impl Rtos {
                     }
                     MissPolicy::KillTask => {
                         st.stats[tid.index()].killed_by_policy = true;
-                        self.undispatch(&mut st, tid, now, false);
+                        self.undispatch(&mut st, tid, now, DecisionReason::MissPolicy);
                         st.tasks[tid.index()].state = TaskState::Terminated;
                         if let Some(pid) = st.tasks[tid.index()].pid {
                             st.by_pid.remove(&pid);
@@ -735,7 +799,7 @@ impl Rtos {
                     None => SimTime::MAX,
                 };
             }
-            self.undispatch(&mut st, tid, now, false);
+            self.undispatch(&mut st, tid, now, DecisionReason::EndCycle);
             st.tasks[tid.index()].state = TaskState::Sleeping;
             st.stats[tid.index()].activations += 1;
             self.dispatch_best(&mut st, ctx);
@@ -767,7 +831,7 @@ impl Rtos {
         let mut st = self.inner.state.lock();
         let tid = self.running_caller(&st, ctx);
         let now = ctx.now();
-        self.undispatch(&mut st, tid, now, false);
+        self.undispatch(&mut st, tid, now, DecisionReason::ParFork);
         st.tasks[tid.index()].state = TaskState::Forking;
         self.dispatch_best(&mut st, ctx);
         // Do not block here: the caller proceeds into the SLDL `par`, which
@@ -854,7 +918,7 @@ impl Rtos {
             );
             let tid = self.running_caller(&st, ctx);
             let now = ctx.now();
-            self.undispatch(&mut st, tid, now, false);
+            self.undispatch(&mut st, tid, now, DecisionReason::Block);
             st.tasks[tid.index()].state = TaskState::Blocked;
             st.events[event.index()].waiters.push(tid);
             self.dispatch_best(&mut st, ctx);
@@ -890,7 +954,7 @@ impl Rtos {
             }
             let tid = self.running_caller(&st, ctx);
             let now = ctx.now();
-            self.undispatch(&mut st, tid, now, false);
+            self.undispatch(&mut st, tid, now, DecisionReason::Block);
             st.tasks[tid.index()].state = TaskState::Blocked;
             st.events[event.index()].waiters.push(tid);
             self.dispatch_best(&mut st, ctx);
@@ -1145,11 +1209,24 @@ impl Rtos {
         }
     }
 
-    /// Dispatches the most urgent ready task (CPU must be idle).
+    /// Dispatches the most urgent ready task (CPU must be idle). If no
+    /// task is ready, a pending vacate decision is still recorded (the
+    /// trace shows the CPU going idle and why).
     fn dispatch_best(&self, st: &mut OsState, ctx: &ProcCtx) {
         debug_assert!(st.running.is_none());
         if let Some(next) = self.select(st) {
             self.dispatch(st, next, ctx);
+        } else if let Some((displaced, reason)) = st.pending_decision.take() {
+            if let Some((_, displaced_label, _)) = task_trace_ids(st, displaced) {
+                let tr = st.trace.as_ref().expect("trace present");
+                tr.handle.sched_decision(
+                    ctx.now(),
+                    tr.sched_track,
+                    None,
+                    Some(displaced_label),
+                    reason,
+                );
+            }
         }
     }
 
@@ -1164,19 +1241,28 @@ impl Rtos {
             st.stats[task.index()].dispatch_latencies.push(now - since);
         }
         st.stats[task.index()].dispatches += 1;
-        if let Some(last) = st.last_dispatched {
-            if last != task {
-                st.context_switches += 1;
-                st.tasks[task.index()].pending_overhead = st.switch_cost;
-                if let Some(tr) = &st.trace {
-                    tr.record(
-                        now,
-                        RecordKind::Marker {
-                            track: format!("{}:switch", self.inner.name),
-                            label: format!("→{}", st.tasks[task.index()].name),
-                        },
-                    );
-                }
+        let decision = st.pending_decision.take();
+        let switched = st.last_dispatched.is_some_and(|last| last != task);
+        if switched {
+            st.context_switches += 1;
+            st.tasks[task.index()].pending_overhead = st.switch_cost;
+        }
+        if st.trace.is_some() {
+            let dispatched_ids = task_trace_ids(st, task).expect("trace present");
+            let displaced_label = decision
+                .and_then(|(d, _)| task_trace_ids(st, d))
+                .map(|ids| ids.1);
+            let reason = decision.map_or(DecisionReason::Activation, |(_, r)| r);
+            let tr = st.trace.as_ref().expect("trace present");
+            tr.handle.sched_decision(
+                now,
+                tr.sched_track,
+                Some(dispatched_ids.1),
+                displaced_label,
+                reason,
+            );
+            if switched {
+                tr.handle.marker(now, tr.switch_track, dispatched_ids.2);
             }
         }
         st.last_dispatched = Some(task);
@@ -1196,17 +1282,24 @@ impl Rtos {
         }
     }
 
-    /// Removes `task` from the CPU, accounting its busy time.
-    fn undispatch(&self, st: &mut OsState, task: TaskId, now: SimTime, preempted: bool) {
+    /// Removes `task` from the CPU, accounting its busy time. `reason`
+    /// explains why the task is leaving; it is stored and emitted as a
+    /// scheduler decision record by the next dispatch (or by
+    /// [`dispatch_best`](Rtos::dispatch_best) when the CPU goes idle).
+    fn undispatch(&self, st: &mut OsState, task: TaskId, now: SimTime, reason: DecisionReason) {
         debug_assert_eq!(st.running, Some(task));
         st.running = None;
+        st.pending_decision = Some((task, reason));
         let tcb = &mut st.tasks[task.index()];
         if let Some(at) = tcb.dispatched_at.take() {
             let busy = now - at;
             st.cpu_busy += busy;
             st.stats[task.index()].busy += busy;
         }
-        if preempted {
+        if matches!(
+            reason,
+            DecisionReason::Preemption | DecisionReason::TimesliceExpiry
+        ) {
             st.stats[task.index()].preemptions += 1;
         }
     }
@@ -1245,23 +1338,28 @@ impl Rtos {
             let now = ctx.now();
             let switch = if st.alg.is_preemptive() {
                 match self.select(&st) {
-                    Some(best) => {
-                        st.alg.rank(&st.tasks[best.index()])
-                            < st.alg.rank(&st.tasks[tid.index()])
+                    Some(best)
+                        if st.alg.rank(&st.tasks[best.index()])
+                            < st.alg.rank(&st.tasks[tid.index()]) =>
+                    {
+                        Some(DecisionReason::Preemption)
                     }
-                    None => false,
+                    _ => None,
                 }
             } else if let Some(q) = st.alg.quantum() {
-                allow_rotation
-                    && st.tasks[tid.index()].quantum_used >= q
-                    && !st.ready.is_empty()
+                if allow_rotation && st.tasks[tid.index()].quantum_used >= q && !st.ready.is_empty()
+                {
+                    Some(DecisionReason::TimesliceExpiry)
+                } else {
+                    None
+                }
             } else {
-                false
+                None
             };
-            if !switch {
+            let Some(reason) = switch else {
                 return;
-            }
-            self.undispatch(&mut st, tid, now, true);
+            };
+            self.undispatch(&mut st, tid, now, reason);
             // Round-robin rotation goes to the tail (fresh seq); a
             // preempted task keeps its queue position.
             let keep_seq = st.alg.quantum().is_none();
@@ -1273,27 +1371,34 @@ impl Rtos {
     }
 
     fn span_begin(&self, ctx: &ProcCtx, label: &str) {
-        let st = self.inner.state.lock();
-        if let (Some(tr), Some(tid)) = (&st.trace, st.by_pid.get(&ctx.pid())) {
-            tr.record(
-                ctx.now(),
-                RecordKind::SpanBegin {
-                    track: st.tasks[tid.index()].name.clone(),
-                    label: label.to_string(),
-                },
-            );
+        let mut st = self.inner.state.lock();
+        if st.trace.is_none() {
+            return;
+        }
+        let Some(&tid) = st.by_pid.get(&ctx.pid()) else {
+            return;
+        };
+        let Some((track, _, _)) = task_trace_ids(&mut st, tid) else {
+            return;
+        };
+        if let Some(tr) = &st.trace {
+            tr.handle.span_begin_dyn(ctx.now(), track, label);
         }
     }
 
     fn span_end(&self, ctx: &ProcCtx) {
-        let st = self.inner.state.lock();
-        if let (Some(tr), Some(tid)) = (&st.trace, st.by_pid.get(&ctx.pid())) {
-            tr.record(
-                ctx.now(),
-                RecordKind::SpanEnd {
-                    track: st.tasks[tid.index()].name.clone(),
-                },
-            );
+        let mut st = self.inner.state.lock();
+        if st.trace.is_none() {
+            return;
+        }
+        let Some(&tid) = st.by_pid.get(&ctx.pid()) else {
+            return;
+        };
+        let Some((track, _, _)) = task_trace_ids(&mut st, tid) else {
+            return;
+        };
+        if let Some(tr) = &st.trace {
+            tr.handle.span_end(ctx.now(), track);
         }
     }
 }

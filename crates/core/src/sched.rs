@@ -71,12 +71,14 @@ impl SchedAlg {
             SchedAlg::Fifo | SchedAlg::RoundRobin { .. } => (tcb.ready_seq, 0, 0),
             SchedAlg::Rms => match tcb.kind {
                 // Periodic tasks rank above (before) all aperiodic tasks.
-                TaskKind::Periodic { period } => {
-                    (0, period.as_nanos() as u64, tcb.ready_seq)
-                }
+                TaskKind::Periodic { period } => (0, period.as_nanos() as u64, tcb.ready_seq),
                 TaskKind::Aperiodic => (1, u64::from(tcb.priority.0), tcb.ready_seq),
             },
-            SchedAlg::Edf => (tcb.abs_deadline.as_nanos(), u64::from(tcb.priority.0), tcb.ready_seq),
+            SchedAlg::Edf => (
+                tcb.abs_deadline.as_nanos(),
+                u64::from(tcb.priority.0),
+                tcb.ready_seq,
+            ),
         }
     }
 }
@@ -214,7 +216,10 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(SchedAlg::PriorityPreemptive.to_string(), "priority-preemptive");
+        assert_eq!(
+            SchedAlg::PriorityPreemptive.to_string(),
+            "priority-preemptive"
+        );
         assert_eq!(
             SchedAlg::RoundRobin {
                 quantum: Duration::from_micros(100)

@@ -6,17 +6,15 @@
 
 use std::time::Duration;
 
-use rtos_model::analysis::{edf_schedulable, liu_layland_bound, rta_rms, total_utilization, PeriodicSpec};
+use rtos_model::analysis::{
+    edf_schedulable, liu_layland_bound, rta_rms, total_utilization, PeriodicSpec,
+};
 use rtos_model::{CycleOutcome, Rtos, SchedAlg, TaskParams, TimeSlice};
 use sldl_sim::{Child, SimTime, Simulation, SmallRng};
 
 /// Simulates `tasks` under the given algorithm until `horizon`; returns
 /// per-task (worst observed response, deadline misses).
-fn simulate(
-    tasks: &[PeriodicSpec],
-    alg: SchedAlg,
-    horizon: SimTime,
-) -> Vec<(Duration, u64)> {
+fn simulate(tasks: &[PeriodicSpec], alg: SchedAlg, horizon: SimTime) -> Vec<(Duration, u64)> {
     let mut sim = Simulation::new();
     let os = Rtos::new("pe", sim.sync_layer());
     os.start(alg);
@@ -44,7 +42,11 @@ fn simulate(
         .iter()
         .map(|s| {
             (
-                s.cycle_response_times.iter().copied().max().unwrap_or_default(),
+                s.cycle_response_times
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or_default(),
                 s.deadline_misses,
             )
         })
@@ -97,13 +99,13 @@ fn edf_schedules_full_utilization_where_rms_misses() {
     ];
     assert!((total_utilization(&tasks) - 1.0).abs() < 1e-9);
     assert!(edf_schedulable(&tasks));
-    assert!(rta_rms(&tasks).is_none(), "RMS analysis must reject this set");
+    assert!(
+        rta_rms(&tasks).is_none(),
+        "RMS analysis must reject this set"
+    );
 
     let edf = simulate(&tasks, SchedAlg::Edf, SimTime::from_millis(30));
-    assert!(
-        edf.iter().all(|(_, m)| *m == 0),
-        "EDF missed: {edf:?}"
-    );
+    assert!(edf.iter().all(|(_, m)| *m == 0), "EDF missed: {edf:?}");
     let rms = simulate(&tasks, SchedAlg::Rms, SimTime::from_millis(30));
     assert!(
         rms.iter().any(|(_, m)| *m > 0),

@@ -6,8 +6,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use sldl_sim::sync::Mutex;
 use rtos_model::{Priority, Rtos, SchedAlg, TaskParams};
+use sldl_sim::sync::Mutex;
 use sldl_sim::{Child, Handshake, Semaphore, SimTime, Simulation};
 
 fn us(n: u64) -> Duration {

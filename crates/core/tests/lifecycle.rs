@@ -5,8 +5,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use sldl_sim::sync::Mutex;
 use rtos_model::{Priority, Rtos, SchedAlg, TaskParams, TaskState};
+use sldl_sim::sync::Mutex;
 use sldl_sim::{Child, SimTime, Simulation};
 
 fn us(n: u64) -> Duration {
@@ -156,10 +156,7 @@ fn time_wait_from_unbound_process_panics() {
             error,
         }) => {
             assert_eq!(process, "not_a_task");
-            assert!(
-                error.to_string().contains("not bound to a task"),
-                "{error}"
-            );
+            assert!(error.to_string().contains("not bound to a task"), "{error}");
             assert!(!location.is_empty());
         }
         other => panic!("expected misuse error, got {other:?}"),

@@ -5,10 +5,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use rtos_model::{InheritancePolicy, Priority, Rtos, RtosMutex, SchedAlg, TaskParams, TimeSlice};
 use sldl_sim::sync::Mutex;
-use rtos_model::{
-    InheritancePolicy, Priority, Rtos, RtosMutex, SchedAlg, TaskParams, TimeSlice,
-};
 use sldl_sim::{Child, Simulation};
 
 fn us(n: u64) -> Duration {

@@ -19,7 +19,11 @@ fn us(n: u64) -> Duration {
 /// Runs one periodic task that overruns its 80 us WCET annotation by 2×
 /// every cycle (160 us of modeled compute per 100 us period), under the
 /// given policy/budget; returns (metrics task stats, cycles actually run).
-fn run_overrunner(policy: MissPolicy, budget: u32, cycles: u32) -> (rtos_model::MetricsSnapshot, u64) {
+fn run_overrunner(
+    policy: MissPolicy,
+    budget: u32,
+    cycles: u32,
+) -> (rtos_model::MetricsSnapshot, u64) {
     let mut sim = Simulation::new();
     let os = Rtos::new("pe", sim.sync_layer());
     os.start(SchedAlg::PriorityPreemptive);
@@ -184,7 +188,10 @@ fn abba_deadlock_is_detected_with_named_cycle() {
                 assert_eq!(edge.holder, cycle[(i + 1) % cycle.len()].waiter);
             }
             let waiters: Vec<&str> = cycle.iter().map(|e| e.waiter.as_str()).collect();
-            assert!(waiters.contains(&"t1") && waiters.contains(&"t2"), "{cycle:?}");
+            assert!(
+                waiters.contains(&"t1") && waiters.contains(&"t2"),
+                "{cycle:?}"
+            );
             let resources: Vec<&str> = cycle.iter().map(|e| e.resource.as_str()).collect();
             assert!(
                 resources.contains(&"mutexA") && resources.contains(&"mutexB"),
@@ -245,7 +252,11 @@ fn watchdog_count_records_trips_and_run_survives() {
         os2.task_terminate(ctx);
     }));
     let report = sim.run().expect("Count trips never abort");
-    assert!(report.blocked.is_empty(), "monitor retired: {:?}", report.blocked);
+    assert!(
+        report.blocked.is_empty(),
+        "monitor retired: {:?}",
+        report.blocked
+    );
     let m = os.metrics_at(report.end_time);
     assert_eq!(m.watchdog_trips, 3, "one trip per elapsed window");
 }

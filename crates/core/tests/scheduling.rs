@@ -5,8 +5,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use sldl_sim::sync::Mutex;
 use rtos_model::{Priority, Rtos, SchedAlg, TaskParams, TimeSlice};
+use sldl_sim::sync::Mutex;
 use sldl_sim::{Child, SimTime, Simulation, TraceConfig};
 
 fn us(n: u64) -> Duration {
@@ -330,10 +330,7 @@ fn periodic_task_records_response_times_and_meets_deadlines() {
     let m = os.metrics_at(report.end_time);
     let stats = &m.tasks[0];
     assert_eq!(stats.cycle_response_times.len(), 5);
-    assert!(stats
-        .cycle_response_times
-        .iter()
-        .all(|&r| r == us(300)));
+    assert!(stats.cycle_response_times.iter().all(|&r| r == us(300)));
     assert_eq!(stats.deadline_misses, 0);
     assert!((os.planned_utilization() - 0.3).abs() < 1e-9);
 }
@@ -541,7 +538,9 @@ fn event_notify_by_task_preempts_notifier() {
         os_lo.task_activate(ctx, me);
         os_lo.time_wait(ctx, us(100));
         os_lo.event_notify(ctx, e); // wakes hi → immediate preemption here
-        log_lo.lock().push(("lo-after-notify", ctx.now().as_micros()));
+        log_lo
+            .lock()
+            .push(("lo-after-notify", ctx.now().as_micros()));
         os_lo.task_terminate(ctx);
     }));
 

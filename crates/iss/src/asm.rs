@@ -228,9 +228,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                         Some(x) => x,
                         None => lookup(v, *line)?,
                     };
-                    prog.data.push(i32::try_from(value).map_err(|_| {
-                        err(*line, format!("word value out of range `{v}`"))
-                    })?);
+                    prog.data.push(
+                        i32::try_from(value)
+                            .map_err(|_| err(*line, format!("word value out of range `{v}`")))?,
+                    );
                 }
             }
             Stmt::Space { line, count } => {
@@ -313,16 +314,15 @@ fn parse_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
     Ok(Reg(num as u8))
 }
 
-fn parse_imm(
-    s: &str,
-    line: usize,
-    symbols: &HashMap<String, i64>,
-) -> Result<i64, AsmError> {
+fn parse_imm(s: &str, line: usize, symbols: &HashMap<String, i64>) -> Result<i64, AsmError> {
     // `SYM+const` / `SYM+SYM` sums, e.g. `sv+3` (no leading `-` split, so
     // negative literals still parse).
     if let Some((a, b)) = s.split_once('+') {
-        return Ok(parse_imm(a.trim(), line, symbols)?
-            .wrapping_add(parse_imm(b.trim(), line, symbols)?));
+        return Ok(parse_imm(a.trim(), line, symbols)?.wrapping_add(parse_imm(
+            b.trim(),
+            line,
+            symbols,
+        )?));
     }
     if let Some(v) = parse_int(s) {
         return Ok(v);
@@ -609,10 +609,7 @@ mod tests {
                 imm: -1
             }
         );
-        assert_eq!(
-            prog.text[4],
-            Instr::Halt
-        );
+        assert_eq!(prog.text[4], Instr::Halt);
     }
 
     #[test]

@@ -224,9 +224,8 @@ impl Machine {
                 self.set(rd.0, v);
             }
             Instr::Mac { rd, rs, rt } => {
-                let v = self.regs[rd.0 as usize].wrapping_add(
-                    self.regs[rs.0 as usize].wrapping_mul(self.regs[rt.0 as usize]),
-                );
+                let v = self.regs[rd.0 as usize]
+                    .wrapping_add(self.regs[rs.0 as usize].wrapping_mul(self.regs[rt.0 as usize]));
                 self.set(rd.0, v);
             }
             Instr::Ld { rd, rs, offset } => {
@@ -613,7 +612,10 @@ mod tests {
         let mut m = Machine::new(&prog);
         m.run(1000);
         let events = m.drain_events();
-        assert!(matches!(events[0], HostEvent::ContextSwitch { task: 7, .. }));
+        assert!(matches!(
+            events[0],
+            HostEvent::ContextSwitch { task: 7, .. }
+        ));
         assert!(matches!(events[1], HostEvent::FrameDone { seq: 3, .. }));
     }
 

@@ -324,10 +324,7 @@ mod tests {
     fn cycle_time_conversion_round_trip() {
         assert_eq!(cycles_to_duration(60), Duration::from_micros(1));
         assert_eq!(duration_to_cycles(Duration::from_millis(20)), 1_200_000);
-        assert_eq!(
-            duration_to_cycles(cycles_to_duration(132_000)),
-            132_000
-        );
+        assert_eq!(duration_to_cycles(cycles_to_duration(132_000)), 132_000);
     }
 
     #[test]

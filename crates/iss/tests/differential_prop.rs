@@ -155,7 +155,11 @@ fn iss_matches_golden_model() {
         }
         let mem_base = u32::try_from(prog.symbol("mem")).unwrap();
         for (slot, &expect) in mem.iter().enumerate() {
-            assert_eq!(m.peek(mem_base + slot as u32), expect, "mem[{slot}], seed {seed}");
+            assert_eq!(
+                m.peek(mem_base + slot as u32),
+                expect,
+                "mem[{slot}], seed {seed}"
+            );
         }
     }
 }

@@ -185,8 +185,11 @@ task_1:
     trap SYS_EXIT
 progress: .word 0
 ";
-    let src = format!("{}
-{app}", kernel_asm(&cfg));
+    let src = format!(
+        "{}
+{app}",
+        kernel_asm(&cfg)
+    );
     let prog = assemble(&src).unwrap();
     let mut m = Machine::new(&prog);
     assert_eq!(m.run(500_000), ExitReason::CycleLimit);

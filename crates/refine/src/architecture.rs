@@ -146,9 +146,10 @@ fn run_architecture_inner(
                         let s = unique_pe(&u.sender_pes, &c.name, "senders");
                         let r = unique_pe(&u.receiver_pes, &c.name, "receivers");
                         match (s, r) {
-                            (Some(s), Some(r)) if s != r => ArchChan::Cross(
-                                CrossRendezvous::new(oses[s].clone(), oses[r].clone()),
-                            ),
+                            (Some(s), Some(r)) if s != r => ArchChan::Cross(CrossRendezvous::new(
+                                oses[s].clone(),
+                                oses[r].clone(),
+                            )),
                             (sr, _) => {
                                 let pe = sr.unwrap_or(0);
                                 ArchChan::Rendezvous(Handshake::new(oses[pe].clone()))
@@ -180,7 +181,9 @@ fn run_architecture_inner(
                 _ => main_name.clone(),
             };
             let prio = priority_of(&env.priorities, &task_name);
-            let me = env.os.task_create(&task_params_for(&root, &task_name, prio));
+            let me = env
+                .os
+                .task_create(&task_params_for(&root, &task_name, prio));
             env.os.task_activate(ctx, me);
             if exec(&root, ctx, &env, &task_name) {
                 env.os.task_terminate(ctx);
@@ -298,7 +301,9 @@ fn exec(b: &Behavior, ctx: &ProcCtx, env: &Arc<Env>, path: &str) -> bool {
             run_actions(actions, ctx, env);
             true
         }
-        Behavior::Periodic { cycles, actions, .. } => {
+        Behavior::Periodic {
+            cycles, actions, ..
+        } => {
             // The enclosing task was created periodic (validated placement):
             // run the body and end the cycle, letting the RTOS release the
             // task again at the next period (Fig. 4 `task_endcycle`). A

@@ -72,7 +72,11 @@ pub struct Violation {
 
 impl core::fmt::Display for Violation {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "[{}] constraint #{}: {}", self.at, self.constraint, self.message)
+        write!(
+            f,
+            "[{}] constraint #{}: {}",
+            self.at, self.constraint, self.message
+        )
     }
 }
 

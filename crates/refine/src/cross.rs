@@ -10,8 +10,8 @@
 
 use std::sync::Arc;
 
-use sldl_sim::sync::Mutex;
 use rtos_model::{Rtos, RtosEvent};
+use sldl_sim::sync::Mutex;
 use sldl_sim::ProcCtx;
 
 struct CrossState {

@@ -36,8 +36,8 @@
 
 mod architecture;
 pub mod check;
-pub mod explore;
 mod cross;
+pub mod explore;
 mod figure3;
 mod run;
 mod spec;
@@ -45,8 +45,8 @@ mod unscheduled;
 
 pub use architecture::run_architecture;
 pub use check::{check, Constraint, Violation};
-pub use explore::{explore, Candidate, Evaluation};
 pub use cross::CrossRendezvous;
+pub use explore::{explore, Candidate, Evaluation};
 pub use figure3::{figure3_spec, Figure3Delays};
 pub use run::{ModelRun, PeMetrics, RunConfig, RunModelError};
 pub use spec::{

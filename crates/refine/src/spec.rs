@@ -121,8 +121,9 @@ impl Behavior {
 
     fn visit_leaves<'a>(&'a self, f: &mut impl FnMut(&'a str, &'a [Action])) {
         match self {
-            Behavior::Leaf { name, actions }
-            | Behavior::Periodic { name, actions, .. } => f(name, actions),
+            Behavior::Leaf { name, actions } | Behavior::Periodic { name, actions, .. } => {
+                f(name, actions)
+            }
             Behavior::Seq(children) | Behavior::Par(children) => {
                 for c in children {
                     c.visit_leaves(f);

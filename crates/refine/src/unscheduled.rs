@@ -3,7 +3,9 @@
 
 use std::sync::Arc;
 
-use sldl_sim::{Child, Handshake, ProcCtx, RecordKind, Semaphore, SldlSync, Simulation, TraceConfig};
+use sldl_sim::{
+    Child, Handshake, ProcCtx, RecordKind, Semaphore, Simulation, SldlSync, TraceConfig,
+};
 
 use crate::run::{ModelRun, RunConfig, RunModelError};
 use crate::spec::{Action, Behavior, ChannelKind, SystemSpec};

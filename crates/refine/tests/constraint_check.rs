@@ -5,8 +5,7 @@
 use std::time::Duration;
 
 use model_refine::{
-    check, figure3_spec, run_architecture, run_unscheduled, Constraint, Figure3Delays,
-    RunConfig,
+    check, figure3_spec, run_architecture, run_unscheduled, Constraint, Figure3Delays, RunConfig,
 };
 use rtos_model::{SchedAlg, TimeSlice};
 

@@ -72,7 +72,10 @@ fn looser_budget_admits_more_candidates() {
     let n_tight = tight.iter().filter(|e| e.feasible()).count();
     let n_loose = loose.iter().filter(|e| e.feasible()).count();
     assert!(n_loose >= n_tight, "tight {n_tight} loose {n_loose}");
-    assert!(n_loose >= 3, "loose budget admits whole-delay too: {n_loose}");
+    assert!(
+        n_loose >= 3,
+        "loose budget admits whole-delay too: {n_loose}"
+    );
 }
 
 #[test]

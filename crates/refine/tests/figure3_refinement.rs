@@ -4,9 +4,7 @@
 
 use std::time::Duration;
 
-use model_refine::{
-    figure3_spec, run_architecture, run_unscheduled, Figure3Delays, RunConfig,
-};
+use model_refine::{figure3_spec, run_architecture, run_unscheduled, Figure3Delays, RunConfig};
 use rtos_model::{SchedAlg, TimeSlice};
 use sldl_sim::SimTime;
 
@@ -142,10 +140,7 @@ fn response_time_metrics_are_collected() {
     let b3 = m.tasks.iter().find(|t| t.name == "task_b3").unwrap();
     // The delayed preemption at t4' shows up as a 250us dispatch latency
     // (ready at 800 after the ISR, dispatched at 1050).
-    assert!(b3
-        .dispatch_latencies
-        .iter()
-        .any(|&l| l == us(250)));
+    assert!(b3.dispatch_latencies.iter().any(|&l| l == us(250)));
     assert!(m.utilization() > 0.9);
 }
 

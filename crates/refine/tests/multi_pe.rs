@@ -7,8 +7,7 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use model_refine::{
-    run_architecture, run_unscheduled, Action, Behavior, ChannelKind, PeSpec, RunConfig,
-    SystemSpec,
+    run_architecture, run_unscheduled, Action, Behavior, ChannelKind, PeSpec, RunConfig, SystemSpec,
 };
 use rtos_model::{Priority, SchedAlg, TimeSlice};
 use sldl_sim::SimTime;
@@ -50,10 +49,7 @@ fn two_pe_spec() -> SystemSpec {
         root: Behavior::Par(vec![
             Behavior::leaf(
                 "consumer",
-                vec![
-                    Action::Recv(link),
-                    Action::compute("c1", us(200)),
-                ],
+                vec![Action::Recv(link), Action::compute("c1", us(200))],
             ),
             Behavior::leaf("bg1", vec![Action::compute("bg1w", us(300))]),
         ]),
@@ -85,7 +81,10 @@ fn pes_run_in_parallel_but_serialize_internally() {
     // Makespan is bounded by per-PE serialization, not the global sum.
     assert!(run.end_time() <= SimTime::from_micros(600));
     assert_eq!(run.pe_metrics.len(), 2);
-    assert!(run.pe_metrics.iter().all(|m| m.metrics.cpu_busy > Duration::ZERO));
+    assert!(run
+        .pe_metrics
+        .iter()
+        .all(|m| m.metrics.cpu_busy > Duration::ZERO));
 }
 
 #[test]

@@ -77,10 +77,7 @@ fn periodic_tasks_release_on_the_grid_under_rms() {
     assert_eq!(m.deadline_misses(), 0);
     let control = m.tasks.iter().find(|t| t.name == "control").unwrap();
     assert_eq!(control.cycle_response_times.len(), 8);
-    assert!(control
-        .cycle_response_times
-        .iter()
-        .all(|&r| r == us(300)));
+    assert!(control.cycle_response_times.iter().all(|&r| r == us(300)));
 }
 
 #[test]
@@ -97,7 +94,11 @@ fn logger_is_preempted_by_the_control_loop() {
     let logger = m.tasks.iter().find(|t| t.name == "logger").unwrap();
     // The 800 us log job spans at least one 1 ms control release, so it is
     // preempted at least once per cycle.
-    assert!(logger.preemptions >= 2, "preemptions {}", logger.preemptions);
+    assert!(
+        logger.preemptions >= 2,
+        "preemptions {}",
+        logger.preemptions
+    );
     assert_eq!(logger.deadline_misses, 0);
     // Its response exceeds its own WCET by the control interference.
     assert!(logger

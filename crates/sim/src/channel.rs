@@ -261,7 +261,8 @@ impl<T: Send + 'static, L: SyncLayer> Queue<T, L> {
                 let mut st = self.state.lock();
                 let full = st.capacity.is_some_and(|c| st.items.len() >= c);
                 if !full {
-                    st.items.push_back(value.take().expect("value still pending"));
+                    st.items
+                        .push_back(value.take().expect("value still pending"));
                     break;
                 }
             }

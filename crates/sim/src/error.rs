@@ -194,7 +194,10 @@ impl fmt::Display for RunError {
                 location,
                 error,
             } => {
-                write!(f, "process `{process}` misused the model at {location}: {error}")
+                write!(
+                    f,
+                    "process `{process}` misused the model at {location}: {error}"
+                )
             }
             RunError::Deadlock { at, cycle, .. } => {
                 write!(f, "deadlock at {at}: ")?;

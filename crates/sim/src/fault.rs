@@ -147,7 +147,8 @@ impl FaultPlan {
     /// invariant structurally.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.wcet.is_none_or(|w| w.probability <= 0.0 || w.max_stretch <= 1.0)
+        self.wcet
+            .is_none_or(|w| w.probability <= 0.0 || w.max_stretch <= 1.0)
             && self.drop_notify <= 0.0
             && self.dup_notify <= 0.0
             && self.spurious.iter().all(|s| s.probability <= 0.0)

@@ -29,7 +29,9 @@ use crate::fault::{FaultPlan, FaultRecord, FaultState, NotifyFate};
 use crate::ids::{EventId, ProcessId};
 use crate::sync::Mutex;
 use crate::time::SimTime;
-use crate::trace::{RecordKind, SuspendReason, TraceConfig, TraceHandle};
+use crate::trace::{
+    CompactKind, KernelStats, RecordKind, SuspendReason, TraceConfig, TraceHandle, TraceSink,
+};
 
 /// A process body: runs once on its own thread with a [`ProcCtx`].
 pub type ProcBody = Box<dyn FnOnce(&ProcCtx) + Send + 'static>;
@@ -96,11 +98,14 @@ pub struct Report {
     /// Faults injected during the run by the installed
     /// [`FaultPlan`](crate::FaultPlan) (empty when no plan was installed).
     pub faults: Vec<FaultRecord>,
+    /// Kernel self-metrics for the run (always collected; see
+    /// [`KernelStats`]).
+    pub kernel: KernelStats,
 }
 
 /// What the kernel does when all activity is exhausted while processes are
 /// still blocked (a *stall*). Configured with
-/// [`Simulation::set_stall_policy`].
+/// [`SimulationBuilder::stall_policy`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[non_exhaustive]
 pub enum StallPolicy {
@@ -160,7 +165,9 @@ enum ProcState {
     /// Waiting for a timed wake-up.
     WaitTime,
     /// Waiting for `pending` par-children to finish.
-    Joining { pending: usize },
+    Joining {
+        pending: usize,
+    },
     Finished,
 }
 
@@ -236,6 +243,12 @@ struct State {
     stall_policy: StallPolicy,
     trace: Option<TraceHandle>,
     trace_kernel: bool,
+    /// Kernel self-metrics, updated unconditionally (cheap integer stores;
+    /// no allocation) on every run.
+    stats: KernelStats,
+    /// Last process handed the run token, for the kernel-level
+    /// context-switch count.
+    last_resumed: Option<ProcessId>,
 }
 
 impl State {
@@ -245,15 +258,30 @@ impl State {
         }
     }
 
-    fn record_kernel(&self, kind: RecordKind) {
+    /// Emits an allocation-free kernel record, if kernel records are on.
+    fn record_kernel(&self, kind: CompactKind) {
         if self.trace_kernel {
-            self.record(kind);
+            if let Some(t) = &self.trace {
+                t.emit(self.now, kind);
+            }
         }
     }
 
     fn next_seq(&mut self) -> u64 {
         self.seq += 1;
         self.seq
+    }
+
+    /// Pushes a timed entry (seq-stamped) and counts the timer operation.
+    fn push_timed(&mut self, time: SimTime, kind: TimedKind) {
+        let seq = self.next_seq();
+        self.stats.timer_ops += 1;
+        self.timed.push(TimedEntry { time, seq, kind });
+    }
+
+    /// Updates the ready-queue high-water mark after a push.
+    fn note_ready_depth(&mut self) {
+        self.stats.max_ready_depth = self.stats.max_ready_depth.max(self.ready.len() as u64);
     }
 
     /// Moves a blocked process to the ready queue.
@@ -273,6 +301,7 @@ impl State {
             }
         }
         self.ready.push_back(pid);
+        self.note_ready_depth();
     }
 
     /// Checks the configured liveness predicate at a stall (all activity
@@ -289,13 +318,13 @@ impl State {
         }
         match self.stall_policy {
             StallPolicy::AllowBlocked => None,
-            StallPolicy::FailOnWaitCycle => self.find_wait_cycle().map(|cycle| {
-                RunError::Deadlock {
+            StallPolicy::FailOnWaitCycle => {
+                self.find_wait_cycle().map(|cycle| RunError::Deadlock {
                     at: self.now,
                     cycle,
                     blocked,
-                }
-            }),
+                })
+            }
             StallPolicy::FailIfAnyBlocked => Some(RunError::Deadlock {
                 at: self.now,
                 cycle: self.find_wait_cycle().unwrap_or_default(),
@@ -351,7 +380,7 @@ impl State {
         entry.state = ProcState::Finished;
         self.live_procs -= 1;
         let parent = entry.parent.take();
-        self.record_kernel(RecordKind::ProcessFinished { pid });
+        self.record_kernel(CompactKind::ProcessFinished { pid });
         if let Some(parent) = parent {
             let pentry = &mut self.procs[parent.index()];
             if let ProcState::Joining { pending } = &mut pentry.state {
@@ -359,6 +388,7 @@ impl State {
                 if *pending == 0 {
                     pentry.state = ProcState::Ready;
                     self.ready.push_back(parent);
+                    self.note_ready_depth();
                 }
             }
         }
@@ -432,12 +462,24 @@ impl Default for Simulation {
 /// scenario description can carry one around (or the pieces to make one)
 /// and construct fresh, isolated simulations on demand — e.g. one per
 /// sweep point on a worker thread.
-#[derive(Debug, Default)]
+#[derive(Default)]
 #[must_use = "call `.build()` to obtain the configured Simulation"]
 pub struct SimulationBuilder {
     fault_plan: Option<FaultPlan>,
     stall_policy: Option<StallPolicy>,
     trace: Option<TraceConfig>,
+    trace_sink: Option<Box<dyn TraceSink>>,
+}
+
+impl core::fmt::Debug for SimulationBuilder {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SimulationBuilder")
+            .field("fault_plan", &self.fault_plan)
+            .field("stall_policy", &self.stall_policy)
+            .field("trace", &self.trace)
+            .field("custom_sink", &self.trace_sink.is_some())
+            .finish()
+    }
 }
 
 impl SimulationBuilder {
@@ -457,9 +499,21 @@ impl SimulationBuilder {
     }
 
     /// Attaches a trace recorder; fetch the handle from the built
-    /// simulation via [`Simulation::trace_handle`].
+    /// simulation via [`Simulation::trace_handle`]. The sink is chosen by
+    /// [`TraceConfig::sink`] (in-memory by default, or a bounded ring
+    /// buffer); for arbitrary sinks use
+    /// [`trace_sink`](SimulationBuilder::trace_sink).
     pub fn trace(mut self, config: TraceConfig) -> Self {
         self.trace = Some(config);
+        self
+    }
+
+    /// Attaches a trace recorder over a caller-provided [`TraceSink`]
+    /// (e.g. a [`StreamSink`](crate::StreamSink) writing to a file),
+    /// overriding [`TraceConfig::sink`]. Implies tracing even without a
+    /// [`trace`](SimulationBuilder::trace) call.
+    pub fn trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.trace_sink = Some(sink);
         self
     }
 
@@ -473,22 +527,17 @@ impl SimulationBuilder {
         if let Some(policy) = self.stall_policy {
             sim.install_stall_policy(policy);
         }
-        if let Some(config) = self.trace {
-            let _handle = sim.install_trace(config);
+        if self.trace.is_some() || self.trace_sink.is_some() {
+            let config = self.trace.unwrap_or_default();
+            let _handle = sim.install_trace(config, self.trace_sink);
         }
         sim
     }
 }
 
 impl Simulation {
-    /// Starts configuring a simulation declaratively.
-    ///
-    /// This is the preferred way to set up pre-run kernel state (fault
-    /// plan, stall policy, tracing); the imperative mutators
-    /// ([`set_fault_plan`](Simulation::set_fault_plan),
-    /// [`set_stall_policy`](Simulation::set_stall_policy),
-    /// [`enable_trace`](Simulation::enable_trace)) are deprecated shims
-    /// over this builder.
+    /// Starts configuring a simulation declaratively. This is the only way
+    /// to set up pre-run kernel state (fault plan, stall policy, tracing).
     ///
     /// ```
     /// use sldl_sim::{FaultPlan, Simulation, StallPolicy, TraceConfig};
@@ -528,6 +577,8 @@ impl Simulation {
                 stall_policy: StallPolicy::default(),
                 trace: None,
                 trace_kernel: false,
+                stats: KernelStats::default(),
+                last_resumed: None,
             }),
             kernel_tx,
         });
@@ -551,57 +602,35 @@ impl Simulation {
         self.shared.state.lock().stall_policy = policy;
     }
 
-    fn install_trace(&mut self, config: TraceConfig) -> TraceHandle {
-        let handle = TraceHandle::new();
+    fn install_trace(
+        &mut self,
+        config: TraceConfig,
+        sink: Option<Box<dyn TraceSink>>,
+    ) -> TraceHandle {
+        let handle = match sink {
+            Some(sink) => TraceHandle::with_sink(sink),
+            None => TraceHandle::from_config(config.sink),
+        };
         let mut st = self.shared.state.lock();
         st.trace = Some(handle.clone());
         st.trace_kernel = config.kernel_records;
         handle
     }
 
-    /// Installs a seeded [`FaultPlan`]. An empty plan
-    /// ([`FaultPlan::none`] or all-zero rates) is not armed at all, so it
-    /// is guaranteed byte-identical to no injection. Call before
-    /// [`run`](Simulation::run); installing a new plan replaces the old
-    /// one and clears the fault log.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Simulation::builder().fault_plan(plan).build()` instead"
-    )]
-    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.install_fault_plan(plan);
-    }
-
-    /// Configures what happens when all activity is exhausted while
-    /// processes are still blocked (see [`StallPolicy`]).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Simulation::builder().stall_policy(policy).build()` instead"
-    )]
-    pub fn set_stall_policy(&mut self, policy: StallPolicy) {
-        self.install_stall_policy(policy);
-    }
-
-    /// Attaches a trace recorder and returns a handle for later analysis.
-    ///
-    /// Call before [`run`](Simulation::run); records produced by processes
-    /// via [`ProcCtx::record`] and (if enabled) by the kernel are appended
-    /// to the returned handle.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Simulation::builder().trace(config).build()` and \
-                `Simulation::trace_handle()` instead"
-    )]
-    pub fn enable_trace(&mut self, config: TraceConfig) -> TraceHandle {
-        self.install_trace(config)
-    }
-
     /// Returns the trace handle if tracing was configured (via
-    /// [`SimulationBuilder::trace`] or the deprecated
-    /// [`enable_trace`](Simulation::enable_trace)).
+    /// [`SimulationBuilder::trace`] or
+    /// [`SimulationBuilder::trace_sink`]).
     #[must_use]
     pub fn trace_handle(&self) -> Option<TraceHandle> {
         self.shared.state.lock().trace.clone()
+    }
+
+    /// Snapshot of the kernel self-metrics collected so far. The final
+    /// stats of a completed run are carried by [`Report::kernel`] (the
+    /// run consumes the simulation).
+    #[must_use]
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.shared.state.lock().stats.clone()
     }
 
     /// Allocates a fresh event before the simulation starts.
@@ -644,12 +673,15 @@ impl Simulation {
     /// Returns [`RunError::ProcessPanicked`] if any simulated process
     /// panicked.
     pub fn run_until(mut self, until: SimTime) -> Result<Report, RunError> {
+        let started = std::time::Instant::now();
         let result = self.run_loop(until);
+        let wall_time = started.elapsed();
         self.teardown();
         match result {
             Err(e) => Err(e),
             Ok(end_time) => {
                 let mut st = self.shared.state.lock();
+                st.stats.wall_time = wall_time;
                 let blocked = st
                     .procs
                     .iter()
@@ -661,10 +693,12 @@ impl Simulation {
                     .as_mut()
                     .map(|f| std::mem::take(&mut f.log))
                     .unwrap_or_default();
+                let kernel = st.stats.clone();
                 Ok(Report {
                     end_time,
                     blocked,
                     faults,
+                    kernel,
                 })
             }
         }
@@ -687,10 +721,9 @@ impl Simulation {
                 if let Some(reason) = st.abort.take() {
                     let at = st.now;
                     return Err(match reason {
-                        AbortReason::Watchdog { name } => RunError::WatchdogExpired {
-                            watchdog: name,
-                            at,
-                        },
+                        AbortReason::Watchdog { name } => {
+                            RunError::WatchdogExpired { watchdog: name, at }
+                        }
                         AbortReason::Fault { reason } => RunError::FaultAbort { reason, at },
                     });
                 }
@@ -698,10 +731,16 @@ impl Simulation {
                     let entry = &mut st.procs[pid.index()];
                     entry.state = ProcState::Running;
                     let tx = entry.resume_tx.clone();
-                    st.record_kernel(RecordKind::ProcessResumed { pid });
+                    st.stats.processes_resumed += 1;
+                    if st.last_resumed.is_some_and(|last| last != pid) {
+                        st.stats.context_switches += 1;
+                    }
+                    st.last_resumed = Some(pid);
+                    st.record_kernel(CompactKind::ProcessResumed { pid });
                     Some(tx)
                 } else if !st.notified.is_empty() {
                     // Delta boundary: deliver notifications in order.
+                    st.stats.delta_cycles += 1;
                     let notified = std::mem::take(&mut st.notified);
                     for e in notified {
                         if let Some(ws) = st.waiters.remove(&e) {
@@ -726,6 +765,7 @@ impl Simulation {
                             break;
                         }
                         let entry = st.timed.pop().expect("peeked entry");
+                        st.stats.timer_ops += 1;
                         match entry.kind {
                             TimedKind::Wake { pid, gen } => {
                                 let p = &st.procs[pid.index()];
@@ -740,7 +780,8 @@ impl Simulation {
                             }
                             TimedKind::Notify(e) => {
                                 if st.event_alive.get(e.index()) == Some(&true) {
-                                    st.record_kernel(RecordKind::EventNotified { event: e });
+                                    st.stats.events_notified += 1;
+                                    st.record_kernel(CompactKind::EventNotified { event: e });
                                     st.notified.push(e);
                                 }
                             }
@@ -755,7 +796,8 @@ impl Simulation {
                             if st.event_alive.get(e.index()) == Some(&true)
                                 && !st.notified.contains(&e)
                             {
-                                st.record_kernel(RecordKind::EventNotified { event: e });
+                                st.stats.events_notified += 1;
+                                st.record_kernel(CompactKind::EventNotified { event: e });
                                 st.notified.push(e);
                             }
                         }
@@ -857,10 +899,13 @@ fn spawn_locked(
     });
     st.live_procs += 1;
     st.ready.push_back(pid);
-    st.record_kernel(RecordKind::ProcessSpawned {
-        pid,
-        name: child.name.clone(),
-    });
+    st.note_ready_depth();
+    st.stats.processes_spawned += 1;
+    if st.trace_kernel {
+        if let Some(t) = &st.trace {
+            t.process_spawned(st.now, pid, &child.name);
+        }
+    }
 
     let ctx = ProcCtx {
         shared: Arc::clone(shared),
@@ -1124,18 +1169,14 @@ impl ProcCtx {
                     // Re-deliver in a later delta at the same timestamp via
                     // a zero-delay timed notification.
                     let time = st.now;
-                    let seq = st.next_seq();
-                    st.timed.push(TimedEntry {
-                        time,
-                        seq,
-                        kind: TimedKind::Notify(event),
-                    });
+                    st.push_timed(time, TimedKind::Notify(event));
                 }
                 NotifyFate::Deliver => {}
             }
         }
-        st.record_kernel(RecordKind::EventNotified { event });
+        st.record_kernel(CompactKind::EventNotified { event });
         if !st.notified.contains(&event) {
+            st.stats.events_notified += 1;
             st.notified.push(event);
         }
     }
@@ -1146,12 +1187,7 @@ impl ProcCtx {
     pub fn notify_delayed(&self, event: EventId, delay: Duration) {
         let mut st = self.shared.state.lock();
         let time = st.now + delay;
-        let seq = st.next_seq();
-        st.timed.push(TimedEntry {
-            time,
-            seq,
-            kind: TimedKind::Notify(event),
-        });
+        st.push_timed(time, TimedKind::Notify(event));
     }
 
     /// Suspends until `event` is notified.
@@ -1218,17 +1254,10 @@ impl ProcCtx {
             if let Some(d) = timeout {
                 let gen = st.procs[self.pid.index()].wake_gen;
                 let time = st.now + d;
-                let seq = st.next_seq();
-                st.timed.push(TimedEntry {
-                    time,
-                    seq,
-                    kind: TimedKind::Wake {
-                        pid: self.pid,
-                        gen,
-                    },
-                });
+                st.push_timed(time, TimedKind::Wake { pid: self.pid, gen });
             }
-            st.record_kernel(RecordKind::ProcessSuspended {
+            st.stats.processes_suspended += 1;
+            st.record_kernel(CompactKind::ProcessSuspended {
                 pid: self.pid,
                 reason: SuspendReason::WaitEvent,
             });
@@ -1246,19 +1275,12 @@ impl ProcCtx {
             let mut st = self.shared.state.lock();
             let gen = st.procs[self.pid.index()].wake_gen;
             let time = st.now + delay;
-            let seq = st.next_seq();
-            st.timed.push(TimedEntry {
-                time,
-                seq,
-                kind: TimedKind::Wake {
-                    pid: self.pid,
-                    gen,
-                },
-            });
+            st.push_timed(time, TimedKind::Wake { pid: self.pid, gen });
             let entry = &mut st.procs[self.pid.index()];
             entry.state = ProcState::WaitTime;
             entry.wake_cause = None;
-            st.record_kernel(RecordKind::ProcessSuspended {
+            st.stats.processes_suspended += 1;
+            st.record_kernel(CompactKind::ProcessSuspended {
                 pid: self.pid,
                 reason: SuspendReason::WaitTime,
             });
@@ -1281,7 +1303,8 @@ impl ProcCtx {
                 spawn_locked(&self.shared, &mut st, child, Some(self.pid));
             }
             st.procs[self.pid.index()].state = ProcState::Joining { pending: n };
-            st.record_kernel(RecordKind::ProcessSuspended {
+            st.stats.processes_suspended += 1;
+            st.record_kernel(CompactKind::ProcessSuspended {
                 pid: self.pid,
                 reason: SuspendReason::Join,
             });

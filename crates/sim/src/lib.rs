@@ -81,4 +81,7 @@ pub use ids::{EventId, ProcessId};
 pub use kernel::{Child, ProcBody, ProcCtx, Report, Simulation, SimulationBuilder, StallPolicy};
 pub use rng::SmallRng;
 pub use time::SimTime;
-pub use trace::{Record, RecordKind, TraceConfig, TraceHandle};
+pub use trace::{
+    CompactKind, CompactRecord, DecisionReason, Interner, KernelStats, LabelId, MemorySink, Record,
+    RecordKind, RingSink, SinkConfig, StreamSink, TraceConfig, TraceHandle, TraceSink, TrackId,
+};

@@ -59,6 +59,7 @@ fn run_workload(w: &Workload) -> (SimTime, Vec<String>, usize) {
     let mut sim = Simulation::builder()
         .trace(TraceConfig {
             kernel_records: true,
+            ..TraceConfig::default()
         })
         .build();
     let trace = sim.trace_handle().expect("trace configured");
@@ -77,10 +78,7 @@ fn run_workload(w: &Workload) -> (SimTime, Vec<String>, usize) {
                     Step::WaitEvent(e) => {
                         // Guard with a timeout so random scripts cannot hang
                         // forever; determinism is what we check.
-                        let _ = ctx.wait_timeout(
-                            events[*e as usize],
-                            Duration::from_micros(500),
-                        );
+                        let _ = ctx.wait_timeout(events[*e as usize], Duration::from_micros(500));
                     }
                     Step::TimeoutWait(e, d) => {
                         let _ = ctx.wait_timeout(

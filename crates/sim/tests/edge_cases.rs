@@ -145,10 +145,7 @@ fn wait_any_deregisters_from_all_events() {
     }));
     let report = sim.run().unwrap();
     assert!(report.blocked.is_empty());
-    assert_eq!(
-        *log.lock(),
-        vec![("woke", true, 10), ("woke-b", true, 20)]
-    );
+    assert_eq!(*log.lock(), vec![("woke", true, 10), ("woke-b", true, 20)]);
 }
 
 #[test]
@@ -178,6 +175,7 @@ fn kernel_records_cover_process_lifecycle() {
     let mut sim = Simulation::builder()
         .trace(TraceConfig {
             kernel_records: true,
+            ..TraceConfig::default()
         })
         .build();
     let trace = sim.trace_handle().expect("trace configured");

@@ -26,6 +26,7 @@ fn run_workload(
 ) -> (SimTime, Vec<Record>, Vec<sldl_sim::FaultRecord>, Vec<u64>) {
     let mut builder = Simulation::builder().trace(TraceConfig {
         kernel_records: true,
+        ..TraceConfig::default()
     });
     if let Some(p) = plan {
         builder = builder.fault_plan(p);
@@ -68,7 +69,9 @@ fn empty_plan_is_byte_identical_to_no_plan() {
         FaultPlan::seeded(42),
         FaultPlan::seeded(7).with_wcet_jitter(0.0, 3.0),
         FaultPlan::seeded(7).with_wcet_jitter(0.9, 1.0),
-        FaultPlan::seeded(9).with_drop_notify(0.0).with_dup_notify(0.0),
+        FaultPlan::seeded(9)
+            .with_drop_notify(0.0)
+            .with_dup_notify(0.0),
     ];
     for plan in empties {
         let run = run_workload(Some(plan.clone()));

@@ -415,10 +415,7 @@ fn event_del_then_notify_is_model_misuse() {
         ctx.event_del(e);
         ctx.notify(e); // must fail the run with a structured error
     }));
-    assert!(matches!(
-        sim.run(),
-        Err(RunError::ModelMisuse { .. })
-    ));
+    assert!(matches!(sim.run(), Err(RunError::ModelMisuse { .. })));
 }
 
 #[test]

@@ -89,7 +89,11 @@ impl Encoder {
         let scale = 2f64.powi(gain_exp);
         let residual_q = residual
             .iter()
-            .map(|&e| ((e / scale).round() as i32).clamp(-(1 << (RESIDUAL_BITS - 1)), (1 << (RESIDUAL_BITS - 1)) - 1) as i16)
+            .map(|&e| {
+                ((e / scale).round() as i32)
+                    .clamp(-(1 << (RESIDUAL_BITS - 1)), (1 << (RESIDUAL_BITS - 1)) - 1)
+                    as i16
+            })
             .collect();
         EncodedFrame {
             seq: frame.seq,
@@ -128,7 +132,11 @@ impl Decoder {
                 .collect::<Vec<_>>(),
         );
         let scale = 2f64.powi(enc.gain_exp);
-        let residual: Vec<f64> = enc.residual_q.iter().map(|&q| f64::from(q) * scale).collect();
+        let residual: Vec<f64> = enc
+            .residual_q
+            .iter()
+            .map(|&q| f64::from(q) * scale)
+            .collect();
         let samples = synthesis_filter(&residual, &coeffs, &mut self.history);
         Frame {
             seq: enc.seq,

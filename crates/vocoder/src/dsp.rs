@@ -199,7 +199,9 @@ mod tests {
         let mut s = 0.0;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let noise = ((state >> 33) as f64 / (1u64 << 30) as f64) - 1.0;
                 s = rho * s + noise;
                 s

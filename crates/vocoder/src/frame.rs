@@ -86,8 +86,8 @@ impl SpeechSource {
         let samples = (0..FRAME_SAMPLES)
             .map(|_| {
                 // Impulse train + breath noise excitation.
-                let excitation = if self.pitch_phase == 0 { 4.0 } else { 0.0 }
-                    + self.rng.next_signed() * 0.1;
+                let excitation =
+                    if self.pitch_phase == 0 { 4.0 } else { 0.0 } + self.rng.next_signed() * 0.1;
                 self.pitch_phase = (self.pitch_phase + 1) % pitch;
                 let y = excitation + a1 * self.y1 + a2 * self.y2;
                 self.y2 = self.y1;

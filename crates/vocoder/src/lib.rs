@@ -37,5 +37,7 @@ mod timing;
 
 pub use codec::{Decoder, EncodedFrame, Encoder};
 pub use frame::{Frame, SpeechSource, FRAME_PERIOD, FRAME_SAMPLES};
-pub use scenario::{simulate_architecture, simulate_unscheduled, VocoderConfig, VocoderRun, WatchdogSpec};
+pub use scenario::{
+    simulate_architecture, simulate_unscheduled, VocoderConfig, VocoderRun, WatchdogSpec,
+};
 pub use timing::{CodecTiming, StageTiming};

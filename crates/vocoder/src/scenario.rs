@@ -14,11 +14,16 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use rtos_model::{
+    MetricsSnapshot, Priority, Rtos, SchedAlg, TaskParams, TimeSlice, WatchdogAction,
+};
 use sldl_sim::sync::Mutex;
-use rtos_model::{MetricsSnapshot, Priority, Rtos, SchedAlg, TaskParams, TimeSlice, WatchdogAction};
-use sldl_sim::{Child, FaultPlan, ProcCtx, Queue, RunError, SimTime, Simulation, SyncLayer};
+use sldl_sim::{
+    Child, FaultPlan, KernelStats, ProcCtx, Queue, Record, RunError, SimTime, Simulation,
+    SyncLayer, TraceConfig, TraceHandle,
+};
 
-use crate::codec::{Decoder, Encoder, EncodedFrame};
+use crate::codec::{Decoder, EncodedFrame, Encoder};
 use crate::dsp::snr_db;
 use crate::frame::{Frame, SpeechSource, FRAME_PERIOD};
 use crate::timing::CodecTiming;
@@ -52,6 +57,11 @@ pub struct VocoderConfig {
     /// falls silent for the given timeout — e.g. starved by overruns or
     /// blocked on a dropped notification — the watchdog fires.
     pub watchdog: Option<WatchdogSpec>,
+    /// Collect execution traces: task spans, context-switch markers and
+    /// scheduler decision records (architecture model), returned in
+    /// [`VocoderRun::records`]. Off by default — the hot path stays
+    /// record-free.
+    pub trace: bool,
 }
 
 /// A watchdog configuration for [`VocoderConfig::watchdog`].
@@ -74,6 +84,7 @@ impl Default for VocoderConfig {
             switch_cost: Duration::ZERO,
             faults: FaultPlan::none(),
             watchdog: None,
+            trace: false,
         }
     }
 }
@@ -97,6 +108,11 @@ pub struct VocoderRun {
     pub host_time: Duration,
     /// Number of faults the kernel injected (0 without a fault plan).
     pub faults_injected: usize,
+    /// Simulation-kernel self-metrics of the run (delta cycles, events
+    /// notified, process churn, …). Collected unconditionally.
+    pub kernel_stats: KernelStats,
+    /// Trace records (empty unless [`VocoderConfig::trace`] was set).
+    pub records: Vec<Record>,
 }
 
 impl VocoderRun {
@@ -219,6 +235,7 @@ fn finish(
     report: Result<sldl_sim::Report, RunError>,
     sink: &Arc<Mutex<Sink>>,
     metrics: Option<MetricsSnapshot>,
+    trace: Option<TraceHandle>,
     started: std::time::Instant,
 ) -> Result<VocoderRun, RunError> {
     let report = report?;
@@ -235,6 +252,8 @@ fn finish(
         metrics,
         host_time: started.elapsed(),
         faults_injected: report.faults.len(),
+        kernel_stats: report.kernel,
+        records: trace.map(|t| t.snapshot()).unwrap_or_default(),
     })
 }
 
@@ -246,7 +265,12 @@ fn finish(
 /// Returns [`RunError`] if a simulated process panics.
 pub fn simulate_unscheduled(cfg: &VocoderConfig) -> Result<VocoderRun, RunError> {
     let started = std::time::Instant::now();
-    let mut sim = Simulation::builder().fault_plan(cfg.faults.clone()).build();
+    let mut builder = Simulation::builder().fault_plan(cfg.faults.clone());
+    if cfg.trace {
+        builder = builder.trace(TraceConfig::default());
+    }
+    let mut sim = builder.build();
+    let trace = sim.trace_handle();
     let layer = sim.sync_layer();
     let sink = Arc::new(Mutex::new(Sink::default()));
     spawn_pipeline(
@@ -259,7 +283,7 @@ pub fn simulate_unscheduled(cfg: &VocoderConfig) -> Result<VocoderRun, RunError>
         |_ctx| {},
         |child, _| child,
     );
-    finish(sim.run(), &sink, None, started)
+    finish(sim.run(), &sink, None, trace, started)
 }
 
 /// Runs the vocoder as an *architecture model*: encoder and decoder are
@@ -275,8 +299,16 @@ pub fn simulate_architecture(
     slice: TimeSlice,
 ) -> Result<VocoderRun, RunError> {
     let started = std::time::Instant::now();
-    let mut sim = Simulation::builder().fault_plan(cfg.faults.clone()).build();
+    let mut builder = Simulation::builder().fault_plan(cfg.faults.clone());
+    if cfg.trace {
+        builder = builder.trace(TraceConfig::default());
+    }
+    let mut sim = builder.build();
+    let trace = sim.trace_handle();
     let os = Rtos::new("dsp", sim.sync_layer());
+    if let Some(t) = &trace {
+        os.attach_trace(t.clone());
+    }
     os.start(alg);
     os.set_time_slice(slice);
     os.set_context_switch_cost(cfg.switch_cost);
@@ -337,5 +369,5 @@ pub fn simulate_architecture(
         Err(_) => SimTime::ZERO,
     };
     let metrics = Some(os.metrics_at(end));
-    finish(report, &sink, metrics, started)
+    finish(report, &sink, metrics, trace, started)
 }

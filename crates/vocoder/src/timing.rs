@@ -118,8 +118,7 @@ impl CodecTiming {
     /// DSP utilization for a given frame period.
     #[must_use]
     pub fn utilization(&self, period: Duration) -> f64 {
-        (self.encoder_total() + self.decoder_total()).as_nanos() as f64
-            / period.as_nanos() as f64
+        (self.encoder_total() + self.decoder_total()).as_nanos() as f64 / period.as_nanos() as f64
     }
 }
 

@@ -7,8 +7,8 @@
 
 use sldl_sim::{SimTime, SmallRng};
 use vocoder::dsp::{
-    analysis_filter, autocorrelate, dequantize_reflection, levinson_durbin,
-    quantize_reflection, reflection_to_lpc, snr_db, synthesis_filter, LPC_ORDER,
+    analysis_filter, autocorrelate, dequantize_reflection, levinson_durbin, quantize_reflection,
+    reflection_to_lpc, snr_db, synthesis_filter, LPC_ORDER,
 };
 use vocoder::{Decoder, Encoder, Frame, SpeechSource};
 

@@ -99,10 +99,7 @@ fn quantum_slicing_does_not_change_steady_state_delay() {
     .unwrap();
     // Work conservation: same total delay (the pipeline has a fixed
     // dependency chain; slicing only adds scheduler invocations).
-    assert_eq!(
-        whole.mean_transcode_delay(),
-        sliced.mean_transcode_delay()
-    );
+    assert_eq!(whole.mean_transcode_delay(), sliced.mean_transcode_delay());
 }
 
 #[test]
@@ -124,18 +121,10 @@ fn utilization_reflects_codec_load() {
 
 #[test]
 fn runs_are_deterministic() {
-    let a = simulate_architecture(
-        &cfg(8),
-        SchedAlg::PriorityPreemptive,
-        TimeSlice::WholeDelay,
-    )
-    .unwrap();
-    let b = simulate_architecture(
-        &cfg(8),
-        SchedAlg::PriorityPreemptive,
-        TimeSlice::WholeDelay,
-    )
-    .unwrap();
+    let a = simulate_architecture(&cfg(8), SchedAlg::PriorityPreemptive, TimeSlice::WholeDelay)
+        .unwrap();
+    let b = simulate_architecture(&cfg(8), SchedAlg::PriorityPreemptive, TimeSlice::WholeDelay)
+        .unwrap();
     assert_eq!(a.transcode_delays, b.transcode_delays);
     assert_eq!(a.context_switches, b.context_switches);
     assert_eq!(a.mean_snr_db, b.mean_snr_db);

@@ -37,8 +37,11 @@ fn main() {
     let mut m = Machine::new(&prog);
     m.run(10_000);
     let result = m.peek(u32::try_from(prog.symbol("result")).unwrap());
-    println!("bare-metal dot product = {result} ({} cycles, {} instructions)",
-        m.cycles(), m.instructions);
+    println!(
+        "bare-metal dot product = {result} ({} cycles, {} instructions)",
+        m.cycles(),
+        m.instructions
+    );
     assert_eq!(result, 300);
 
     // --- 2. The RTK kernel: producer/consumer tasks over a semaphore. ---
@@ -97,7 +100,10 @@ consumed: .word 0
     m.run(1_000_000);
     assert!(m.is_halted(), "kernel should halt after both tasks exit");
     let consumed = m.peek(u32::try_from(prog.symbol("consumed")).unwrap());
-    println!("consumer processed {consumed} items in {} cycles", m.cycles());
+    println!(
+        "consumer processed {consumed} items in {} cycles",
+        m.cycles()
+    );
     let mut switches = 0;
     for ev in m.drain_events() {
         if let HostEvent::ContextSwitch { cycle, task } = ev {

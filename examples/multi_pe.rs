@@ -10,8 +10,7 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use rtos_sld::refine::{
-    run_architecture, run_unscheduled, Action, Behavior, ChannelKind, PeSpec, RunConfig,
-    SystemSpec,
+    run_architecture, run_unscheduled, Action, Behavior, ChannelKind, PeSpec, RunConfig, SystemSpec,
 };
 use rtos_sld::rtos::{Priority, SchedAlg, TimeSlice};
 

@@ -66,10 +66,7 @@ fn main() {
     let metrics = os.metrics_at(report.end_time);
     println!("\nend of simulation at {}", report.end_time);
     println!("context switches: {}", metrics.context_switches);
-    println!(
-        "cpu utilization:  {:.1}%",
-        metrics.utilization() * 100.0
-    );
+    println!("cpu utilization:  {:.1}%", metrics.utilization() * 100.0);
     for t in &metrics.tasks {
         println!(
             "  {:<10} busy {:>6} us, dispatched {}x, preempted {}x",

@@ -4,9 +4,7 @@
 //!
 //! Run with `cargo run --example single_pe`.
 
-use rtos_sld::refine::{
-    figure3_spec, run_architecture, run_unscheduled, Figure3Delays, RunConfig,
-};
+use rtos_sld::refine::{figure3_spec, run_architecture, run_unscheduled, Figure3Delays, RunConfig};
 use rtos_sld::rtos::{SchedAlg, TimeSlice};
 use rtos_sld::sim::trace::render_gantt;
 use rtos_sld::sim::SimTime;
@@ -49,11 +47,10 @@ fn main() {
     for (title, run) in [("unscheduled", &unsched), ("architecture", &arch)] {
         println!("--- {title} trace ---");
         let segs = run.segments();
-        let tracks: Vec<(&str, &[rtos_sld::sim::trace::Segment])> =
-            ["b1", "task_b2", "task_b3"]
-                .iter()
-                .filter_map(|t| segs.get(*t).map(|v| (*t, v.as_slice())))
-                .collect();
+        let tracks: Vec<(&str, &[rtos_sld::sim::trace::Segment])> = ["b1", "task_b2", "task_b3"]
+            .iter()
+            .filter_map(|t| segs.get(*t).map(|v| (*t, v.as_slice())))
+            .collect();
         print!(
             "{}",
             render_gantt(&tracks, SimTime::ZERO, run.end_time(), 64)

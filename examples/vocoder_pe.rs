@@ -39,7 +39,10 @@ fn main() {
         arch.context_switches
     );
     if let Some(m) = &arch.metrics {
-        println!("                      DSP utilization {:.1}%", m.utilization() * 100.0);
+        println!(
+            "                      DSP utilization {:.1}%",
+            m.utilization() * 100.0
+        );
     }
 
     let impl_run = run_impl_model(&ImplConfig {

@@ -5,9 +5,7 @@
 use std::time::Duration;
 
 use rtos_sld::iss::vocoder_app::{run_impl_model, ImplConfig};
-use rtos_sld::refine::{
-    figure3_spec, run_architecture, run_unscheduled, Figure3Delays, RunConfig,
-};
+use rtos_sld::refine::{figure3_spec, run_architecture, run_unscheduled, Figure3Delays, RunConfig};
 use rtos_sld::rtos::{SchedAlg, TimeSlice};
 use rtos_sld::vocoder::{simulate_architecture, simulate_unscheduled, VocoderConfig};
 
@@ -152,9 +150,12 @@ fn codec_quality_is_independent_of_the_model() {
         ..VocoderConfig::default()
     };
     let u = simulate_unscheduled(&cfg).unwrap();
-    let a =
-        simulate_architecture(&cfg, SchedAlg::Edf, TimeSlice::Quantum(Duration::from_micros(250)))
-            .unwrap();
+    let a = simulate_architecture(
+        &cfg,
+        SchedAlg::Edf,
+        TimeSlice::Quantum(Duration::from_micros(250)),
+    )
+    .unwrap();
     assert!(u.mean_snr_db > 20.0);
     assert_eq!(u.mean_snr_db, a.mean_snr_db);
 }
