@@ -5,12 +5,22 @@
 //! Usage: `cargo run -p bench --bin trace_lint -- FILE [FILE ...]`
 //!
 //! Every file must parse as JSON (with the same hand-rolled parser the
-//! workspace uses everywhere, so no external dependency). Files that
-//! contain a top-level `traceEvents` array are additionally checked
-//! against the Chrome-trace-event shape: every event must be an object
-//! with a string `name`, a string `ph` of a known phase, and numeric
-//! `pid`/`tid`; `X` events must carry `ts` and `dur`. Exits nonzero on
-//! the first invalid file.
+//! workspace uses everywhere, so no external dependency). Two document
+//! shapes get deeper checks:
+//!
+//! * a top-level `traceEvents` array is checked against the
+//!   Chrome-trace-event shape: every event must be an object with a
+//!   string `name`, a string `ph` of a known phase, and numeric
+//!   `pid`/`tid`; `X` events must carry `ts` and `dur`;
+//! * a top-level `schema` field must name the supported results schema
+//!   (`rtos-sld-bench/1`), and the document is then checked against it:
+//!   string `bench`, numeric `base_seed`, a `points` array whose entries
+//!   carry a string `name`, numeric `index`/`seed`, a string `status`, a
+//!   boolean `completed` and an all-numeric `metrics` object. Rates in a
+//!   `host_dependent` document are wall-clock measurements: this lint
+//!   gates on *shape*, never on throughput values.
+//!
+//! Exits nonzero on the first invalid file.
 
 use std::process::ExitCode;
 
@@ -57,14 +67,87 @@ fn lint_event(idx: usize, event: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Checks one `rtos-sld-bench/1` sweep point; returns an error description.
+fn lint_point(idx: usize, point: &Json) -> Result<(), String> {
+    let Json::Obj(fields) = point else {
+        return Err(format!("points[{idx}] is not an object"));
+    };
+    match field(fields, "name") {
+        Some(Json::Str(_)) => {}
+        _ => return Err(format!("points[{idx}] lacks a string `name`")),
+    }
+    for key in ["index", "seed"] {
+        if !field(fields, key).is_some_and(is_number) {
+            return Err(format!("points[{idx}] lacks a numeric `{key}`"));
+        }
+    }
+    match field(fields, "status") {
+        Some(Json::Str(_)) => {}
+        _ => return Err(format!("points[{idx}] lacks a string `status`")),
+    }
+    if !matches!(field(fields, "completed"), Some(Json::Bool(_))) {
+        return Err(format!("points[{idx}] lacks a boolean `completed`"));
+    }
+    match field(fields, "metrics") {
+        Some(Json::Obj(metrics)) => {
+            for (key, value) in metrics {
+                if !is_number(value) {
+                    return Err(format!("points[{idx}].metrics.{key} is not numeric"));
+                }
+            }
+        }
+        _ => return Err(format!("points[{idx}] lacks a `metrics` object")),
+    }
+    Ok(())
+}
+
+/// Checks a results document claiming a `schema` against `rtos-sld-bench/1`.
+fn lint_results(top: &[(String, Json)], schema: &str) -> Result<String, String> {
+    if schema != "rtos-sld-bench/1" {
+        return Err(format!("unsupported results schema {schema:?}"));
+    }
+    match field(top, "bench") {
+        Some(Json::Str(_)) => {}
+        _ => return Err("results document lacks a string `bench`".into()),
+    }
+    if !field(top, "base_seed").is_some_and(is_number) {
+        return Err("results document lacks a numeric `base_seed`".into());
+    }
+    let Some(Json::Arr(points)) = field(top, "points") else {
+        return Err("results document lacks a `points` array".into());
+    };
+    if points.is_empty() {
+        return Err("results document has an empty `points` array".into());
+    }
+    for (i, p) in points.iter().enumerate() {
+        lint_point(i, p)?;
+    }
+    let advisory = matches!(field(top, "host_dependent"), Some(Json::Bool(true)));
+    Ok(format!(
+        "valid rtos-sld-bench/1 document ({} points{})",
+        points.len(),
+        if advisory {
+            "; host-dependent rates"
+        } else {
+            ""
+        }
+    ))
+}
+
 fn lint_file(path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
     let Json::Obj(top) = &doc else {
         return Ok("valid JSON (non-object top level)".into());
     };
+    if let Some(schema) = field(top, "schema") {
+        let Json::Str(schema) = schema else {
+            return Err("`schema` is not a string".into());
+        };
+        return lint_results(top, schema);
+    }
     let Some(events) = field(top, "traceEvents") else {
-        return Ok("valid JSON (no traceEvents; not a Chrome trace)".into());
+        return Ok("valid JSON (no schema/traceEvents; unrecognized shape)".into());
     };
     let Json::Arr(events) = events else {
         return Err("`traceEvents` is not an array".into());
@@ -103,6 +186,43 @@ mod tests {
         assert!(lint_event(0, &e).is_ok());
         let m = Json::parse(r#"{"name":"process_name","ph":"M","pid":1,"tid":0}"#).unwrap();
         assert!(lint_event(0, &m).is_ok());
+    }
+
+    #[test]
+    fn accepts_well_formed_results_points() {
+        let p = Json::parse(
+            r#"{"name":"handoff","index":0,"seed":7,"status":"completed",
+                "completed":true,"metrics":{"ops":5,"handoffs_per_sec":1.5}}"#,
+        )
+        .unwrap();
+        assert!(lint_point(0, &p).is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_results_documents() {
+        let no_metrics =
+            Json::parse(r#"{"name":"x","index":0,"seed":7,"status":"completed","completed":true}"#)
+                .unwrap();
+        assert!(lint_point(0, &no_metrics).is_err());
+        let non_numeric_metric = Json::parse(
+            r#"{"name":"x","index":0,"seed":7,"status":"completed",
+                "completed":true,"metrics":{"ops":"many"}}"#,
+        )
+        .unwrap();
+        assert!(lint_point(0, &non_numeric_metric).is_err());
+
+        let unknown_schema = Json::parse(r#"{"schema":"rtos-sld-bench/99","points":[]}"#).unwrap();
+        let Json::Obj(top) = &unknown_schema else {
+            unreachable!()
+        };
+        assert!(lint_results(top, "rtos-sld-bench/99").is_err());
+        let empty_points =
+            Json::parse(r#"{"schema":"rtos-sld-bench/1","bench":"b","base_seed":1,"points":[]}"#)
+                .unwrap();
+        let Json::Obj(top) = &empty_points else {
+            unreachable!()
+        };
+        assert!(lint_results(top, "rtos-sld-bench/1").is_err());
     }
 
     #[test]

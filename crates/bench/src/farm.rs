@@ -21,6 +21,16 @@
 //!
 //! `crates/bench/tests/farm_determinism.rs` pins this down end to end.
 //!
+//! ## Thread recycling
+//!
+//! Every simulated process runs on a pooled OS thread
+//! ([`sldl_sim::pool`]): the farm pre-warms the pool once per sweep, and
+//! concurrent sweep points recycle each other's finished process threads
+//! instead of spawn/join per point — which used to dominate the cost of a
+//! sweep of thousands of short simulations. Recycling is invisible to
+//! results (teardown quiesces before a thread is reused), so determinism
+//! is unaffected.
+//!
 //! [`Simulation`]: sldl_sim::Simulation
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -64,6 +74,11 @@ where
     F: Fn(PointCtx, &P) -> R + Sync,
 {
     let jobs = jobs.clamp(1, points.len().max(1));
+    // Pre-warm the process-thread pool so even the first sweep points run
+    // their simulated processes on recycled threads. `jobs` is a cheap
+    // lower bound for how many process threads run concurrently; the pool
+    // grows on demand past it and keeps threads across sweeps.
+    sldl_sim::pool::prewarm(jobs);
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(points.len()).collect();
 

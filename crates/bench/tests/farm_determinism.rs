@@ -125,6 +125,76 @@ fn in_process_trace_json_is_deterministic() {
     assert_eq!(render(), render());
 }
 
+/// Reads a golden artifact captured from the pre-overhaul kernel (the
+/// dual-mpsc-channel, join-per-process implementation at the parent
+/// commit). The kernel hot-path overhaul (parked-token handoff, thread
+/// recycling, stamped delta bookkeeping) must be **schedule-invisible**:
+/// every byte of every results document and exported trace must match.
+fn golden(name: &str) -> Vec<u8> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("golden {}: {e}", path.display()))
+}
+
+#[test]
+fn robustness_json_matches_pre_overhaul_golden_bytes() {
+    let exe = env!("CARGO_BIN_EXE_robustness");
+    let expect = golden("robustness_f2_s7.json");
+    // Across --jobs values *and* across repeated runs in one process tree
+    // (the second run reuses recycled pool threads from the first): the
+    // recycling pool and park-cell handoff must be unobservable.
+    for (tag, jobs) in [("g-j1", "1"), ("g-j2", "2"), ("g-j2b", "2")] {
+        let got = run_bin_json(exe, tag, &["--frames", "2", "--seed", "7", "--jobs", jobs]);
+        assert_eq!(
+            got, expect,
+            "robustness --jobs {jobs} diverged from the pre-overhaul golden document"
+        );
+    }
+}
+
+#[test]
+fn schedulers_json_matches_pre_overhaul_golden_bytes() {
+    let exe = env!("CARGO_BIN_EXE_schedulers");
+    let expect = golden("schedulers_f10_x2_s11.json");
+    for (tag, jobs) in [("g-j1", "1"), ("g-j4", "4")] {
+        let got = run_bin_json(
+            exe,
+            tag,
+            &[
+                "--frames", "10", "--sets", "2", "--seed", "11", "--jobs", jobs,
+            ],
+        );
+        assert_eq!(
+            got, expect,
+            "schedulers --jobs {jobs} diverged from the pre-overhaul golden document"
+        );
+    }
+}
+
+#[test]
+fn exported_trace_matches_pre_overhaul_golden_bytes() {
+    let exe = env!("CARGO_BIN_EXE_load_sweep");
+    let expect = golden("load_sweep_trace_f2_s5.json");
+    let path: PathBuf = std::env::temp_dir().join(format!(
+        "farm-determinism-golden-trace-{}.json",
+        std::process::id()
+    ));
+    let status = Command::new(exe)
+        .args(["--frames", "2", "--seed", "5", "--jobs", "2", "-q"])
+        .arg("--trace-out")
+        .arg(&path)
+        .status()
+        .expect("load_sweep runs");
+    assert!(status.success(), "load_sweep --trace-out failed: {status}");
+    let got = std::fs::read(&path).expect("trace written");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(
+        got, expect,
+        "exported Perfetto trace diverged from the pre-overhaul golden bytes"
+    );
+}
+
 #[test]
 fn per_point_seeds_do_not_collide_across_256_points() {
     for base in [0u64, 7, 0xDEAD_BEEF, u64::MAX] {

@@ -12,22 +12,50 @@
 //! * **Time** advances in discrete steps to the earliest pending timed
 //!   wake-up once no ready process and no pending notification remains.
 //!
-//! Each process runs on its own OS thread, but the kernel enforces that at
+//! Each process runs on a real OS thread, but the kernel enforces that at
 //! most one process executes at any host instant by strict token passing, so
 //! simulations are sequential and deterministic — the same co-routine model
 //! used by the SpecC reference simulator.
+//!
+//! ## Hot path
+//!
+//! The scheduling step is the product (the paper's speedup over an
+//! ISS-based model comes entirely from making it cheap), so the kernel
+//! keeps it lean:
+//!
+//! * **Handoffs** use a spin-then-park token word per process
+//!   ([`ParkCell`]): resuming a process is one atomic store plus at most
+//!   one `unpark`, and the kernel parks the same way waiting for the
+//!   yield — no channels, no condvar round-trips.
+//! * **Direct handoff**: the *yielding* thread drives the scheduler
+//!   itself (under the state lock) and passes the run token straight to
+//!   the successor process — or simply keeps running when it *is* its own
+//!   successor (e.g. the only process stepping through `waitfor`s). The
+//!   kernel thread parks for the whole stretch and is only woken for
+//!   errors, quiescence, or the run horizon, so a scheduling step costs
+//!   at most one host context switch instead of two. Decisions are made
+//!   on the same shared state under the same lock in the same order no
+//!   matter which thread drives, so the schedule (and every stat and
+//!   trace byte) is identical to the kernel-driven one.
+//! * **Threads are recycled** through the process-global worker pool
+//!   ([`crate::pool`]): teardown quiesces via a [`WaitGroup`] instead of
+//!   joining, and the next simulation's processes run on the parked
+//!   workers instead of fresh OS threads.
+//! * **Delta-cycle dedup is O(1)**: each event carries a generation stamp
+//!   (`queued_gen`) matched against the kernel's current `delta_gen`, so
+//!   queuing a notification never scans the notified list.
 
 use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::error::{AbortReason, ModelError, RunError, WaitEdge};
 use crate::fault::{FaultPlan, FaultRecord, FaultState, NotifyFate};
 use crate::ids::{EventId, ProcessId};
-use crate::sync::Mutex;
+use crate::pool;
+use crate::sync::{Mutex, ParkCell, WaitGroup, MIN_TOKEN};
 use crate::time::SimTime;
 use crate::trace::{
     CompactKind, KernelStats, RecordKind, SuspendReason, TraceConfig, TraceHandle, TraceSink,
@@ -129,14 +157,11 @@ pub enum StallPolicy {
 // Kernel state
 // ---------------------------------------------------------------------------
 
-/// Resume token handed to a process thread.
-enum Token {
-    /// Run until the next suspension point.
-    Go,
-    /// Unwind and exit: the simulation is being torn down or the process was
-    /// cancelled.
-    Cancel,
-}
+/// Resume token: run until the next suspension point.
+const TOK_GO: u32 = MIN_TOKEN;
+/// Resume token: unwind and exit — the simulation is being torn down or the
+/// process was cancelled.
+const TOK_CANCEL: u32 = MIN_TOKEN + 1;
 
 /// Payload used to unwind a cancelled process thread.
 struct CancelUnwind;
@@ -174,8 +199,10 @@ enum ProcState {
 struct ProcEntry {
     name: String,
     state: ProcState,
-    resume_tx: SyncSender<Token>,
-    handle: Option<JoinHandle<()>>,
+    /// The process thread's spin-then-park resume cell: the kernel (or a
+    /// canceller) deposits [`TOK_GO`] / [`TOK_CANCEL`] here. Shared with
+    /// the pooled worker running the process body.
+    cell: Arc<ParkCell>,
     /// Parent joining on this process through `par`, if any.
     parent: Option<ProcessId>,
     /// Events this process is currently registered on (for `wait_any`).
@@ -184,9 +211,6 @@ struct ProcEntry {
     wake_cause: Option<EventId>,
     /// Invalidates stale timed wake-ups after an event-based wake.
     wake_gen: u64,
-    /// Set by `ProcCtx::cancel`: the thread must unwind without touching
-    /// kernel state (bookkeeping was already done by the canceller).
-    cancelled: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -219,16 +243,31 @@ impl Ord for TimedEntry {
     }
 }
 
+/// Per-event slab entry: liveness plus the generation stamp used for O(1)
+/// delta-cycle dedup (an event is already queued for the current delta iff
+/// `queued_gen == State::delta_gen`). Stamps are invalidated implicitly by
+/// bumping `delta_gen` at each delta flush — no clearing pass.
+struct EventEntry {
+    alive: bool,
+    queued_gen: u64,
+}
+
 struct State {
     now: SimTime,
+    /// Horizon of the current `run_until` call: timed activity beyond it
+    /// returns control to the kernel thread. `SimTime::MAX` outside runs.
+    until: SimTime,
     procs: Vec<ProcEntry>,
     ready: VecDeque<ProcessId>,
     timed: BinaryHeap<TimedEntry>,
     seq: u64,
     /// Events notified in the current delta cycle, in notification order.
     notified: Vec<EventId>,
+    /// Current delta generation; starts at 1 so a fresh event's
+    /// `queued_gen == 0` can never collide.
+    delta_gen: u64,
     waiters: HashMap<EventId, Vec<ProcessId>>,
-    event_alive: Vec<bool>,
+    events: Vec<EventEntry>,
     live_procs: usize,
     panic: Option<(String, String)>,
     misuse: Option<Misuse>,
@@ -277,6 +316,26 @@ impl State {
         let seq = self.next_seq();
         self.stats.timer_ops += 1;
         self.timed.push(TimedEntry { time, seq, kind });
+    }
+
+    /// Whether `e` names a live (created, not deleted) event.
+    fn event_alive(&self, e: EventId) -> bool {
+        self.events.get(e.index()).is_some_and(|ev| ev.alive)
+    }
+
+    /// Queues `e` for delivery at the end of the current delta cycle,
+    /// unless it is already queued there. Returns `true` when the event
+    /// was freshly queued. O(1): a generation-stamp compare replaces the
+    /// old `notified.contains(&e)` scan.
+    fn queue_notify(&mut self, e: EventId) -> bool {
+        let gen = self.delta_gen;
+        let entry = &mut self.events[e.index()];
+        if entry.queued_gen == gen {
+            return false;
+        }
+        entry.queued_gen = gen;
+        self.notified.push(e);
+        true
     }
 
     /// Updates the ready-queue high-water mark after a push.
@@ -397,11 +456,31 @@ impl State {
 
 pub(crate) struct Shared {
     state: Mutex<State>,
-    /// Processes ping the kernel here after updating their state.
-    kernel_tx: Sender<()>,
+    /// Processes ping the kernel here after updating their state: one
+    /// token deposit instead of the old mpsc channel send.
+    kernel_cell: ParkCell,
+    /// Outstanding process jobs on pooled worker threads. Teardown
+    /// *quiesces* (waits for this to drain) instead of joining handles,
+    /// because pooled threads outlive the simulation.
+    wg: WaitGroup,
+    /// Mirror of `State::now` in nanoseconds, so `ProcCtx::now` is a
+    /// lock-free load. Safe: time only advances while no process runs.
+    now_ns: AtomicU64,
 }
 
 impl Shared {
+    /// Publishes the simulated clock to the lock-free mirror read by
+    /// [`ProcCtx::now`]. `Relaxed` suffices: time only advances while no
+    /// process runs, and the resuming handoff orders the store anyway.
+    fn store_now(&self, now: SimTime) {
+        self.now_ns.store(now.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Lock-free read of the simulated clock.
+    fn load_now(&self) -> SimTime {
+        SimTime::from_nanos(self.now_ns.load(Ordering::Relaxed))
+    }
+
     /// Allocates an event (used by `SldlSync` so channels can be built
     /// outside of a running process).
     pub(crate) fn alloc_event(&self) -> EventId {
@@ -420,6 +499,121 @@ impl Shared {
     /// Removes `waiter`'s declared wait-for edge, if any.
     pub(crate) fn clear_wait(&self, waiter: &str) {
         self.state.lock().wait_graph.remove(waiter);
+    }
+}
+
+/// Outcome of driving the scheduler to its next decision.
+enum Step {
+    /// Hand the run token to this process (already marked `Running` and
+    /// counted in the stats by [`next_step`]).
+    Resume(ProcessId, Arc<ParkCell>),
+    /// The kernel thread must take over: an error is pending, the run is
+    /// quiescent, or the next timed activity lies beyond the horizon.
+    Kernel,
+}
+
+/// Drives the scheduler until a process must be resumed or the kernel
+/// thread must take over. Runs under the state lock on **whichever thread
+/// yields** — direct handoff: the yielding thread resumes its successor
+/// itself (and skips the park entirely when it *is* its own successor),
+/// leaving the kernel thread asleep. Every decision reads only the locked
+/// state, so the schedule — and every stat and trace record — is byte-
+/// identical no matter which thread happens to drive.
+fn next_step(shared: &Shared, st: &mut State) -> Step {
+    loop {
+        // Pending errors always bounce control to the kernel thread before
+        // any further resume, preserving the "nothing runs after a
+        // panic/misuse/abort" invariant regardless of who is driving.
+        if st.panic.is_some() || st.misuse.is_some() || st.abort.is_some() {
+            return Step::Kernel;
+        }
+        if let Some(pid) = st.ready.pop_front() {
+            let entry = &mut st.procs[pid.index()];
+            entry.state = ProcState::Running;
+            let cell = Arc::clone(&entry.cell);
+            st.stats.processes_resumed += 1;
+            if st.last_resumed.is_some_and(|last| last != pid) {
+                st.stats.context_switches += 1;
+            }
+            st.last_resumed = Some(pid);
+            st.record_kernel(CompactKind::ProcessResumed { pid });
+            return Step::Resume(pid, cell);
+        }
+        if !st.notified.is_empty() {
+            // Delta boundary: deliver notifications in order. The
+            // generation bump implicitly invalidates every event's
+            // `queued_gen` stamp for the next delta — no clearing pass.
+            st.stats.delta_cycles += 1;
+            st.delta_gen += 1;
+            let notified = std::mem::take(&mut st.notified);
+            for e in notified {
+                if let Some(ws) = st.waiters.remove(&e) {
+                    for pid in ws {
+                        // A waiter may already have been woken by an
+                        // earlier event in this same delta.
+                        if st.procs[pid.index()].state == ProcState::WaitEvent {
+                            st.wake(pid, Some(e));
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        if let Some(top) = st.timed.peek() {
+            if top.time > st.until {
+                return Step::Kernel;
+            }
+            let now = top.time;
+            st.now = now;
+            shared.store_now(now);
+            while let Some(top) = st.timed.peek() {
+                if top.time != now {
+                    break;
+                }
+                let entry = st.timed.pop().expect("peeked entry");
+                st.stats.timer_ops += 1;
+                match entry.kind {
+                    TimedKind::Wake { pid, gen } => {
+                        let p = &st.procs[pid.index()];
+                        let fresh = p.wake_gen == gen
+                            && matches!(p.state, ProcState::WaitTime | ProcState::WaitEvent);
+                        if fresh {
+                            st.wake(pid, None);
+                        }
+                    }
+                    TimedKind::Notify(e) => {
+                        if st.event_alive(e) {
+                            // Stats/records stay per-entry (they always
+                            // were), but duplicate entries popped at the
+                            // same timestamp coalesce into one queued
+                            // delivery — the stamp makes the dedup O(1).
+                            st.stats.events_notified += 1;
+                            st.record_kernel(CompactKind::EventNotified { event: e });
+                            st.queue_notify(e);
+                        }
+                    }
+                }
+            }
+            // Fault hook: registered events may fire spuriously on every
+            // advance of simulated time (glitching interrupt lines).
+            // `st.faults` is `None` unless a non-empty plan was armed, so
+            // the common path draws no randomness. Dedup against already-
+            // queued notifications rides the same generation stamp as
+            // everything else.
+            if let Some(mut f) = st.faults.take() {
+                for e in f.spurious_events(now) {
+                    if st.event_alive(e) && st.queue_notify(e) {
+                        st.stats.events_notified += 1;
+                        st.record_kernel(CompactKind::EventNotified { event: e });
+                    }
+                }
+                st.faults = Some(f);
+            }
+            continue;
+        }
+        // Quiescent: no ready process, no pending notification, no timed
+        // wake-up. The kernel applies the stall policy.
+        return Step::Kernel;
     }
 }
 
@@ -444,7 +638,6 @@ impl Shared {
 /// ```
 pub struct Simulation {
     shared: Arc<Shared>,
-    kernel_rx: Receiver<()>,
     torn_down: bool,
 }
 
@@ -557,17 +750,18 @@ impl Simulation {
     /// Creates an empty simulation at time zero.
     #[must_use]
     pub fn new() -> Self {
-        let (kernel_tx, kernel_rx) = channel();
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 now: SimTime::ZERO,
+                until: SimTime::MAX,
                 procs: Vec::new(),
                 ready: VecDeque::new(),
                 timed: BinaryHeap::new(),
                 seq: 0,
                 notified: Vec::new(),
+                delta_gen: 1,
                 waiters: HashMap::new(),
-                event_alive: Vec::new(),
+                events: Vec::new(),
                 live_procs: 0,
                 panic: None,
                 misuse: None,
@@ -580,11 +774,12 @@ impl Simulation {
                 stats: KernelStats::default(),
                 last_resumed: None,
             }),
-            kernel_tx,
+            kernel_cell: ParkCell::new(),
+            wg: WaitGroup::new(),
+            now_ns: AtomicU64::new(0),
         });
         Simulation {
             shared,
-            kernel_rx,
             torn_down: false,
         }
     }
@@ -705,8 +900,13 @@ impl Simulation {
     }
 
     fn run_loop(&mut self, until: SimTime) -> Result<SimTime, RunError> {
+        // The kernel waits on its own park cell; process threads drive the
+        // schedule among themselves (direct handoff) and only wake the
+        // kernel for errors, quiescence, or the run horizon.
+        self.shared.kernel_cell.register();
+        self.shared.state.lock().until = until;
         loop {
-            let action = {
+            let cell = {
                 let mut st = self.shared.state.lock();
                 if let Some((process, message)) = st.panic.take() {
                     return Err(RunError::ProcessPanicked { process, message });
@@ -727,130 +927,56 @@ impl Simulation {
                         AbortReason::Fault { reason } => RunError::FaultAbort { reason, at },
                     });
                 }
-                if let Some(pid) = st.ready.pop_front() {
-                    let entry = &mut st.procs[pid.index()];
-                    entry.state = ProcState::Running;
-                    let tx = entry.resume_tx.clone();
-                    st.stats.processes_resumed += 1;
-                    if st.last_resumed.is_some_and(|last| last != pid) {
-                        st.stats.context_switches += 1;
-                    }
-                    st.last_resumed = Some(pid);
-                    st.record_kernel(CompactKind::ProcessResumed { pid });
-                    Some(tx)
-                } else if !st.notified.is_empty() {
-                    // Delta boundary: deliver notifications in order.
-                    st.stats.delta_cycles += 1;
-                    let notified = std::mem::take(&mut st.notified);
-                    for e in notified {
-                        if let Some(ws) = st.waiters.remove(&e) {
-                            for pid in ws {
-                                // A waiter may already have been woken by an
-                                // earlier event in this same delta.
-                                if st.procs[pid.index()].state == ProcState::WaitEvent {
-                                    st.wake(pid, Some(e));
-                                }
-                            }
+                match next_step(&self.shared, &mut st) {
+                    Step::Resume(_, cell) => cell,
+                    Step::Kernel => {
+                        // No error is pending (just checked), so either the
+                        // next timed activity lies beyond the horizon, or
+                        // the run is quiescent.
+                        if st.timed.peek().is_some() {
+                            return Ok(until);
                         }
-                    }
-                    None
-                } else if let Some(top) = st.timed.peek() {
-                    if top.time > until {
-                        return Ok(until);
-                    }
-                    let now = top.time;
-                    st.now = now;
-                    while let Some(top) = st.timed.peek() {
-                        if top.time != now {
-                            break;
+                        if let Some(err) = st.stall_error() {
+                            return Err(err);
                         }
-                        let entry = st.timed.pop().expect("peeked entry");
-                        st.stats.timer_ops += 1;
-                        match entry.kind {
-                            TimedKind::Wake { pid, gen } => {
-                                let p = &st.procs[pid.index()];
-                                let fresh = p.wake_gen == gen
-                                    && matches!(
-                                        p.state,
-                                        ProcState::WaitTime | ProcState::WaitEvent
-                                    );
-                                if fresh {
-                                    st.wake(pid, None);
-                                }
-                            }
-                            TimedKind::Notify(e) => {
-                                if st.event_alive.get(e.index()) == Some(&true) {
-                                    st.stats.events_notified += 1;
-                                    st.record_kernel(CompactKind::EventNotified { event: e });
-                                    st.notified.push(e);
-                                }
-                            }
-                        }
+                        return Ok(st.now);
                     }
-                    // Fault hook: registered events may fire spuriously on
-                    // every advance of simulated time (glitching interrupt
-                    // lines). `st.faults` is `None` unless a non-empty plan
-                    // was armed, so the common path draws no randomness.
-                    if let Some(mut f) = st.faults.take() {
-                        for e in f.spurious_events(now) {
-                            if st.event_alive.get(e.index()) == Some(&true)
-                                && !st.notified.contains(&e)
-                            {
-                                st.stats.events_notified += 1;
-                                st.record_kernel(CompactKind::EventNotified { event: e });
-                                st.notified.push(e);
-                            }
-                        }
-                        st.faults = Some(f);
-                    }
-                    None
-                } else {
-                    // Quiescent: no ready process, no pending notification,
-                    // no timed wake-up. Apply the stall policy before ending
-                    // the run normally.
-                    if let Some(err) = st.stall_error() {
-                        return Err(err);
-                    }
-                    return Ok(st.now);
                 }
             };
-            if let Some(tx) = action {
-                // Hand the token to the process and wait for it to yield.
-                tx.send(Token::Go).expect("process thread alive");
-                self.kernel_rx.recv().expect("process thread pings kernel");
-            }
+            // Hand the token to the process: one atomic store (plus at most
+            // one unpark). The state lock is released before either side
+            // runs, and the kernel stays parked until the simulation needs
+            // it again — possibly many scheduling steps later.
+            cell.set(TOK_GO);
+            self.shared.kernel_cell.wait();
         }
     }
 
-    /// Cancels and joins every unfinished process thread. Idempotent.
+    /// Cancels every unfinished process and quiesces: waits until every
+    /// process job dispatched to the worker pool has finished, so no
+    /// pooled thread can touch this simulation's state afterwards. The
+    /// workers themselves are *not* joined — they return to the pool for
+    /// the next simulation. Idempotent.
     fn teardown(&mut self) {
         if self.torn_down {
             return;
         }
         self.torn_down = true;
-        let mut handles = Vec::new();
         {
-            let mut st = self.shared.state.lock();
-            let ids: Vec<usize> = (0..st.procs.len()).collect();
-            for i in ids {
-                let alive = st.procs[i].state != ProcState::Finished;
-                if alive {
-                    st.procs[i].cancelled = true;
-                    // `try_send`, and ignore failure: the thread may have
-                    // exited after a panic without consuming its token (the
-                    // one-slot buffer could still hold a stale `Go`).
-                    let _ = st.procs[i].resume_tx.try_send(Token::Cancel);
-                }
-                if let Some(h) = st.procs[i].handle.take() {
-                    handles.push(h);
+            let st = self.shared.state.lock();
+            for p in &st.procs {
+                if p.state != ProcState::Finished {
+                    // Depositing `TOK_CANCEL` overwrites any stale `GO`
+                    // token a panicked thread left unconsumed — exactly the
+                    // case the old one-slot channel handled with `try_send`.
+                    p.cell.set(TOK_CANCEL);
                 }
             }
         }
-        for h in handles {
-            // A cancelled process unwinds via CancelUnwind, which the harness
-            // catches; a panicked process already recorded its message.
-            let _ = h.join();
-        }
+        // A cancelled process unwinds via CancelUnwind, which the harness
+        // catches; a panicked process already recorded its message. Either
+        // way the job wrapper calls `wg.done()` on its way out.
+        self.shared.wg.wait_zero();
     }
 }
 
@@ -872,12 +998,17 @@ impl core::fmt::Debug for Simulation {
 }
 
 fn alloc_event(st: &mut State) -> EventId {
-    let id = EventId(u32::try_from(st.event_alive.len()).expect("event ids exhausted"));
-    st.event_alive.push(true);
+    let id = EventId(u32::try_from(st.events.len()).expect("event ids exhausted"));
+    st.events.push(EventEntry {
+        alive: true,
+        queued_gen: 0,
+    });
     id
 }
 
-/// Creates the process entry and thread for `child`. Caller holds the lock.
+/// Creates the process entry for `child` and dispatches its body to the
+/// worker pool (recycling a parked thread when one is idle — no per-spawn
+/// `thread::spawn`, no per-spawn name formatting). Caller holds the lock.
 fn spawn_locked(
     shared: &Arc<Shared>,
     st: &mut State,
@@ -885,17 +1016,15 @@ fn spawn_locked(
     parent: Option<ProcessId>,
 ) -> ProcessId {
     let pid = ProcessId(u32::try_from(st.procs.len()).expect("process ids exhausted"));
-    let (resume_tx, resume_rx) = sync_channel(1);
+    let cell = Arc::new(ParkCell::new());
     st.procs.push(ProcEntry {
         name: child.name.clone(),
         state: ProcState::Ready,
-        resume_tx,
-        handle: None,
+        cell: Arc::clone(&cell),
         parent,
         waiting_on: Vec::new(),
         wake_cause: None,
         wake_gen: 0,
-        cancelled: false,
     });
     st.live_procs += 1;
     st.ready.push_back(pid);
@@ -911,31 +1040,54 @@ fn spawn_locked(
         shared: Arc::clone(shared),
         pid,
         name: child.name.clone(),
-        resume_rx,
+        cell,
     };
     let body = child.body;
-    let handle = std::thread::Builder::new()
-        .name(format!("sim-{}", child.name))
-        .spawn(move || run_process(ctx, body))
-        .expect("spawn simulation process thread");
-    st.procs[pid.index()].handle = Some(handle);
+    // Teardown quiesces on the wait group instead of joining: `add` under
+    // the lock (before the job can possibly run), `done` as the job's very
+    // last action, after which the worker never touches this simulation.
+    shared.wg.add(1);
+    let wg_shared = Arc::clone(shared);
+    let recycled = pool::dispatch(Box::new(move || {
+        run_process(&ctx, body);
+        wg_shared.wg.done();
+    }));
+    if recycled {
+        st.stats.threads_recycled += 1;
+    }
     pid
 }
 
-/// Thread harness: waits for the first token, runs the body, and performs
-/// finish/panic bookkeeping.
-fn run_process(ctx: ProcCtx, body: ProcBody) {
-    match ctx.resume_rx.recv() {
-        Ok(Token::Go) => {}
-        Ok(Token::Cancel) | Err(_) => return,
+/// Drives one more scheduling decision as a process exits (consuming the
+/// caller's state guard): hands the run token to the next process
+/// directly, or wakes the kernel thread when it must take over (error
+/// pending, quiescence, horizon). The exiting thread touches no
+/// simulation state afterwards.
+fn drive_after_exit(shared: &Arc<Shared>, mut st: crate::sync::MutexGuard<'_, State>) {
+    let target = match next_step(shared, &mut st) {
+        Step::Resume(_, cell) => Some(cell),
+        Step::Kernel => None,
+    };
+    drop(st);
+    match target {
+        Some(cell) => cell.set(TOK_GO),
+        None => shared.kernel_cell.set(TOK_GO),
     }
-    let result = panic::catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+}
+
+/// Pool-job harness: waits for the first token, runs the body, and performs
+/// finish/panic bookkeeping.
+fn run_process(ctx: &ProcCtx, body: ProcBody) {
+    ctx.cell.register();
+    if ctx.cell.wait() != TOK_GO {
+        return; // TOK_CANCEL before first resume
+    }
+    let result = panic::catch_unwind(AssertUnwindSafe(|| body(ctx)));
     match result {
         Ok(()) => {
             let mut st = ctx.shared.state.lock();
             st.finish(ctx.pid);
-            drop(st);
-            let _ = ctx.shared.kernel_tx.send(());
+            drive_after_exit(&ctx.shared, st);
         }
         Err(payload) => {
             // Note `&*payload`: coercing `&Box<dyn Any>` directly would wrap
@@ -955,8 +1107,9 @@ fn run_process(ctx: ProcCtx, body: ProcBody) {
                 // convert the stored record into a structured `RunError`.
                 let mut st = ctx.shared.state.lock();
                 st.finish(ctx.pid);
-                drop(st);
-                let _ = ctx.shared.kernel_tx.send(());
+                // The pending misuse/abort makes `next_step` bounce to the
+                // kernel without resuming anything further.
+                drive_after_exit(&ctx.shared, st);
                 return;
             }
             let message = panic_message(payload);
@@ -965,8 +1118,7 @@ fn run_process(ctx: ProcCtx, body: ProcBody) {
                 st.panic = Some((ctx.name.clone(), message));
             }
             st.finish(ctx.pid);
-            drop(st);
-            let _ = ctx.shared.kernel_tx.send(());
+            drive_after_exit(&ctx.shared, st);
         }
     }
 }
@@ -994,7 +1146,9 @@ pub struct ProcCtx {
     shared: Arc<Shared>,
     pid: ProcessId,
     name: String,
-    resume_rx: Receiver<Token>,
+    /// This process's spin-then-park resume cell (shared with the kernel's
+    /// `ProcEntry`).
+    cell: Arc<ParkCell>,
 }
 
 impl core::fmt::Debug for ProcCtx {
@@ -1019,10 +1173,11 @@ impl ProcCtx {
         &self.name
     }
 
-    /// Current simulated time.
+    /// Current simulated time. Lock-free: reads the kernel's atomic clock
+    /// mirror (coherent because time only advances while no process runs).
     #[must_use]
     pub fn now(&self) -> SimTime {
-        self.shared.state.lock().now
+        self.shared.load_now()
     }
 
     /// Appends a record to the attached trace (no-op without a trace).
@@ -1123,7 +1278,7 @@ impl ProcCtx {
     #[track_caller]
     pub fn event_del(&self, event: EventId) {
         let mut st = self.shared.state.lock();
-        match st.event_alive.get(event.index()).copied() {
+        match st.events.get(event.index()).map(|e| e.alive) {
             None => {
                 drop(st);
                 self.misuse(ModelError::EventNeverCreated { event });
@@ -1132,7 +1287,7 @@ impl ProcCtx {
                 drop(st);
                 self.misuse(ModelError::EventDeletedTwice { event });
             }
-            Some(true) => st.event_alive[event.index()] = false,
+            Some(true) => st.events[event.index()].alive = false,
         }
     }
 
@@ -1153,7 +1308,7 @@ impl ProcCtx {
     #[track_caller]
     pub fn notify(&self, event: EventId) {
         let mut st = self.shared.state.lock();
-        if st.event_alive.get(event.index()) != Some(&true) {
+        if !st.event_alive(event) {
             drop(st);
             self.misuse(ModelError::NotifyDeadEvent { event });
         }
@@ -1175,9 +1330,8 @@ impl ProcCtx {
             }
         }
         st.record_kernel(CompactKind::EventNotified { event });
-        if !st.notified.contains(&event) {
+        if st.queue_notify(event) {
             st.stats.events_notified += 1;
-            st.notified.push(event);
         }
     }
 
@@ -1239,7 +1393,7 @@ impl ProcCtx {
             // Validate the whole set before registering anything, so misuse
             // leaves no stale waiter entries behind.
             for &e in events {
-                if st.event_alive.get(e.index()) != Some(&true) {
+                if !st.event_alive(e) {
                     drop(st);
                     self.misuse(ModelError::WaitDeadEvent { event: e });
                 }
@@ -1347,10 +1501,9 @@ impl ProcCtx {
             _ => {}
         }
         let entry = &mut st.procs[pid.index()];
-        entry.cancelled = true;
         entry.wake_gen += 1; // invalidate stale timed wake-ups
         let waiting = std::mem::take(&mut entry.waiting_on);
-        let tx = entry.resume_tx.clone();
+        let cell = Arc::clone(&entry.cell);
         for e in waiting {
             if let Some(ws) = st.waiters.get_mut(&e) {
                 ws.retain(|&p| p != pid);
@@ -1359,10 +1512,9 @@ impl ProcCtx {
         st.ready.retain(|&p| p != pid);
         st.finish(pid);
         drop(st);
-        // Wake the thread so it can unwind; it will not touch kernel state.
-        // `try_send`: the one-slot buffer is empty for a blocked process,
-        // and a full buffer would mean the thread is already on its way out.
-        let _ = tx.try_send(Token::Cancel);
+        // Wake the thread so it can unwind; it will not touch kernel state
+        // (the cancel token makes `yield_to_kernel` resume-unwind).
+        cell.set(TOK_CANCEL);
     }
 
     /// Yields to the kernel and blocks until resumed.
@@ -1372,17 +1524,27 @@ impl ProcCtx {
     /// Unwinds with a cancellation payload if the simulation is torn down
     /// while this process is blocked.
     fn yield_to_kernel(&self) {
-        self.shared
-            .kernel_tx
-            .send(())
-            .expect("kernel receiver alive");
-        match self.resume_rx.recv() {
-            Ok(Token::Go) => {}
-            Ok(Token::Cancel) | Err(_) => {
-                // `resume_unwind` (not `panic_any`) so the global panic hook
-                // does not fire for this expected control-flow unwind.
-                panic::resume_unwind(Box::new(CancelUnwind));
+        // Direct handoff: this thread drives the scheduler itself. Three
+        // outcomes, cheapest first: (a) this process is its own successor
+        // — keep running, zero context switches; (b) another process is
+        // next — pass the token straight to it, one switch, kernel stays
+        // asleep; (c) the kernel is needed — wake it.
+        let target = {
+            let mut st = self.shared.state.lock();
+            match next_step(&self.shared, &mut st) {
+                Step::Resume(pid, _) if pid == self.pid => return,
+                Step::Resume(_, cell) => Some(cell),
+                Step::Kernel => None,
             }
+        };
+        match target {
+            Some(cell) => cell.set(TOK_GO),
+            None => self.shared.kernel_cell.set(TOK_GO),
+        }
+        if self.cell.wait() != TOK_GO {
+            // `resume_unwind` (not `panic_any`) so the global panic hook
+            // does not fire for this expected control-flow unwind.
+            panic::resume_unwind(Box::new(CancelUnwind));
         }
     }
 }

@@ -68,6 +68,7 @@ mod error;
 pub mod fault;
 mod ids;
 mod kernel;
+pub mod pool;
 pub mod rng;
 pub mod sync;
 pub mod trace;
@@ -80,6 +81,7 @@ pub use fault::{FaultPlan, FaultRecord, InjectedFault, SpuriousRelease, WcetJitt
 pub use ids::{EventId, ProcessId};
 pub use kernel::{Child, ProcBody, ProcCtx, Report, Simulation, SimulationBuilder, StallPolicy};
 pub use rng::SmallRng;
+pub use sync::{ParkCell, WaitGroup};
 pub use time::SimTime;
 pub use trace::{
     CompactKind, CompactRecord, DecisionReason, Interner, KernelStats, LabelId, MemorySink, Record,

@@ -606,6 +606,10 @@ pub struct KernelStats {
     /// Kernel-level context switches (consecutive resumes of different
     /// processes).
     pub context_switches: u64,
+    /// Process spawns served by recycling a parked worker thread from the
+    /// process-global pool ([`crate::pool`]) instead of an OS
+    /// `thread::spawn`. Always ≤ `processes_spawned`.
+    pub threads_recycled: u64,
     /// Host wall-clock time of the run loop.
     pub wall_time: Duration,
 }
