@@ -20,7 +20,7 @@
 use std::time::Duration;
 
 use bench::cli;
-use bench::farm::{derive_seed, run_sweep};
+use bench::farm::{derive_seed, run_sweep, PointResult};
 use bench::json::Json;
 use bench::results::ResultsDoc;
 use bench::scenario::{ScenarioSpec, Workload};
@@ -64,14 +64,23 @@ fn main() {
             "trace records",
             "host time",
         ]);
-        for ((name, _), o) in quanta.iter().zip(&outcomes) {
-            t.row([
-                (*name).to_string(),
-                format!("{} us", o.fmt_metric("d3_start_us", 0)),
-                format!("{} us", o.fmt_metric("response_error_us", 0)),
-                o.fmt_metric("trace_records", 0),
-                fmt_host(o.host_time),
-            ]);
+        for ((name, _), outcome) in quanta.iter().zip(&outcomes) {
+            match outcome.as_completed() {
+                Some(o) => t.row([
+                    (*name).to_string(),
+                    format!("{} us", o.fmt_metric("d3_start_us", 0)),
+                    format!("{} us", o.fmt_metric("response_error_us", 0)),
+                    o.fmt_metric("trace_records", 0),
+                    fmt_host(o.host_time),
+                ]),
+                None => t.row([
+                    (*name).to_string(),
+                    "degraded".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]),
+            };
         }
         print!("{}", t.render());
         println!("\nShape check: error shrinks monotonically with the quantum, cost grows.");
@@ -85,9 +94,17 @@ fn main() {
 
     if let Some(path) = &args.json {
         let mut doc = ResultsDoc::new("granularity", args.seed);
-        for (i, ((name, _), (p, o))) in quanta.iter().zip(points.iter().zip(&outcomes)).enumerate()
+        for (i, ((name, _), (p, outcome))) in
+            quanta.iter().zip(points.iter().zip(&outcomes)).enumerate()
         {
-            doc.push_point(&p.name, i, Json::obj([("slice", Json::str(*name))]), o);
+            match outcome {
+                PointResult::Completed(o) => {
+                    doc.push_point(&p.name, i, Json::obj([("slice", Json::str(*name))]), o);
+                }
+                PointResult::Degraded(d) => {
+                    doc.push_degraded(d);
+                }
+            }
         }
         match doc.write(path) {
             Ok(_) => {

@@ -12,7 +12,7 @@
 //! [--jobs N] [--seed S] [--json PATH] [--quiet]`.
 
 use bench::cli;
-use bench::farm::{derive_seed, run_sweep};
+use bench::farm::{derive_seed, run_sweep, PointResult};
 use bench::json::Json;
 use bench::results::ResultsDoc;
 use bench::scenario::{ScenarioSpec, Workload};
@@ -56,14 +56,23 @@ fn main() {
             "worst transcode",
             "frames > 20ms",
         ]);
-        for (scale, o) in scales.iter().zip(&outcomes) {
-            t.row([
-                format!("{scale:.2}"),
-                o.fmt_metric("utilization_offered", 2),
-                format!("{} ms", o.fmt_metric("mean_transcode_delay_ms", 2)),
-                format!("{} ms", o.fmt_metric("max_transcode_delay_ms", 2)),
-                format!("{}/{frames}", o.fmt_metric("late_frames", 0)),
-            ]);
+        for (scale, outcome) in scales.iter().zip(&outcomes) {
+            match outcome.as_completed() {
+                Some(o) => t.row([
+                    format!("{scale:.2}"),
+                    o.fmt_metric("utilization_offered", 2),
+                    format!("{} ms", o.fmt_metric("mean_transcode_delay_ms", 2)),
+                    format!("{} ms", o.fmt_metric("max_transcode_delay_ms", 2)),
+                    format!("{}/{frames}", o.fmt_metric("late_frames", 0)),
+                ]),
+                None => t.row([
+                    format!("{scale:.2}"),
+                    "degraded".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]),
+            };
         }
         print!("{}", t.render());
         println!(
@@ -81,11 +90,19 @@ fn main() {
     if let Some(path) = &args.json {
         let mut doc = ResultsDoc::new("load_sweep", args.seed);
         doc.header("frames", Json::U64(frames as u64));
-        for (i, (p, o)) in points.iter().zip(&outcomes).enumerate() {
-            doc.push_point(&p.name, i, Json::obj([("scale", Json::Num(scales[i]))]), o);
+        for (i, (p, outcome)) in points.iter().zip(&outcomes).enumerate() {
+            match outcome {
+                PointResult::Completed(o) => {
+                    doc.push_point(&p.name, i, Json::obj([("scale", Json::Num(scales[i]))]), o);
+                }
+                PointResult::Degraded(d) => {
+                    doc.push_degraded(d);
+                }
+            }
         }
         let means: Vec<f64> = outcomes
             .iter()
+            .filter_map(PointResult::as_completed)
             .filter_map(|o| o.metric("mean_transcode_delay_ms"))
             .collect();
         if let Some(a) = Aggregate::from_samples(&means) {

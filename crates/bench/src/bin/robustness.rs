@@ -15,12 +15,14 @@
 //! results, `--json PATH` writes the `rtos-sld-bench/1` document.
 //!
 //! Run with `cargo run -p bench --bin robustness -- [--frames N]
-//! [--jobs N] [--seed S] [--json PATH] [--quiet]`.
+//! [--jobs N] [--seed S] [--watchdog-us US] [--json PATH] [--quiet]`.
+//! `--watchdog-us` tunes the decoder watchdog timeout (default 60000 µs,
+//! i.e. the 60 ms the sweep historically hardcoded).
 
 use std::time::Duration;
 
 use bench::cli;
-use bench::farm::{derive_seed, run_sweep};
+use bench::farm::{derive_seed, run_sweep, PointResult};
 use bench::json::Json;
 use bench::results::ResultsDoc;
 use bench::scenario::{ScenarioOutcome, ScenarioSpec, Workload};
@@ -54,14 +56,14 @@ fn algs() -> [(&'static str, SchedAlg); 3] {
     ]
 }
 
-fn watchdog() -> WatchdogSpec {
+fn watchdog(timeout: Duration) -> WatchdogSpec {
     WatchdogSpec {
-        timeout: Duration::from_millis(60),
+        timeout,
         action: WatchdogAction::AbortRun,
     }
 }
 
-fn build_points(frames: usize) -> Vec<Point> {
+fn build_points(frames: usize, wd_timeout: Duration) -> Vec<Point> {
     let mut points = Vec::new();
     // R1a: WCET jitter rate x scheduler.
     for rate in [0.0, 0.05, 0.2, 0.5] {
@@ -75,7 +77,7 @@ fn build_points(frames: usize) -> Vec<Point> {
                 .frames(frames)
                 .sched(alg)
                 .faults(FaultPlan::none().with_wcet_jitter(rate, 2.0))
-                .watchdog(watchdog()),
+                .watchdog(watchdog(wd_timeout)),
                 params: vec![
                     ("jitter_rate", Json::Num(rate)),
                     ("scheduler", Json::str(name)),
@@ -96,7 +98,7 @@ fn build_points(frames: usize) -> Vec<Point> {
             .frames(frames)
             .faults(FaultPlan::none().with_drop_notify(rate));
             if armed {
-                spec = spec.watchdog(watchdog());
+                spec = spec.watchdog(watchdog(wd_timeout));
             }
             points.push(Point {
                 section: "r1b",
@@ -129,12 +131,20 @@ fn build_points(frames: usize) -> Vec<Point> {
     points
 }
 
-fn print_tables(points: &[Point], outcomes: &[ScenarioOutcome], frames: usize) {
+fn print_tables(
+    points: &[Point],
+    outcomes: &[PointResult<ScenarioOutcome>],
+    frames: usize,
+    wd_timeout: Duration,
+) {
     let ms = |o: &ScenarioOutcome, key: &str| {
         o.metric(key)
             .map_or_else(|| "-".into(), |v| format!("{v:.2} ms"))
     };
-    println!("R1a: vocoder under WCET jitter ({frames} frames, watchdog 60 ms)\n");
+    println!(
+        "R1a: vocoder under WCET jitter ({frames} frames, watchdog {} us)\n",
+        wd_timeout.as_micros()
+    );
     let mut t = TextTable::new();
     t.row([
         "jitter rate",
@@ -145,11 +155,23 @@ fn print_tables(points: &[Point], outcomes: &[ScenarioOutcome], frames: usize) {
         "max delay",
         "switches",
     ]);
-    for (p, o) in points
+    for (p, outcome) in points
         .iter()
         .zip(outcomes)
         .filter(|(p, _)| p.section == "r1a")
     {
+        let Some(o) = outcome.as_completed() else {
+            t.row([
+                fmt_num(&p.params[0].1),
+                strip_quotes(&p.params[1].1),
+                "degraded".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            continue;
+        };
         t.row([
             fmt_num(&p.params[0].1),
             strip_quotes(&p.params[1].1),
@@ -165,11 +187,20 @@ fn print_tables(points: &[Point], outcomes: &[ScenarioOutcome], frames: usize) {
     println!("\nR1b: dropped notifications — watchdog vs. silent starvation\n");
     let mut t = TextTable::new();
     t.row(["drop rate", "watchdog", "outcome", "faults injected"]);
-    for (p, o) in points
+    for (p, outcome) in points
         .iter()
         .zip(outcomes)
         .filter(|(p, _)| p.section == "r1b")
     {
+        let Some(o) = outcome.as_completed() else {
+            t.row([
+                fmt_num(&p.params[0].1),
+                "-".into(),
+                "degraded".into(),
+                "-".into(),
+            ]);
+            continue;
+        };
         t.row([
             fmt_num(&p.params[0].1),
             if p.params[1].1 == Json::Bool(true) {
@@ -195,11 +226,23 @@ fn print_tables(points: &[Point], outcomes: &[ScenarioOutcome], frames: usize) {
         "killed",
         "cycles run",
     ]);
-    for (p, o) in points
+    for (p, outcome) in points
         .iter()
         .zip(outcomes)
         .filter(|(p, _)| p.section == "r1c")
     {
+        let Some(o) = outcome.as_completed() else {
+            t.row([
+                strip_quotes(&p.params[0].1),
+                "degraded".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            continue;
+        };
         t.row([
             strip_quotes(&p.params[0].1),
             o.fmt_metric("deadline_misses", 0),
@@ -237,9 +280,19 @@ fn strip_quotes(j: &Json) -> String {
 }
 
 fn main() {
-    let args = cli::parse("robustness", ABOUT, 7, &[]);
+    let args = cli::parse(
+        "robustness",
+        ABOUT,
+        7,
+        &[(
+            "watchdog-us",
+            "US",
+            "decoder watchdog timeout in microseconds (default 60000)",
+        )],
+    );
     let frames = args.frames.unwrap_or(20);
-    let points = build_points(frames);
+    let wd_timeout = Duration::from_micros(args.extra_or("watchdog-us", 60_000u64));
+    let points = build_points(frames, wd_timeout);
 
     let started = std::time::Instant::now();
     let outcomes = run_sweep(args.seed, args.jobs, &points, |ctx, p| {
@@ -248,7 +301,7 @@ fn main() {
     let wall = started.elapsed();
 
     if !args.quiet {
-        print_tables(&points, &outcomes, frames);
+        print_tables(&points, &outcomes, frames, wd_timeout);
         println!(
             "\nfarm: {} points, jobs={}, wall {}",
             points.len(),
@@ -260,10 +313,17 @@ fn main() {
     if let Some(path) = &args.json {
         let mut doc = ResultsDoc::new("robustness", args.seed);
         doc.header("frames", Json::U64(frames as u64));
-        for (i, (p, o)) in points.iter().zip(&outcomes).enumerate() {
-            let mut params = vec![("section", Json::str(p.section))];
-            params.extend(p.params.iter().map(|(k, v)| (*k, v.clone())));
-            doc.push_point(&p.spec.name, i, Json::obj(params), o);
+        for (i, (p, outcome)) in points.iter().zip(&outcomes).enumerate() {
+            match outcome {
+                PointResult::Completed(o) => {
+                    let mut params = vec![("section", Json::str(p.section))];
+                    params.extend(p.params.iter().map(|(k, v)| (*k, v.clone())));
+                    doc.push_point(&p.spec.name, i, Json::obj(params), o);
+                }
+                PointResult::Degraded(d) => {
+                    doc.push_degraded(d);
+                }
+            }
         }
         // Aggregate transcoding delay across the jitter sweep, per
         // scheduler.
@@ -272,7 +332,8 @@ fn main() {
                 .iter()
                 .zip(&outcomes)
                 .filter(|(p, _)| p.section == "r1a" && strip_quotes(&p.params[1].1) == name)
-                .filter_map(|(_, o)| o.metric("mean_transcode_delay_ms"))
+                .filter_map(|(_, outcome)| outcome.as_completed())
+                .filter_map(|o| o.metric("mean_transcode_delay_ms"))
                 .collect();
             if let Some(agg) = Aggregate::from_samples(&samples) {
                 doc.push_aggregate(format!("r1a/{name}"), [("mean_transcode_delay_ms", agg)]);

@@ -21,7 +21,7 @@
 use std::time::Duration;
 
 use bench::cli;
-use bench::farm::{derive_seed, run_sweep};
+use bench::farm::{derive_seed, run_sweep, PointResult};
 use bench::json::Json;
 use bench::results::ResultsDoc;
 use bench::scenario::{ScenarioSpec, Workload};
@@ -110,7 +110,10 @@ fn main() {
         worst_samples: Vec<f64>,
     }
     let mut groups: Vec<Group> = Vec::new();
-    for (p, o) in points.iter().zip(&outcomes) {
+    for (p, outcome) in points.iter().zip(&outcomes) {
+        let Some(o) = outcome.as_completed() else {
+            continue; // quarantined by the farm; reported in the document
+        };
         if !o.completed {
             eprintln!("warning: point {} failed: {}", p.spec.name, o.status);
             continue;
@@ -177,24 +180,32 @@ fn main() {
         doc.header("tasks", Json::U64(N_TASKS as u64));
         doc.header("sets_per_point", Json::U64(sets_per_point as u64));
         doc.header("horizon_ms", Json::U64(horizon_ms as u64));
-        for (i, (p, o)) in points.iter().zip(&outcomes).enumerate() {
-            doc.push_point(
-                &p.spec.name,
-                i,
-                Json::obj([
-                    ("utilization", Json::Num(p.util)),
-                    ("algorithm", Json::str(p.alg_name)),
-                    ("set", Json::U64(p.set_idx as u64)),
-                    ("set_seed", Json::U64(p.spec.seed)),
-                ]),
-                o,
-            );
+        for (i, (p, outcome)) in points.iter().zip(&outcomes).enumerate() {
+            match outcome {
+                PointResult::Completed(o) => {
+                    doc.push_point(
+                        &p.spec.name,
+                        i,
+                        Json::obj([
+                            ("utilization", Json::Num(p.util)),
+                            ("algorithm", Json::str(p.alg_name)),
+                            ("set", Json::U64(p.set_idx as u64)),
+                            ("set_seed", Json::U64(p.spec.seed)),
+                        ]),
+                        o,
+                    );
+                }
+                PointResult::Degraded(d) => {
+                    doc.push_degraded(d);
+                }
+            }
         }
         for g in &groups {
             let collect = |key: &str| -> Vec<f64> {
                 points
                     .iter()
                     .zip(&outcomes)
+                    .filter_map(|(p, outcome)| outcome.as_completed().map(|o| (p, o)))
                     .filter(|(p, o)| p.util == g.util && p.alg_name == g.alg_name && o.completed)
                     .filter_map(|(_, o)| o.metric(key))
                     .collect()

@@ -49,9 +49,26 @@ fn main() {
     ];
 
     let started = std::time::Instant::now();
-    let outcomes = run_sweep(args.seed, args.jobs, &points, |ctx, (_, spec)| {
+    // Table 1 is three curated points — all must complete; a quarantined
+    // point here is a real bug, so surface it instead of tabulating.
+    let outcomes: Vec<_> = run_sweep(args.seed, args.jobs, &points, |ctx, (_, spec)| {
         spec.run_seeded(ctx.seed)
-    });
+    })
+    .into_iter()
+    .map(|outcome| match outcome {
+        bench::farm::PointResult::Completed(o) => o,
+        bench::farm::PointResult::Degraded(d) => {
+            eprintln!(
+                "error: table1 point {} {} (seed {}): {}",
+                d.index,
+                d.kind.as_str(),
+                d.seed,
+                d.message
+            );
+            std::process::exit(1);
+        }
+    })
+    .collect();
     let wall = started.elapsed();
     let (unsched, arch, impl_run) = (&outcomes[0], &outcomes[1], &outcomes[2]);
     for o in &outcomes {

@@ -12,13 +12,20 @@
 //!   Chrome-trace-event shape: every event must be an object with a
 //!   string `name`, a string `ph` of a known phase, and numeric
 //!   `pid`/`tid`; `X` events must carry `ts` and `dur`;
-//! * a top-level `schema` field must name the supported results schema
-//!   (`rtos-sld-bench/1`), and the document is then checked against it:
-//!   string `bench`, numeric `base_seed`, a `points` array whose entries
-//!   carry a string `name`, numeric `index`/`seed`, a string `status`, a
-//!   boolean `completed` and an all-numeric `metrics` object. Rates in a
-//!   `host_dependent` document are wall-clock measurements: this lint
-//!   gates on *shape*, never on throughput values.
+//! * a top-level `schema` field must name a supported schema. For
+//!   `rtos-sld-bench/1` the document is checked against it: string
+//!   `bench`, numeric `base_seed`, a `points` array whose entries carry a
+//!   string `name`, numeric `index`/`seed`, a string `status`, a boolean
+//!   `completed` and an all-numeric `metrics` object. An optional
+//!   `degraded` array (points the farm quarantined) must carry numeric
+//!   `index`/`seed`, a `kind` of `"panicked"`/`"overtime"`, and a string
+//!   `message`; a document may have an empty `points` array only when
+//!   `degraded` is non-empty. Rates in a `host_dependent` document are
+//!   wall-clock measurements: this lint gates on *shape*, never on
+//!   throughput values. For `rtos-sld-chaos-repro/1` (the chaos
+//!   minimal-repro artifact) the replay coordinates are checked: string
+//!   `workload`, numeric `frames`/`seed`, a `failure` object with a known
+//!   `kind`, and `fault_plan`/`chaos_plan` objects with numeric rates.
 //!
 //! Exits nonzero on the first invalid file.
 
@@ -101,8 +108,34 @@ fn lint_point(idx: usize, point: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Checks one quarantined (`degraded`) point; returns an error
+/// description.
+fn lint_degraded(idx: usize, point: &Json) -> Result<(), String> {
+    let Json::Obj(fields) = point else {
+        return Err(format!("degraded[{idx}] is not an object"));
+    };
+    for key in ["index", "seed"] {
+        if !field(fields, key).is_some_and(is_number) {
+            return Err(format!("degraded[{idx}] lacks a numeric `{key}`"));
+        }
+    }
+    match field(fields, "kind") {
+        Some(Json::Str(k)) if k == "panicked" || k == "overtime" => {}
+        Some(Json::Str(k)) => return Err(format!("degraded[{idx}] has unknown kind {k:?}")),
+        _ => return Err(format!("degraded[{idx}] lacks a string `kind`")),
+    }
+    match field(fields, "message") {
+        Some(Json::Str(_)) => {}
+        _ => return Err(format!("degraded[{idx}] lacks a string `message`")),
+    }
+    Ok(())
+}
+
 /// Checks a results document claiming a `schema` against `rtos-sld-bench/1`.
 fn lint_results(top: &[(String, Json)], schema: &str) -> Result<String, String> {
+    if schema == "rtos-sld-chaos-repro/1" {
+        return lint_chaos_repro(top);
+    }
     if schema != "rtos-sld-bench/1" {
         return Err(format!("unsupported results schema {schema:?}"));
     }
@@ -116,7 +149,20 @@ fn lint_results(top: &[(String, Json)], schema: &str) -> Result<String, String> 
     let Some(Json::Arr(points)) = field(top, "points") else {
         return Err("results document lacks a `points` array".into());
     };
-    if points.is_empty() {
+    let degraded = match field(top, "degraded") {
+        None => &[][..],
+        Some(Json::Arr(d)) => {
+            if d.is_empty() {
+                return Err("`degraded` is present but empty (omit it instead)".into());
+            }
+            d
+        }
+        Some(_) => return Err("`degraded` is not an array".into()),
+    };
+    for (i, d) in degraded.iter().enumerate() {
+        lint_degraded(i, d)?;
+    }
+    if points.is_empty() && degraded.is_empty() {
         return Err("results document has an empty `points` array".into());
     }
     for (i, p) in points.iter().enumerate() {
@@ -124,14 +170,63 @@ fn lint_results(top: &[(String, Json)], schema: &str) -> Result<String, String> 
     }
     let advisory = matches!(field(top, "host_dependent"), Some(Json::Bool(true)));
     Ok(format!(
-        "valid rtos-sld-bench/1 document ({} points{})",
+        "valid rtos-sld-bench/1 document ({} points{}{})",
         points.len(),
+        if degraded.is_empty() {
+            String::new()
+        } else {
+            format!("; {} degraded", degraded.len())
+        },
         if advisory {
             "; host-dependent rates"
         } else {
             ""
         }
     ))
+}
+
+/// Checks a `rtos-sld-chaos-repro/1` minimal-repro artifact: the replay
+/// coordinates must be complete and well-typed.
+fn lint_chaos_repro(top: &[(String, Json)]) -> Result<String, String> {
+    match field(top, "workload") {
+        Some(Json::Str(_)) => {}
+        _ => return Err("repro artifact lacks a string `workload`".into()),
+    }
+    for key in ["frames", "seed"] {
+        if !field(top, key).is_some_and(is_number) {
+            return Err(format!("repro artifact lacks a numeric `{key}`"));
+        }
+    }
+    let Some(Json::Obj(failure)) = field(top, "failure") else {
+        return Err("repro artifact lacks a `failure` object".into());
+    };
+    match field(failure, "kind") {
+        Some(Json::Str(k)) if matches!(k.as_str(), "invariant" | "panicked" | "overtime") => {}
+        Some(Json::Str(k)) => return Err(format!("failure.kind {k:?} is unknown")),
+        _ => return Err("failure lacks a string `kind`".into()),
+    }
+    for (obj, keys) in [
+        (
+            "fault_plan",
+            &[
+                "wcet_probability",
+                "wcet_max_stretch",
+                "drop_notify",
+                "dup_notify",
+            ][..],
+        ),
+        ("chaos_plan", &["reorder", "stall"][..]),
+    ] {
+        let Some(Json::Obj(plan)) = field(top, obj) else {
+            return Err(format!("repro artifact lacks a `{obj}` object"));
+        };
+        for key in keys {
+            if !field(plan, key).is_some_and(is_number) {
+                return Err(format!("{obj} lacks a numeric `{key}`"));
+            }
+        }
+    }
+    Ok("valid rtos-sld-chaos-repro/1 artifact".into())
 }
 
 fn lint_file(path: &str) -> Result<String, String> {
@@ -223,6 +318,76 @@ mod tests {
             unreachable!()
         };
         assert!(lint_results(top, "rtos-sld-bench/1").is_err());
+    }
+
+    #[test]
+    fn degraded_sections_are_validated() {
+        let ok = Json::parse(
+            r#"{"schema":"rtos-sld-bench/1","bench":"chaos","base_seed":1,"points":[],
+                "degraded":[{"index":2,"seed":9,"kind":"overtime","message":"hung"}]}"#,
+        )
+        .unwrap();
+        let Json::Obj(top) = &ok else { unreachable!() };
+        let msg = lint_results(top, "rtos-sld-bench/1").unwrap();
+        assert!(msg.contains("1 degraded"), "{msg}");
+
+        // Degraded entries are themselves shape-checked.
+        let bad_kind = Json::parse(
+            r#"{"schema":"rtos-sld-bench/1","bench":"chaos","base_seed":1,"points":[],
+                "degraded":[{"index":2,"seed":9,"kind":"melted","message":"?"}]}"#,
+        )
+        .unwrap();
+        let Json::Obj(top) = &bad_kind else {
+            unreachable!()
+        };
+        assert!(lint_results(top, "rtos-sld-bench/1").is_err());
+
+        // An empty degraded array is a rendering bug, not a valid shape.
+        let empty = Json::parse(
+            r#"{"schema":"rtos-sld-bench/1","bench":"b","base_seed":1,"points":[],"degraded":[]}"#,
+        )
+        .unwrap();
+        let Json::Obj(top) = &empty else {
+            unreachable!()
+        };
+        assert!(lint_results(top, "rtos-sld-bench/1").is_err());
+    }
+
+    #[test]
+    fn chaos_repro_artifacts_are_validated() {
+        let ok = Json::parse(
+            r#"{"schema":"rtos-sld-chaos-repro/1","bench":"chaos","workload":"vocoder",
+                "frames":4,"seed":7,
+                "failure":{"kind":"invariant","message":"delta went backwards"},
+                "fault_plan":{"wcet_probability":0,"wcet_max_stretch":0,
+                              "drop_notify":0.075,"dup_notify":0},
+                "chaos_plan":{"reorder":0.5,"stall":0,"window":[0,8]}}"#,
+        )
+        .unwrap();
+        let Json::Obj(top) = &ok else { unreachable!() };
+        assert!(lint_results(top, "rtos-sld-chaos-repro/1").is_ok());
+
+        let bad = Json::parse(
+            r#"{"schema":"rtos-sld-chaos-repro/1","workload":"vocoder","frames":4,"seed":7,
+                "failure":{"kind":"cosmic-rays","message":"?"},
+                "fault_plan":{"wcet_probability":0,"wcet_max_stretch":0,
+                              "drop_notify":0,"dup_notify":0},
+                "chaos_plan":{"reorder":0,"stall":0,"window":null}}"#,
+        )
+        .unwrap();
+        let Json::Obj(top) = &bad else { unreachable!() };
+        assert!(lint_results(top, "rtos-sld-chaos-repro/1").is_err());
+
+        let missing_plan = Json::parse(
+            r#"{"schema":"rtos-sld-chaos-repro/1","workload":"vocoder","frames":4,"seed":7,
+                "failure":{"kind":"invariant","message":"x"},
+                "chaos_plan":{"reorder":0,"stall":0}}"#,
+        )
+        .unwrap();
+        let Json::Obj(top) = &missing_plan else {
+            unreachable!()
+        };
+        assert!(lint_results(top, "rtos-sld-chaos-repro/1").is_err());
     }
 
     #[test]

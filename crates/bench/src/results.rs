@@ -13,9 +13,18 @@
 //!       "status": "completed", "completed": true,
 //!       "metrics": { "<metric>": <number>, ... } }
 //!   ],
-//!   "aggregates": { "<group>": { "<metric>": {count,mean,min,p50,p95,p99,max} } }
+//!   "aggregates": { "<group>": { "<metric>": {count,mean,min,p50,p95,p99,max} } },
+//!   "degraded": [
+//!     { "index": 3, "seed": 99, "kind": "panicked"|"overtime", "message": "..." }
+//!   ]
 //! }
 //! ```
+//!
+//! The `degraded` section (present only when non-empty) quarantines sweep
+//! points that panicked or overran the farm's per-point watchdog — the
+//! sweep completes and the healthy points stay byte-identical across
+//! `--jobs` values; each entry carries enough (index, seed, message) to
+//! replay the failure in isolation.
 //!
 //! Everything in the document is a pure function of `(binary, base seed,
 //! workload parameters)` — no host timings, no thread counts — so the
@@ -25,7 +34,7 @@
 
 use std::path::Path;
 
-use crate::farm::derive_seed;
+use crate::farm::{derive_seed, DegradedPoint};
 use crate::json::Json;
 use crate::scenario::ScenarioOutcome;
 use crate::stats::Aggregate;
@@ -41,6 +50,7 @@ pub struct ResultsDoc {
     header: Vec<(String, Json)>,
     points: Vec<Json>,
     aggregates: Vec<(String, Json)>,
+    degraded: Vec<Json>,
 }
 
 impl ResultsDoc {
@@ -53,6 +63,7 @@ impl ResultsDoc {
             header: Vec::new(),
             points: Vec::new(),
             aggregates: Vec::new(),
+            degraded: Vec::new(),
         }
     }
 
@@ -88,6 +99,30 @@ impl ResultsDoc {
         self
     }
 
+    /// Quarantines a degraded (panicked/overtime) sweep point into the
+    /// document's `degraded` section.
+    pub fn push_degraded(&mut self, point: &DegradedPoint) -> &mut Self {
+        self.degraded.push(Json::obj([
+            ("index", Json::U64(point.index as u64)),
+            ("seed", Json::U64(point.seed)),
+            ("kind", Json::str(point.kind.as_str())),
+            ("message", Json::str(&point.message)),
+        ]));
+        self
+    }
+
+    /// Quarantines every point of `points` (the usual epilogue after
+    /// [`farm::partition`](crate::farm::partition)).
+    pub fn push_degraded_all<'a>(
+        &mut self,
+        points: impl IntoIterator<Item = &'a DegradedPoint>,
+    ) -> &mut Self {
+        for p in points {
+            self.push_degraded(p);
+        }
+        self
+    }
+
     /// Adds a named aggregate group: each `(metric, aggregate)` pair
     /// summarizes one metric across a set of points.
     pub fn push_aggregate<'a>(
@@ -117,6 +152,9 @@ impl ResultsDoc {
         fields.push(("points".to_string(), Json::Arr(self.points.clone())));
         if !self.aggregates.is_empty() {
             fields.push(("aggregates".to_string(), Json::Obj(self.aggregates.clone())));
+        }
+        if !self.degraded.is_empty() {
+            fields.push(("degraded".to_string(), Json::Arr(self.degraded.clone())));
         }
         Json::Obj(fields)
     }
@@ -162,5 +200,29 @@ mod tests {
         assert!(a.contains("\"schema\": \"rtos-sld-bench/1\""), "{a}");
         assert!(a.contains("\"seed\": "), "{a}");
         assert!(a.contains("\"aggregates\""), "{a}");
+        assert!(
+            !a.contains("\"degraded\""),
+            "empty degraded section must be omitted: {a}"
+        );
+    }
+
+    #[test]
+    fn degraded_points_render_with_full_repro_context() {
+        use crate::farm::{DegradedKind, DegradedPoint};
+        let mut doc = ResultsDoc::new("demo", 9);
+        doc.push_degraded(&DegradedPoint {
+            index: 3,
+            seed: 0xBEEF,
+            kind: DegradedKind::Overtime,
+            message: "exceeded the 60 ms point watchdog".into(),
+        });
+        let s = doc.to_json().render();
+        assert!(s.contains("\"degraded\""), "{s}");
+        assert!(s.contains("\"kind\": \"overtime\""), "{s}");
+        assert!(s.contains("\"seed\": 48879"), "{s}");
+        assert!(
+            s.contains("\"message\": \"exceeded the 60 ms point watchdog\""),
+            "{s}"
+        );
     }
 }

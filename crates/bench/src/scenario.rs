@@ -21,7 +21,8 @@ use rtos_model::{
     CycleOutcome, MissPolicy, Priority, Rtos, SchedAlg, TaskParams, TaskStats, TimeSlice,
 };
 use sldl_sim::{
-    Child, FaultPlan, KernelStats, Record, RunError, SimTime, Simulation, SmallRng, TraceConfig,
+    ChaosPlan, Child, FaultPlan, KernelInvariants, KernelStats, Record, RunError, SimTime,
+    Simulation, SmallRng, TraceConfig,
 };
 use vocoder::{
     simulate_architecture, simulate_unscheduled, VocoderConfig, WatchdogSpec, FRAME_PERIOD,
@@ -83,6 +84,15 @@ pub struct ScenarioSpec {
     /// Fault plan template; re-keyed with [`ScenarioSpec::seed`] at run
     /// time so every point draws an independent fault stream.
     pub faults: FaultPlan,
+    /// Schedule-perturbation chaos plan template; re-keyed with
+    /// [`ScenarioSpec::seed`] at run time like `faults`.
+    /// [`ChaosPlan::none`] (the default) leaves runs byte-identical to
+    /// unperturbed ones.
+    pub chaos: ChaosPlan,
+    /// Arm the kernel invariant oracle ([`KernelInvariants::all`]) plus
+    /// the RTOS scheduler-conformance checks on workloads that schedule.
+    /// Off by default — a disabled oracle costs nothing.
+    pub oracle: bool,
     /// Optional decoder watchdog (vocoder architecture model only).
     pub watchdog: Option<WatchdogSpec>,
     /// Workload size in frames (vocoder workloads).
@@ -115,6 +125,8 @@ impl ScenarioSpec {
             slice: TimeSlice::WholeDelay,
             timing_scale: 1.0,
             faults: FaultPlan::none(),
+            chaos: ChaosPlan::none(),
+            oracle: false,
             watchdog: None,
             frames: 20,
             seed: 0,
@@ -148,6 +160,21 @@ impl ScenarioSpec {
     #[must_use]
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = plan;
+        self
+    }
+
+    /// Installs a chaos-plan template (re-keyed per point seed).
+    #[must_use]
+    pub fn chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = plan;
+        self
+    }
+
+    /// Arms (or disarms) the kernel invariant oracle and the RTOS
+    /// scheduler-conformance checks for this spec.
+    #[must_use]
+    pub fn oracle(mut self, on: bool) -> Self {
+        self.oracle = on;
         self
     }
 
@@ -216,6 +243,8 @@ impl ScenarioSpec {
             seed: self.speech_seed,
             timing: base.timing.scaled(self.timing_scale),
             faults: self.faults.clone().reseed(self.seed),
+            chaos: self.chaos.clone().reseed(self.seed),
+            oracle: self.oracle,
             watchdog: self.watchdog,
             trace: self.trace,
             ..base
@@ -291,13 +320,21 @@ impl ScenarioSpec {
     fn run_task_set(&self, n: usize, utilization: f64, horizon_us: u64) -> ScenarioOutcome {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let tasks = uunifast_task_set(&mut rng, n, utilization);
-        let mut builder = Simulation::builder().fault_plan(self.faults.clone().reseed(self.seed));
+        let mut builder = Simulation::builder()
+            .fault_plan(self.faults.clone().reseed(self.seed))
+            .chaos_plan(self.chaos.clone().reseed(self.seed));
+        if self.oracle {
+            builder = builder.invariants(KernelInvariants::all());
+        }
         if self.trace {
             builder = builder.trace(TraceConfig::default());
         }
         let mut sim = builder.build();
         let trace = sim.trace_handle();
         let os = Rtos::new("pe", sim.sync_layer());
+        if self.oracle {
+            os.set_conformance_checks(true);
+        }
         if let Some(t) = &trace {
             os.attach_trace(t.clone());
         }
@@ -387,13 +424,21 @@ impl ScenarioSpec {
     }
 
     fn run_miss_policy(&self, policy: MissPolicy) -> ScenarioOutcome {
-        let mut builder = Simulation::builder().fault_plan(self.faults.clone().reseed(self.seed));
+        let mut builder = Simulation::builder()
+            .fault_plan(self.faults.clone().reseed(self.seed))
+            .chaos_plan(self.chaos.clone().reseed(self.seed));
+        if self.oracle {
+            builder = builder.invariants(KernelInvariants::all());
+        }
         if self.trace {
             builder = builder.trace(TraceConfig::default());
         }
         let mut sim = builder.build();
         let trace = sim.trace_handle();
         let os = Rtos::new("pe", sim.sync_layer());
+        if self.oracle {
+            os.set_conformance_checks(true);
+        }
         if let Some(t) = &trace {
             os.attach_trace(t.clone());
         }

@@ -57,6 +57,14 @@ impl Aggregate {
         Self::from_samples(&secs)
     }
 
+    /// Renders an optional aggregate, mapping `None` (an empty sample
+    /// set — e.g. every contributing point was quarantined) to `null`
+    /// instead of panicking.
+    #[must_use]
+    pub fn json_or_null(agg: Option<Aggregate>) -> Json {
+        agg.map_or(Json::Null, |a| a.to_json())
+    }
+
     /// The JSON representation used in results documents.
     #[must_use]
     pub fn to_json(&self) -> Json {
@@ -72,14 +80,17 @@ impl Aggregate {
     }
 }
 
-/// Nearest-rank percentile of an ascending-sorted, non-empty slice.
+/// Nearest-rank percentile of an ascending-sorted slice.
 ///
-/// # Panics
-///
-/// Panics if `sorted` is empty.
+/// An empty sample set has no percentile: returns [`f64::NAN`], which
+/// [`Json::Num`] renders as `null` — a sweep whose points were all
+/// quarantined degrades its aggregates gracefully instead of panicking
+/// the report stage.
 #[must_use]
 pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
-    assert!(!sorted.is_empty(), "percentile of an empty sample set");
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
     let n = sorted.len();
     let rank = ((p / 100.0) * n as f64).ceil() as usize;
     sorted[rank.clamp(1, n) - 1]
@@ -107,6 +118,13 @@ mod tests {
         assert!(Aggregate::from_samples(&[]).is_none());
         let a = Aggregate::from_samples(&[2.5]).unwrap();
         assert_eq!((a.min, a.p50, a.p99, a.max), (2.5, 2.5, 2.5, 2.5));
+    }
+
+    #[test]
+    fn empty_percentile_is_nan_and_renders_null() {
+        let p = percentile_sorted(&[], 50.0);
+        assert!(p.is_nan());
+        assert_eq!(Json::Num(p).render(), "null\n");
     }
 
     #[test]

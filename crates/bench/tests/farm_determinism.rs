@@ -6,7 +6,11 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-use bench::farm::{derive_seed, run_sweep};
+use std::time::Duration;
+
+use bench::farm::{
+    derive_seed, partition, run_sweep, run_sweep_guarded, DegradedKind, PointResult,
+};
 use bench::scenario::{ScenarioSpec, Workload};
 use sldl_sim::FaultPlan;
 
@@ -75,10 +79,83 @@ fn in_process_sweep_is_jobs_invariant() {
     let run = |jobs| {
         run_sweep(3, jobs, &points, |ctx, p| p.run_seeded(ctx.seed))
             .into_iter()
-            .map(|o| o.to_json().render())
+            .map(|o| o.completed().expect("healthy point").to_json().render())
             .collect::<Vec<_>>()
     };
     assert_eq!(run(1), run(4));
+}
+
+#[test]
+fn panicking_points_are_quarantined_not_fatal() {
+    // Points 2 and 5 panic; the sweep must survive, quarantine exactly
+    // those two, and leave every healthy point byte-identical to a
+    // sweep that never panicked at all.
+    let points: Vec<usize> = (0..8).collect();
+    let run = |jobs| {
+        run_sweep(9, jobs, &points, |ctx, p: &usize| {
+            if *p == 2 || *p == 5 {
+                panic!("injected failure at point {p}");
+            }
+            ScenarioSpec::new(format!("p{p}"), Workload::VocoderArchitecture)
+                .frames(2)
+                .run_seeded(ctx.seed)
+        })
+    };
+    let (healthy, degraded) = partition(run(4));
+    assert_eq!(healthy.len(), 6);
+    assert_eq!(
+        degraded
+            .iter()
+            .map(|d| (d.index, d.kind))
+            .collect::<Vec<_>>(),
+        vec![(2, DegradedKind::Panicked), (5, DegradedKind::Panicked)]
+    );
+    assert!(degraded[0].message.contains("injected failure at point 2"));
+    assert_eq!(degraded[0].seed, derive_seed(9, 2));
+
+    // Healthy points are --jobs-invariant even with quarantines between
+    // them: the degraded points must not perturb seeds or ordering.
+    let render = |outcomes: Vec<PointResult<bench::scenario::ScenarioOutcome>>| {
+        outcomes
+            .into_iter()
+            .filter_map(|o| o.completed())
+            .map(|o| o.to_json().render())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(render(run(1)), render(run(4)));
+}
+
+#[test]
+fn hanging_points_are_quarantined_by_the_watchdog() {
+    // Point 1 sleeps far past a tiny watchdog (bounded, so the abandoned
+    // thread exits on its own); the guarded sweep must report it as
+    // Overtime while the other points complete normally.
+    let points: Vec<usize> = (0..3).collect();
+    let outcomes = run_sweep_guarded(
+        4,
+        2,
+        Duration::from_millis(50),
+        &points,
+        |ctx, p: &usize| {
+            if *p == 1 {
+                std::thread::sleep(Duration::from_millis(1500));
+            }
+            ScenarioSpec::new(format!("p{p}"), Workload::VocoderArchitecture)
+                .frames(1)
+                .run_seeded(ctx.seed)
+        },
+    );
+    assert_eq!(outcomes.len(), 3);
+    let (healthy, degraded) = partition(outcomes);
+    assert_eq!(healthy.len(), 2);
+    assert_eq!(degraded.len(), 1);
+    assert_eq!(degraded[0].index, 1);
+    assert_eq!(degraded[0].kind, DegradedKind::Overtime);
+    assert!(
+        degraded[0].message.contains("watchdog"),
+        "{}",
+        degraded[0].message
+    );
 }
 
 #[test]

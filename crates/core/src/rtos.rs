@@ -219,6 +219,13 @@ struct OsState {
     cpu_busy: Duration,
     stats: Vec<TaskStats>,
     watchdog_trips: u64,
+    /// When set, every dispatch asserts scheduler conformance (exactly one
+    /// running task, dispatched task is Ready, rank-minimal pick) and
+    /// reports breaches as [`RunError::InvariantViolation`] instead of
+    /// silently corrupting the schedule.
+    ///
+    /// [`RunError::InvariantViolation`]: sldl_sim::RunError::InvariantViolation
+    conformance: bool,
 }
 
 struct Inner {
@@ -310,6 +317,7 @@ impl Rtos {
                     cpu_busy: Duration::ZERO,
                     stats: Vec::new(),
                     watchdog_trips: 0,
+                    conformance: false,
                 }),
             }),
         }
@@ -399,6 +407,22 @@ impl Rtos {
     pub fn attach_trace(&self, trace: TraceHandle) {
         let ids = TraceIds::new(trace, &self.inner.name);
         self.inner.state.lock().trace = Some(ids);
+    }
+
+    /// Enables (or disables) scheduler conformance checking: every dispatch
+    /// then asserts that the CPU was idle, that the picked task was Ready,
+    /// and that its scheduling rank is minimal over the ready queue under
+    /// the active [`SchedAlg`]. A breach surfaces as
+    /// [`RunError::InvariantViolation`] naming the `scheduler-conformance`
+    /// invariant and the offending task — the RTOS-layer analogue of the
+    /// kernel's [`KernelInvariants`] oracle, intended for chaos/torture
+    /// runs. Off by default: the checks cost one ready-queue scan per
+    /// dispatch and are structurally absent when disabled.
+    ///
+    /// [`RunError::InvariantViolation`]: sldl_sim::RunError::InvariantViolation
+    /// [`KernelInvariants`]: sldl_sim::KernelInvariants
+    pub fn set_conformance_checks(&self, on: bool) {
+        self.inner.state.lock().conformance = on;
     }
 
     /// Notifies the kernel that an interrupt service routine has finished
@@ -1230,8 +1254,56 @@ impl Rtos {
         }
     }
 
+    /// Scheduler conformance oracle, run at every dispatch when enabled via
+    /// [`set_conformance_checks`](Rtos::set_conformance_checks). Each breach
+    /// is a real scheduler bug (or chaos-exposed corruption), never a model
+    /// misuse, so it surfaces as an `InvariantViolation` naming the task.
+    fn check_dispatch_conformance(&self, st: &OsState, task: TaskId, ctx: &ProcCtx) {
+        let tcb = &st.tasks[task.index()];
+        let subject = format!("task `{}` on {}", tcb.name, self.inner.name);
+        if let Some(run) = st.running {
+            ctx.invariant_violation(
+                "scheduler-conformance",
+                subject,
+                format!(
+                    "dispatched while `{}` is still running (two running tasks on one PE)",
+                    st.tasks[run.index()].name
+                ),
+            );
+        }
+        if tcb.state != TaskState::Ready || !st.ready.contains(&task) {
+            ctx.invariant_violation(
+                "scheduler-conformance",
+                subject,
+                format!(
+                    "dispatched from state {:?} (in ready queue: {}) — only Ready tasks may run",
+                    tcb.state,
+                    st.ready.contains(&task)
+                ),
+            );
+        }
+        let rank = st.alg.rank(tcb);
+        for &other in &st.ready {
+            let o = &st.tasks[other.index()];
+            if st.alg.rank(o) < rank {
+                ctx.invariant_violation(
+                    "scheduler-conformance",
+                    subject,
+                    format!(
+                        "ready task `{}` outranks the pick under {:?} — ready-queue priority \
+                         order violated",
+                        o.name, st.alg
+                    ),
+                );
+            }
+        }
+    }
+
     fn dispatch(&self, st: &mut OsState, task: TaskId, ctx: &ProcCtx) {
         let now = ctx.now();
+        if st.conformance {
+            self.check_dispatch_conformance(st, task, ctx);
+        }
         st.ready.retain(|&t| t != task);
         let tcb = &mut st.tasks[task.index()];
         tcb.state = TaskState::Running;

@@ -125,6 +125,7 @@ mod tests {
                 end_time: SimTime::from_micros(10),
                 blocked: vec![],
                 faults: vec![],
+                chaos: vec![],
                 kernel: sldl_sim::KernelStats::default(),
             },
             records: vec![

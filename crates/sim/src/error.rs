@@ -181,6 +181,20 @@ pub enum RunError {
         /// Simulated time of the abort.
         at: SimTime,
     },
+    /// The invariant oracle (see [`KernelInvariants`](crate::KernelInvariants))
+    /// or a layer-level conformance hook observed a broken invariant. This
+    /// always indicates a bug in the kernel or a model layer, never in the
+    /// modeled application.
+    InvariantViolation {
+        /// Name of the violated invariant (e.g. `delta-monotonicity`).
+        invariant: &'static str,
+        /// The offending process, event or task.
+        subject: String,
+        /// Human-readable description of the observed state.
+        details: String,
+        /// Simulated time at which the violation was observed.
+        at: SimTime,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -214,6 +228,17 @@ impl fmt::Display for RunError {
             }
             RunError::FaultAbort { reason, at } => {
                 write!(f, "run aborted at {at}: {reason}")
+            }
+            RunError::InvariantViolation {
+                invariant,
+                subject,
+                details,
+                at,
+            } => {
+                write!(
+                    f,
+                    "kernel invariant `{invariant}` violated by {subject} at {at}: {details}"
+                )
             }
         }
     }
@@ -274,6 +299,21 @@ mod tests {
         assert_eq!(
             e.to_string(),
             "process `p` misused the model at file.rs:3: wait_any on empty event set"
+        );
+    }
+
+    #[test]
+    fn display_invariant_violation() {
+        let e = RunError::InvariantViolation {
+            invariant: "delta-monotonicity",
+            subject: "event #3".into(),
+            details: "generation went backwards".into(),
+            at: SimTime::from_micros(7),
+        };
+        assert_eq!(
+            e.to_string(),
+            "kernel invariant `delta-monotonicity` violated by event #3 at 7us: \
+             generation went backwards"
         );
     }
 

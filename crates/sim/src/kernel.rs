@@ -51,6 +51,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::chaos::{
+    ChaosPlan, ChaosRecord, ChaosState, InjectedChaos, KernelInvariants, OracleState,
+};
 use crate::error::{AbortReason, ModelError, RunError, WaitEdge};
 use crate::fault::{FaultPlan, FaultRecord, FaultState, NotifyFate};
 use crate::ids::{EventId, ProcessId};
@@ -126,6 +129,9 @@ pub struct Report {
     /// Faults injected during the run by the installed
     /// [`FaultPlan`](crate::FaultPlan) (empty when no plan was installed).
     pub faults: Vec<FaultRecord>,
+    /// Schedule perturbations injected during the run by the installed
+    /// [`ChaosPlan`](crate::ChaosPlan) (empty when no plan was installed).
+    pub chaos: Vec<ChaosRecord>,
     /// Kernel self-metrics for the run (always collected; see
     /// [`KernelStats`]).
     pub kernel: KernelStats,
@@ -174,11 +180,24 @@ struct MisuseUnwind;
 /// or fault-triggered abort); the reason was already stored.
 struct AbortUnwind;
 
+/// Payload used to unwind a process that observed a broken invariant
+/// (layer-level conformance hooks); the details were already stored.
+struct InvariantUnwind;
+
 /// Stored misuse details, turned into [`RunError::ModelMisuse`].
 struct Misuse {
     process: String,
     location: String,
     error: ModelError,
+}
+
+/// Stored invariant-violation details, turned into
+/// [`RunError::InvariantViolation`] by the kernel (or by `run_until` for
+/// violations observed during teardown).
+struct Violation {
+    invariant: &'static str,
+    subject: String,
+    details: String,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -276,6 +295,17 @@ struct State {
     /// [`FaultPlan`] was installed, which guarantees structurally that an
     /// empty plan perturbs nothing.
     faults: Option<FaultState>,
+    /// Armed schedule-perturbation state; `None` unless a non-empty
+    /// [`ChaosPlan`] was installed (same structural zero-perturbation
+    /// guarantee as `faults`).
+    chaos: Option<ChaosState>,
+    /// Armed invariant-oracle state; `None` unless a non-empty
+    /// [`KernelInvariants`] selection was installed, so disabled checks
+    /// cost nothing on the hot path.
+    oracle: Option<OracleState>,
+    /// First invariant violation observed (by the oracle or a layer
+    /// conformance hook); drained into [`RunError::InvariantViolation`].
+    invariant: Option<Violation>,
     /// Declared wait-for edges, keyed by waiter name (sorted for
     /// deterministic cycle reporting): waiter → (resource, holder).
     wait_graph: BTreeMap<String, (String, String)>,
@@ -505,8 +535,11 @@ impl Shared {
 /// Outcome of driving the scheduler to its next decision.
 enum Step {
     /// Hand the run token to this process (already marked `Running` and
-    /// counted in the stats by [`next_step`]).
-    Resume(ProcessId, Arc<ParkCell>),
+    /// counted in the stats by [`next_step`]). The flag asks the resuming
+    /// side to *stall* the handoff (chaos injection): deliver the token on
+    /// the slow path to widen race windows in the spin-then-park protocol.
+    /// Always `false` without an armed [`ChaosPlan`].
+    Resume(ProcessId, Arc<ParkCell>, bool),
     /// The kernel thread must take over: an error is pending, the run is
     /// quiescent, or the next timed activity lies beyond the horizon.
     Kernel,
@@ -524,10 +557,24 @@ fn next_step(shared: &Shared, st: &mut State) -> Step {
         // Pending errors always bounce control to the kernel thread before
         // any further resume, preserving the "nothing runs after a
         // panic/misuse/abort" invariant regardless of who is driving.
-        if st.panic.is_some() || st.misuse.is_some() || st.abort.is_some() {
+        if st.panic.is_some() || st.misuse.is_some() || st.abort.is_some() || st.invariant.is_some()
+        {
             return Step::Kernel;
         }
-        if let Some(pid) = st.ready.pop_front() {
+        // Chaos hook: an armed plan may pull the next runnable process
+        // from inside the ready queue instead of its head, and/or force
+        // the handoff onto the slow path. `st.chaos` is `None` unless a
+        // non-empty plan was installed, so the common path is exactly the
+        // old `pop_front`.
+        let (pick, stall) = match st.chaos.as_mut() {
+            Some(c) if !st.ready.is_empty() => c.decide(st.ready.len()),
+            _ => (None, false),
+        };
+        let popped = match pick {
+            Some(j) if j > 0 => st.ready.remove(j),
+            _ => st.ready.pop_front(),
+        };
+        if let Some(pid) = popped {
             let entry = &mut st.procs[pid.index()];
             entry.state = ProcState::Running;
             let cell = Arc::clone(&entry.cell);
@@ -537,9 +584,41 @@ fn next_step(shared: &Shared, st: &mut State) -> Step {
             }
             st.last_resumed = Some(pid);
             st.record_kernel(CompactKind::ProcessResumed { pid });
-            return Step::Resume(pid, cell);
+            let now = st.now;
+            if let Some(c) = st.chaos.as_mut() {
+                let decision = c.last_decision();
+                if let Some(position) = pick.filter(|&j| j > 0) {
+                    c.log.push(ChaosRecord {
+                        at: now,
+                        chaos: InjectedChaos::ReorderedDispatch {
+                            decision,
+                            position: position as u64,
+                            process: pid,
+                        },
+                    });
+                }
+                if stall {
+                    c.log.push(ChaosRecord {
+                        at: now,
+                        chaos: InjectedChaos::StalledHandoff {
+                            decision,
+                            process: pid,
+                        },
+                    });
+                }
+            }
+            return Step::Resume(pid, cell, stall);
         }
         if !st.notified.is_empty() {
+            // Oracle hook: validate the delta-flush boundary before
+            // delivering. `st.oracle` is `None` unless checks were
+            // enabled, so the common path pays one pointer test.
+            if st.oracle.is_some() {
+                oracle_delta_flush(st);
+                if st.invariant.is_some() {
+                    return Step::Kernel;
+                }
+            }
             // Delta boundary: deliver notifications in order. The
             // generation bump implicitly invalidates every event's
             // `queued_gen` stamp for the next delta — no clearing pass.
@@ -617,6 +696,142 @@ fn next_step(shared: &Shared, st: &mut State) -> Step {
     }
 }
 
+/// Invariant-oracle checks at a delta-flush boundary (under the state
+/// lock, before notifications are delivered). Only the first violation is
+/// recorded; `next_step` bounces to the kernel as soon as one exists.
+fn oracle_delta_flush(st: &mut State) {
+    let Some(mut o) = st.oracle.take() else {
+        return;
+    };
+    let checks = o.checks;
+    let mut viol: Option<Violation> = None;
+    if checks.delta_monotonic {
+        // The flush below will advance the generation to `delta_gen + 1`;
+        // that value must strictly exceed the previous flush's. A
+        // regression means some code path rewound the stamp clock, which
+        // silently corrupts the O(1) dedup.
+        let new_gen = st.delta_gen + 1;
+        if new_gen <= o.last_flush_gen {
+            viol = Some(Violation {
+                invariant: "delta-monotonicity",
+                subject: format!("delta generation {}", st.delta_gen),
+                details: format!(
+                    "flush generation {new_gen} does not exceed the previous flush's {}",
+                    o.last_flush_gen
+                ),
+            });
+        }
+        o.last_flush_gen = new_gen;
+    }
+    if checks.event_consistency && viol.is_none() {
+        for &e in &st.notified {
+            let entry = &st.events[e.index()];
+            if !entry.alive {
+                viol = Some(Violation {
+                    invariant: "event-consistency",
+                    subject: format!("{e}"),
+                    details: "dead event queued for delta delivery".into(),
+                });
+                break;
+            }
+            if entry.queued_gen != st.delta_gen {
+                viol = Some(Violation {
+                    invariant: "event-consistency",
+                    subject: format!("{e}"),
+                    details: format!(
+                        "queued stamp {} does not match the current delta generation {}",
+                        entry.queued_gen, st.delta_gen
+                    ),
+                });
+                break;
+            }
+        }
+    }
+    if checks.park_tokens && viol.is_none() {
+        // Strict token passing: while a scheduling decision runs (under
+        // the lock), every token deposited earlier has been consumed, so
+        // no unfinished process may hold one. Finished processes may
+        // legitimately hold an unconsumed cancel token.
+        for p in &st.procs {
+            if p.state == ProcState::Finished {
+                continue;
+            }
+            let raw = p.cell.peek_raw();
+            if raw >= MIN_TOKEN {
+                viol = Some(Violation {
+                    invariant: "park-tokens",
+                    subject: format!("process `{}`", p.name),
+                    details: format!("unconsumed resume token {raw} outside a handoff"),
+                });
+                break;
+            }
+        }
+    }
+    if let Some(v) = viol {
+        st.invariant.get_or_insert(v);
+    }
+    st.oracle = Some(o);
+}
+
+/// Invariant-oracle checks after teardown has quiesced the worker pool.
+/// Violations found here are surfaced by `run_until` when the run would
+/// otherwise have succeeded.
+fn oracle_teardown(shared: &Shared, st: &mut State) {
+    let Some(o) = st.oracle.take() else {
+        return;
+    };
+    let checks = o.checks;
+    let mut viol: Option<Violation> = None;
+    if checks.pool_quiescence {
+        let outstanding = shared.wg.outstanding();
+        if outstanding != 0 {
+            viol = Some(Violation {
+                invariant: "pool-quiescence",
+                subject: "worker pool".into(),
+                details: format!("{outstanding} process job(s) outstanding after drain"),
+            });
+        } else {
+            // After quiescence every worker consumed its final token
+            // (resume or cancel) on the way out; a leftover token means a
+            // handoff was lost.
+            for p in &st.procs {
+                let raw = p.cell.peek_raw();
+                if raw >= MIN_TOKEN {
+                    viol = Some(Violation {
+                        invariant: "pool-quiescence",
+                        subject: format!("process `{}`", p.name),
+                        details: format!("token {raw} left unconsumed after pool drain"),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    if checks.wait_graph_acyclic && viol.is_none() {
+        if let Some(cycle) = st.find_wait_cycle() {
+            let n = cycle.len();
+            let malformed = (0..n).find(|&i| cycle[i].holder != cycle[(i + 1) % n].waiter);
+            if let Some(i) = malformed {
+                viol = Some(Violation {
+                    invariant: "wait-graph-acyclic",
+                    subject: format!("`{}`", cycle[i].waiter),
+                    details: format!(
+                        "reported wait cycle is malformed: edge {i} holds `{}` but edge {} waits \
+                         as `{}`",
+                        cycle[i].holder,
+                        (i + 1) % n,
+                        cycle[(i + 1) % n].waiter
+                    ),
+                });
+            }
+        }
+    }
+    if let Some(v) = viol {
+        st.invariant.get_or_insert(v);
+    }
+    st.oracle = Some(o);
+}
+
 // ---------------------------------------------------------------------------
 // Simulation
 // ---------------------------------------------------------------------------
@@ -659,6 +874,8 @@ impl Default for Simulation {
 #[must_use = "call `.build()` to obtain the configured Simulation"]
 pub struct SimulationBuilder {
     fault_plan: Option<FaultPlan>,
+    chaos_plan: Option<ChaosPlan>,
+    invariants: Option<KernelInvariants>,
     stall_policy: Option<StallPolicy>,
     trace: Option<TraceConfig>,
     trace_sink: Option<Box<dyn TraceSink>>,
@@ -668,6 +885,8 @@ impl core::fmt::Debug for SimulationBuilder {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("SimulationBuilder")
             .field("fault_plan", &self.fault_plan)
+            .field("chaos_plan", &self.chaos_plan)
+            .field("invariants", &self.invariants)
             .field("stall_policy", &self.stall_policy)
             .field("trace", &self.trace)
             .field("custom_sink", &self.trace_sink.is_some())
@@ -681,6 +900,23 @@ impl SimulationBuilder {
     /// byte-identical to no injection.
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Installs a seeded [`ChaosPlan`] perturbing kernel scheduling
+    /// decisions. An empty plan ([`ChaosPlan::none`] or all-zero rates)
+    /// is not armed at all, so it is guaranteed byte-identical to no
+    /// perturbation.
+    pub fn chaos_plan(mut self, plan: ChaosPlan) -> Self {
+        self.chaos_plan = Some(plan);
+        self
+    }
+
+    /// Enables the kernel invariant oracle for the selected checks (see
+    /// [`KernelInvariants`]). An empty selection is not armed at all —
+    /// the disabled oracle has zero overhead.
+    pub fn invariants(mut self, checks: KernelInvariants) -> Self {
+        self.invariants = Some(checks);
         self
     }
 
@@ -716,6 +952,12 @@ impl SimulationBuilder {
         let mut sim = Simulation::new();
         if let Some(plan) = self.fault_plan {
             sim.install_fault_plan(plan);
+        }
+        if let Some(plan) = self.chaos_plan {
+            sim.install_chaos_plan(plan);
+        }
+        if let Some(checks) = self.invariants {
+            sim.install_invariants(checks);
         }
         if let Some(policy) = self.stall_policy {
             sim.install_stall_policy(policy);
@@ -767,6 +1009,9 @@ impl Simulation {
                 misuse: None,
                 abort: None,
                 faults: None,
+                chaos: None,
+                oracle: None,
+                invariant: None,
                 wait_graph: BTreeMap::new(),
                 stall_policy: StallPolicy::default(),
                 trace: None,
@@ -790,6 +1035,24 @@ impl Simulation {
             None
         } else {
             Some(FaultState::new(plan))
+        };
+    }
+
+    fn install_chaos_plan(&mut self, plan: ChaosPlan) {
+        let mut st = self.shared.state.lock();
+        st.chaos = if plan.is_empty() {
+            None
+        } else {
+            Some(ChaosState::new(plan))
+        };
+    }
+
+    fn install_invariants(&mut self, checks: KernelInvariants) {
+        let mut st = self.shared.state.lock();
+        st.oracle = if checks.is_empty() {
+            None
+        } else {
+            Some(OracleState::new(checks))
         };
     }
 
@@ -876,6 +1139,18 @@ impl Simulation {
             Err(e) => Err(e),
             Ok(end_time) => {
                 let mut st = self.shared.state.lock();
+                // Violations observed by the oracle's teardown checks (or
+                // stored by a layer hook racing the end of the run) fail
+                // an otherwise clean run.
+                if let Some(v) = st.invariant.take() {
+                    let at = st.now;
+                    return Err(RunError::InvariantViolation {
+                        invariant: v.invariant,
+                        subject: v.subject,
+                        details: v.details,
+                        at,
+                    });
+                }
                 st.stats.wall_time = wall_time;
                 let blocked = st
                     .procs
@@ -888,11 +1163,17 @@ impl Simulation {
                     .as_mut()
                     .map(|f| std::mem::take(&mut f.log))
                     .unwrap_or_default();
+                let chaos = st
+                    .chaos
+                    .as_mut()
+                    .map(|c| std::mem::take(&mut c.log))
+                    .unwrap_or_default();
                 let kernel = st.stats.clone();
                 Ok(Report {
                     end_time,
                     blocked,
                     faults,
+                    chaos,
                     kernel,
                 })
             }
@@ -906,7 +1187,7 @@ impl Simulation {
         self.shared.kernel_cell.register();
         self.shared.state.lock().until = until;
         loop {
-            let cell = {
+            let (cell, stall) = {
                 let mut st = self.shared.state.lock();
                 if let Some((process, message)) = st.panic.take() {
                     return Err(RunError::ProcessPanicked { process, message });
@@ -927,8 +1208,17 @@ impl Simulation {
                         AbortReason::Fault { reason } => RunError::FaultAbort { reason, at },
                     });
                 }
+                if let Some(v) = st.invariant.take() {
+                    let at = st.now;
+                    return Err(RunError::InvariantViolation {
+                        invariant: v.invariant,
+                        subject: v.subject,
+                        details: v.details,
+                        at,
+                    });
+                }
                 match next_step(&self.shared, &mut st) {
-                    Step::Resume(_, cell) => cell,
+                    Step::Resume(_, cell, stall) => (cell, stall),
                     Step::Kernel => {
                         // No error is pending (just checked), so either the
                         // next timed activity lies beyond the horizon, or
@@ -947,6 +1237,12 @@ impl Simulation {
             // one unpark). The state lock is released before either side
             // runs, and the kernel stays parked until the simulation needs
             // it again — possibly many scheduling steps later.
+            if stall {
+                // Chaos: widen the race window between the decision and
+                // the token deposit (host-side only; the simulated
+                // schedule is already fixed).
+                std::thread::yield_now();
+            }
             cell.set(TOK_GO);
             self.shared.kernel_cell.wait();
         }
@@ -977,6 +1273,12 @@ impl Simulation {
         // catches; a panicked process already recorded its message. Either
         // way the job wrapper calls `wg.done()` on its way out.
         self.shared.wg.wait_zero();
+        // Oracle hook: with the pool quiesced, no thread but this one can
+        // touch the state — validate the post-drain invariants.
+        let mut st = self.shared.state.lock();
+        if st.oracle.is_some() {
+            oracle_teardown(&self.shared, &mut st);
+        }
     }
 }
 
@@ -1065,12 +1367,17 @@ fn spawn_locked(
 /// simulation state afterwards.
 fn drive_after_exit(shared: &Arc<Shared>, mut st: crate::sync::MutexGuard<'_, State>) {
     let target = match next_step(shared, &mut st) {
-        Step::Resume(_, cell) => Some(cell),
+        Step::Resume(_, cell, stall) => Some((cell, stall)),
         Step::Kernel => None,
     };
     drop(st);
     match target {
-        Some(cell) => cell.set(TOK_GO),
+        Some((cell, stall)) => {
+            if stall {
+                std::thread::yield_now();
+            }
+            cell.set(TOK_GO);
+        }
         None => shared.kernel_cell.set(TOK_GO),
     }
 }
@@ -1100,11 +1407,13 @@ fn run_process(ctx: &ProcCtx, body: ProcBody) {
             }
             if payload.downcast_ref::<MisuseUnwind>().is_some()
                 || payload.downcast_ref::<AbortUnwind>().is_some()
+                || payload.downcast_ref::<InvariantUnwind>().is_some()
             {
-                // Misuse/abort details were already stored in kernel state
-                // by `ProcCtx::misuse` / `ProcCtx::abort_run`; finish this
-                // process and hand control back to the kernel, which will
-                // convert the stored record into a structured `RunError`.
+                // Misuse/abort/violation details were already stored in
+                // kernel state by `ProcCtx::misuse` / `ProcCtx::abort_run`
+                // / `ProcCtx::invariant_violation`; finish this process
+                // and hand control back to the kernel, which will convert
+                // the stored record into a structured `RunError`.
                 let mut st = ctx.shared.state.lock();
                 st.finish(ctx.pid);
                 // The pending misuse/abort makes `next_step` bounce to the
@@ -1234,6 +1543,30 @@ impl ProcCtx {
         })
     }
 
+    /// Reports a broken invariant observed by a layer-level conformance
+    /// hook (e.g. the RTOS model's scheduler checks): the run fails with
+    /// [`RunError::InvariantViolation`] naming the invariant, `subject`
+    /// (the offending process/event/task) and the observed state. Never
+    /// returns — this process unwinds and the simulation tears down
+    /// cleanly, exactly like [`misuse_layer`](ProcCtx::misuse_layer).
+    pub fn invariant_violation(
+        &self,
+        invariant: &'static str,
+        subject: impl Into<String>,
+        details: impl Into<String>,
+    ) -> ! {
+        let mut st = self.shared.state.lock();
+        if st.invariant.is_none() {
+            st.invariant = Some(Violation {
+                invariant,
+                subject: subject.into(),
+                details: details.into(),
+            });
+        }
+        drop(st);
+        panic::resume_unwind(Box::new(InvariantUnwind));
+    }
+
     /// Aborts the whole run from inside the simulation: the run fails with
     /// [`RunError::WatchdogExpired`] or [`RunError::FaultAbort`] depending
     /// on `reason`. Never returns. Used by health monitors (e.g. the RTOS
@@ -1319,7 +1652,19 @@ impl ProcCtx {
             let fate = f.notify_fate(now, event);
             st.faults = Some(f);
             match fate {
-                NotifyFate::Drop => return,
+                NotifyFate::Drop => {
+                    // Test-only injected kernel bug (`chaos-bug` feature,
+                    // armed only when a chaos plan is active): a dropped
+                    // notification regresses the delta-stamp clock,
+                    // silently corrupting the O(1) dedup. `bench --bin
+                    // chaos` must find this via the invariant oracle and
+                    // shrink it to a minimal repro.
+                    #[cfg(feature = "chaos-bug")]
+                    if st.chaos.is_some() {
+                        st.delta_gen = st.delta_gen.saturating_sub(1);
+                    }
+                    return;
+                }
                 NotifyFate::Duplicate => {
                     // Re-deliver in a later delta at the same timestamp via
                     // a zero-delay timed notification.
@@ -1528,17 +1873,24 @@ impl ProcCtx {
         // outcomes, cheapest first: (a) this process is its own successor
         // — keep running, zero context switches; (b) another process is
         // next — pass the token straight to it, one switch, kernel stays
-        // asleep; (c) the kernel is needed — wake it.
+        // asleep; (c) the kernel is needed — wake it. A chaos stall
+        // disables shortcut (a): the token round-trips through this
+        // process's own cell, exercising the set-then-wait slow path.
         let target = {
             let mut st = self.shared.state.lock();
             match next_step(&self.shared, &mut st) {
-                Step::Resume(pid, _) if pid == self.pid => return,
-                Step::Resume(_, cell) => Some(cell),
+                Step::Resume(pid, _, false) if pid == self.pid => return,
+                Step::Resume(_, cell, stall) => Some((cell, stall)),
                 Step::Kernel => None,
             }
         };
         match target {
-            Some(cell) => cell.set(TOK_GO),
+            Some((cell, stall)) => {
+                if stall {
+                    std::thread::yield_now();
+                }
+                cell.set(TOK_GO);
+            }
             None => self.shared.kernel_cell.set(TOK_GO),
         }
         if self.cell.wait() != TOK_GO {

@@ -57,13 +57,20 @@
 //! * [`FaultPlan`] — seeded, deterministic injection of WCET jitter,
 //!   dropped/duplicated notifications and spurious event releases
 //!   (see [`fault`]).
+//! * [`ChaosPlan`] — seeded, deterministic perturbation of *kernel*
+//!   scheduling decisions (same-delta dispatch order, handoff stalls) and
+//!   the opt-in [`KernelInvariants`] oracle checking the kernel's own
+//!   consistency at delta-flush and teardown boundaries (see [`chaos`]).
 //! * [`StallPolicy`] / [`RunError::Deadlock`] — wait-for-graph deadlock
 //!   detection at quiescence, with edges declared by synchronization
 //!   layers through [`SldlSync::declare_wait`].
 //! * [`RunError::ModelMisuse`] — structured reporting of model misuse
 //!   (formerly bare panics), with `file:line` caller context.
+//! * [`RunError::InvariantViolation`] — structured reporting of oracle
+//!   and layer-conformance violations, naming the invariant and subject.
 
 pub mod channel;
+pub mod chaos;
 mod error;
 pub mod fault;
 mod ids;
@@ -76,6 +83,7 @@ pub mod trace;
 mod time;
 
 pub use channel::{Handshake, Queue, Semaphore, SldlSync, SyncLayer};
+pub use chaos::{ChaosPlan, ChaosRecord, InjectedChaos, KernelInvariants};
 pub use error::{AbortReason, ModelError, RunError, WaitEdge};
 pub use fault::{FaultPlan, FaultRecord, InjectedFault, SpuriousRelease, WcetJitter};
 pub use ids::{EventId, ProcessId};

@@ -140,6 +140,16 @@ impl ParkCell {
         }
     }
 
+    /// Non-consuming snapshot of the raw cell state: a pending token
+    /// (≥ [`MIN_TOKEN`]) or one of the internal empty/parked states.
+    /// Diagnostic only — the kernel's invariant oracle uses it to assert
+    /// that no unconsumed token exists while a scheduling decision runs;
+    /// it must never drive a handoff.
+    #[must_use]
+    pub fn peek_raw(&self) -> u32 {
+        self.state.load(Ordering::Acquire)
+    }
+
     /// Consumes a pending token without blocking, if one is present.
     pub fn try_take(&self) -> Option<u32> {
         loop {

@@ -19,8 +19,8 @@ use rtos_model::{
 };
 use sldl_sim::sync::Mutex;
 use sldl_sim::{
-    Child, FaultPlan, KernelStats, ProcCtx, Queue, Record, RunError, SimTime, Simulation,
-    SyncLayer, TraceConfig, TraceHandle,
+    ChaosPlan, Child, FaultPlan, KernelInvariants, KernelStats, ProcCtx, Queue, Record, RunError,
+    SimTime, Simulation, SyncLayer, TraceConfig, TraceHandle,
 };
 
 use crate::codec::{Decoder, EncodedFrame, Encoder};
@@ -62,6 +62,14 @@ pub struct VocoderConfig {
     /// [`VocoderRun::records`]. Off by default — the hot path stays
     /// record-free.
     pub trace: bool,
+    /// Seeded schedule-perturbation plan injected at the kernel level
+    /// ([`ChaosPlan::none`] leaves the run byte-identical to an
+    /// uninstrumented one).
+    pub chaos: ChaosPlan,
+    /// Arm the kernel invariant oracle ([`KernelInvariants::all`]) and,
+    /// in the architecture model, the RTOS scheduler-conformance checks.
+    /// Off by default — disabled oracles cost nothing on the hot path.
+    pub oracle: bool,
 }
 
 /// A watchdog configuration for [`VocoderConfig::watchdog`].
@@ -85,6 +93,8 @@ impl Default for VocoderConfig {
             faults: FaultPlan::none(),
             watchdog: None,
             trace: false,
+            chaos: ChaosPlan::none(),
+            oracle: false,
         }
     }
 }
@@ -265,7 +275,12 @@ fn finish(
 /// Returns [`RunError`] if a simulated process panics.
 pub fn simulate_unscheduled(cfg: &VocoderConfig) -> Result<VocoderRun, RunError> {
     let started = std::time::Instant::now();
-    let mut builder = Simulation::builder().fault_plan(cfg.faults.clone());
+    let mut builder = Simulation::builder()
+        .fault_plan(cfg.faults.clone())
+        .chaos_plan(cfg.chaos.clone());
+    if cfg.oracle {
+        builder = builder.invariants(KernelInvariants::all());
+    }
     if cfg.trace {
         builder = builder.trace(TraceConfig::default());
     }
@@ -299,13 +314,21 @@ pub fn simulate_architecture(
     slice: TimeSlice,
 ) -> Result<VocoderRun, RunError> {
     let started = std::time::Instant::now();
-    let mut builder = Simulation::builder().fault_plan(cfg.faults.clone());
+    let mut builder = Simulation::builder()
+        .fault_plan(cfg.faults.clone())
+        .chaos_plan(cfg.chaos.clone());
+    if cfg.oracle {
+        builder = builder.invariants(KernelInvariants::all());
+    }
     if cfg.trace {
         builder = builder.trace(TraceConfig::default());
     }
     let mut sim = builder.build();
     let trace = sim.trace_handle();
     let os = Rtos::new("dsp", sim.sync_layer());
+    if cfg.oracle {
+        os.set_conformance_checks(true);
+    }
     if let Some(t) = &trace {
         os.attach_trace(t.clone());
     }
