@@ -21,22 +21,26 @@
 //! `rtos-sld-chaos-repro/1` JSON artifact replayable with
 //! `--repro PATH`: one seed plus two plans reproduce the failure.
 //!
+//! The matrix itself is a set of declarative [`ScenarioSpec`] points on
+//! the shared [`SweepApp`] skeleton (watchdog-guarded farm, `--json`
+//! document, incremental `--cache-dir` reruns); the shrinker and replay
+//! pipeline stay bin-local.
+//!
 //! Run with `cargo run -p bench --bin chaos -- [--frames N] [--seeds N]
 //! [--jobs N] [--seed S] [--oracle 0|1] [--shrink 0|1]
 //! [--watchdog-us US] [--repro-out PATH] [--repro PATH] [--json PATH]
-//! [--quiet]`. Exits nonzero iff chaos failures were found (or, in
-//! `--repro` mode, iff the artifact fails to reproduce).
+//! [--cache-dir DIR] [--quiet]`. Exits nonzero iff chaos failures were
+//! found (or, in `--repro` mode, iff the artifact fails to reproduce).
 
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-use bench::cli;
-use bench::farm::{run_guarded, run_sweep_guarded, DegradedKind, Guarded, PointResult};
+use bench::cli::{self, SweepApp, SweepPoint};
+use bench::farm::{derive_seed, run_guarded, DegradedKind, Guarded, PointResult};
 use bench::json::Json;
-use bench::results::ResultsDoc;
 use bench::scenario::{ScenarioOutcome, ScenarioSpec, Workload};
 use bench::TextTable;
-use sldl_sim::{ChaosPlan, FaultPlan, WcetJitter};
+use sldl_sim::prelude::*;
 
 const ABOUT: &str =
     "C1: chaos torture matrix (seed x ChaosPlan x FaultPlan) with auto-shrinking minimal repro";
@@ -130,6 +134,9 @@ fn classify(outcome: &PointResult<ScenarioOutcome>) -> Option<(FailureKind, Stri
             let kind = match d.kind {
                 DegradedKind::Panicked => FailureKind::Panicked,
                 DegradedKind::Overtime => FailureKind::Overtime,
+                // `DegradedKind` is #[non_exhaustive]; treat future kinds
+                // as the most severe class until given their own bucket.
+                _ => FailureKind::Panicked,
             };
             Some((kind, d.message.clone()))
         }
@@ -525,14 +532,13 @@ fn replay(path: &Path, watchdog: Duration, quiet: bool) -> i32 {
     }
 }
 
-/// One torture-matrix point (the spec plus the labels that defined it).
-#[derive(Debug, Clone)]
-struct MatrixPoint {
+/// The labels defining one torture-matrix member; the runnable spec
+/// lives in the parallel [`SweepPoint`] at the same index.
+#[derive(Debug, Clone, Copy)]
+struct CellLabel {
     workload: &'static str,
     chaos_name: &'static str,
     fault_name: &'static str,
-    seed_idx: usize,
-    spec: ScenarioSpec,
 }
 
 fn main() {
@@ -592,31 +598,38 @@ fn main() {
     ];
 
     const WORKLOADS: [&str; 3] = ["vocoder", "vocoder_unsched", "task_set"];
-    let mut points: Vec<MatrixPoint> = Vec::new();
+    let mut labels: Vec<CellLabel> = Vec::new();
+    let mut points: Vec<SweepPoint> = Vec::new();
     for workload in WORKLOADS {
         for (chaos_name, chaos) in &chaos_plans {
             for (fault_name, faults) in &fault_plans {
                 for seed_idx in 0..seeds {
-                    points.push(MatrixPoint {
+                    labels.push(CellLabel {
                         workload,
                         chaos_name,
                         fault_name,
-                        seed_idx,
-                        spec: build_spec(workload, frames, faults, chaos, oracle),
                     });
+                    points.push(
+                        SweepPoint::new(build_spec(workload, frames, faults, chaos, oracle))
+                            .named(format!("{workload}/{chaos_name}/{fault_name}/s{seed_idx}"))
+                            .param("workload", Json::str(workload))
+                            .param("chaos", Json::str(*chaos_name))
+                            .param("faults", Json::str(*fault_name)),
+                    );
                 }
             }
         }
     }
 
-    let started = std::time::Instant::now();
     // The per-point seed (derived from --seed and the point index)
     // re-keys both plans, so every cell draws `--seeds` independent
     // perturbation/fault streams.
-    let outcomes = run_sweep_guarded(args.seed, args.jobs, watchdog, &points, |ctx, p| {
-        p.spec.run_seeded(ctx.seed)
-    });
-    let wall = started.elapsed();
+    let app = SweepApp::new("chaos", args)
+        .header("frames", Json::U64(frames as u64))
+        .header("seeds_per_cell", Json::U64(seeds as u64))
+        .header("oracle", Json::Bool(oracle))
+        .watchdog(watchdog);
+    let run = app.run(&points);
 
     struct Failure {
         index: usize,
@@ -624,21 +637,21 @@ fn main() {
         kind: FailureKind,
         message: String,
     }
-    let failures: Vec<Failure> = points
+    let failures: Vec<Failure> = run
+        .outcomes
         .iter()
-        .zip(&outcomes)
         .enumerate()
-        .filter_map(|(index, (_, outcome))| {
+        .filter_map(|(index, outcome)| {
             classify(outcome).map(|(kind, message)| Failure {
                 index,
-                seed: bench::farm::derive_seed(args.seed, index as u64),
+                seed: derive_seed(app.args.seed, index as u64),
                 kind,
                 message,
             })
         })
         .collect();
 
-    if !args.quiet {
+    if !app.args.quiet {
         println!(
             "C1: chaos torture matrix — {} points ({} workloads x {} chaos x {} faults x \
              {seeds} seeds), frames={frames}, oracle={}\n",
@@ -653,13 +666,13 @@ fn main() {
         for workload in WORKLOADS {
             for (chaos_name, _) in &chaos_plans {
                 for (fault_name, _) in &fault_plans {
-                    let cell: Vec<usize> = points
+                    let cell: Vec<usize> = labels
                         .iter()
                         .enumerate()
-                        .filter(|(_, p)| {
-                            p.workload == workload
-                                && p.chaos_name == *chaos_name
-                                && p.fault_name == *fault_name
+                        .filter(|(_, l)| {
+                            l.workload == workload
+                                && l.chaos_name == *chaos_name
+                                && l.fault_name == *fault_name
                         })
                         .map(|(i, _)| i)
                         .collect();
@@ -680,69 +693,24 @@ fn main() {
         }
         print!("{}", t.render());
         for f in &failures {
-            let p = &points[f.index];
+            let l = &labels[f.index];
             println!(
                 "\nfailure: point {} ({}/{}/{} seed {}): {} — {}",
                 f.index,
-                p.workload,
-                p.chaos_name,
-                p.fault_name,
+                l.workload,
+                l.chaos_name,
+                l.fault_name,
                 f.seed,
                 f.kind.as_str(),
                 f.message
             );
         }
-        println!(
-            "\nfarm: {} points, jobs={}, watchdog {} ms, wall {}",
-            points.len(),
-            args.jobs,
-            watchdog.as_millis(),
-            bench::fmt_host(wall)
-        );
     }
 
-    if let Some(path) = &args.json {
-        let mut doc = ResultsDoc::new("chaos", args.seed);
-        doc.header("frames", Json::U64(frames as u64));
-        doc.header("seeds_per_cell", Json::U64(seeds as u64));
-        doc.header("oracle", Json::Bool(oracle));
-        for (i, (p, outcome)) in points.iter().zip(&outcomes).enumerate() {
-            match outcome {
-                PointResult::Completed(o) => {
-                    doc.push_point(
-                        &format!(
-                            "{}/{}/{}/s{}",
-                            p.workload, p.chaos_name, p.fault_name, p.seed_idx
-                        ),
-                        i,
-                        Json::obj([
-                            ("workload", Json::str(p.workload)),
-                            ("chaos", Json::str(p.chaos_name)),
-                            ("faults", Json::str(p.fault_name)),
-                        ]),
-                        o,
-                    );
-                }
-                PointResult::Degraded(d) => {
-                    doc.push_degraded(d);
-                }
-            }
-        }
-        match doc.write(path) {
-            Ok(_) => {
-                if !args.quiet {
-                    println!("wrote {}", path.display());
-                }
-            }
-            Err(e) => {
-                eprintln!("error: writing {}: {e}", path.display());
-                std::process::exit(1);
-            }
-        }
-    }
+    app.finish(&points, &run, |_doc| {});
 
     if failures.is_empty() {
-        if !args.quiet {
+        if !app.args.quiet {
             println!("\nno chaos failures found");
         }
         return;
@@ -756,25 +724,25 @@ fn main() {
         .find(|f| f.kind != FailureKind::Overtime)
         .unwrap_or(&failures[0]);
     if shrink {
-        let p = &points[first.index];
+        let l = &labels[first.index];
         let repro = Repro {
-            workload: p.workload.to_string(),
+            workload: l.workload.to_string(),
             frames,
             seed: first.seed,
             faults: fault_plans
                 .iter()
-                .find(|(n, _)| *n == p.fault_name)
+                .find(|(n, _)| *n == l.fault_name)
                 .map(|(_, f)| f.clone())
                 .unwrap_or_else(FaultPlan::none),
             chaos: chaos_plans
                 .iter()
-                .find(|(n, _)| *n == p.chaos_name)
+                .find(|(n, _)| *n == l.chaos_name)
                 .map(|(_, c)| c.clone())
                 .unwrap_or_else(ChaosPlan::none),
             kind: first.kind,
             message: first.message.clone(),
         };
-        if !args.quiet {
+        if !app.args.quiet {
             println!(
                 "\nshrinking failure at point {} ({} — {})...",
                 first.index,
@@ -785,7 +753,7 @@ fn main() {
         let (minimal, trials) = Shrinker::new(repro, watchdog).shrink();
         match minimal.to_json().write_to(&repro_out) {
             Ok(()) => {
-                if !args.quiet {
+                if !app.args.quiet {
                     let active_kinds = usize::from(minimal.faults.wcet.is_some())
                         + usize::from(minimal.faults.drop_notify > 0.0)
                         + usize::from(minimal.faults.dup_notify > 0.0);

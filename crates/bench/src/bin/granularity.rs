@@ -9,20 +9,19 @@
 //! shows a 250 µs response error; finer slicing converges to the true
 //! response at increasing simulation cost.
 //!
-//! Each quantum is one declarative [`ScenarioSpec`] point on the
-//! experiment farm. The JSON document contains only the deterministic
-//! columns (response error, trace records); host time is printed to
-//! stdout only.
+//! Each quantum is one declarative [`ScenarioSpec`] point driven by the
+//! shared [`SweepApp`] skeleton. The JSON document contains only the
+//! deterministic columns (response error, trace records); host time is
+//! printed to stdout only (and reads ~0 for points answered from a
+//! `--cache-dir` cache, which skip simulation entirely).
 //!
 //! Run with `cargo run -p bench --bin granularity -- [--jobs N]
-//! [--seed S] [--json PATH] [--quiet]`.
+//! [--seed S] [--json PATH] [--cache-dir DIR] [--quiet]`.
 
 use std::time::Duration;
 
-use bench::cli;
-use bench::farm::{derive_seed, run_sweep, PointResult};
+use bench::cli::{self, SweepApp, SweepPoint};
 use bench::json::Json;
-use bench::results::ResultsDoc;
 use bench::scenario::{ScenarioSpec, Workload};
 use bench::{fmt_host, TextTable};
 use rtos_model::TimeSlice;
@@ -41,20 +40,20 @@ fn main() {
         ("10 us", TimeSlice::Quantum(Duration::from_micros(10))),
         ("5 us", TimeSlice::Quantum(Duration::from_micros(5))),
     ];
-    let points: Vec<ScenarioSpec> = quanta
+    let points: Vec<SweepPoint> = quanta
         .iter()
         .map(|(name, slice)| {
-            ScenarioSpec::new(format!("slice={name}"), Workload::Figure3).slice(*slice)
+            SweepPoint::new(
+                ScenarioSpec::new(format!("slice={name}"), Workload::Figure3).slice(*slice),
+            )
+            .param("slice", Json::str(*name))
         })
         .collect();
 
-    let started = std::time::Instant::now();
-    let outcomes = run_sweep(args.seed, args.jobs, &points, |ctx, p| {
-        p.run_seeded(ctx.seed)
-    });
-    let wall = started.elapsed();
+    let app = SweepApp::new("granularity", args);
+    let run = app.run(&points);
 
-    if !args.quiet {
+    if !app.args.quiet {
         println!("A1: preemption-granularity sweep (Fig. 3 workload, interrupt at 800 us)\n");
         let mut t = TextTable::new();
         t.row([
@@ -64,7 +63,7 @@ fn main() {
             "trace records",
             "host time",
         ]);
-        for ((name, _), outcome) in quanta.iter().zip(&outcomes) {
+        for ((name, _), outcome) in quanta.iter().zip(&run.outcomes) {
             match outcome.as_completed() {
                 Some(o) => t.row([
                     (*name).to_string(),
@@ -84,42 +83,7 @@ fn main() {
         }
         print!("{}", t.render());
         println!("\nShape check: error shrinks monotonically with the quantum, cost grows.");
-        println!(
-            "\nfarm: {} points, jobs={}, wall {}",
-            points.len(),
-            args.jobs,
-            fmt_host(wall)
-        );
     }
 
-    if let Some(path) = &args.json {
-        let mut doc = ResultsDoc::new("granularity", args.seed);
-        for (i, ((name, _), (p, outcome))) in
-            quanta.iter().zip(points.iter().zip(&outcomes)).enumerate()
-        {
-            match outcome {
-                PointResult::Completed(o) => {
-                    doc.push_point(&p.name, i, Json::obj([("slice", Json::str(*name))]), o);
-                }
-                PointResult::Degraded(d) => {
-                    doc.push_degraded(d);
-                }
-            }
-        }
-        match doc.write(path) {
-            Ok(_) => {
-                if !args.quiet {
-                    println!("wrote {}", path.display());
-                }
-            }
-            Err(e) => {
-                eprintln!("error: writing {}: {e}", path.display());
-                std::process::exit(1);
-            }
-        }
-    }
-
-    if let Some(p) = points.first() {
-        bench::trace::handle_trace_out(&args, p, derive_seed(args.seed, 0));
-    }
+    app.finish(&points, &run, |_doc| {});
 }

@@ -4,17 +4,17 @@
 //! deadlines start missing and the backlog diverges — the kind of
 //! headroom exploration the paper's abstract models exist to make cheap.
 //!
-//! Each scale factor is one declarative [`ScenarioSpec`] point on the
-//! experiment farm (`--jobs` parallel, bit-identical results; `--json`
-//! writes the `rtos-sld-bench/1` document).
+//! Each scale factor is one declarative [`ScenarioSpec`] point driven by
+//! the shared [`SweepApp`] skeleton (`--jobs` parallel, bit-identical
+//! results; `--json` writes the `rtos-sld-bench/1` document;
+//! `--cache-dir` makes reruns incremental).
 //!
 //! Run with `cargo run -p bench --bin load_sweep -- [--frames N]
-//! [--jobs N] [--seed S] [--json PATH] [--quiet]`.
+//! [--jobs N] [--seed S] [--json PATH] [--cache-dir DIR] [--quiet]`.
 
-use bench::cli;
-use bench::farm::{derive_seed, run_sweep, PointResult};
+use bench::cli::{self, SweepApp, SweepPoint};
+use bench::farm::PointResult;
 use bench::json::Json;
-use bench::results::ResultsDoc;
 use bench::scenario::{ScenarioSpec, Workload};
 use bench::stats::Aggregate;
 use bench::TextTable;
@@ -29,22 +29,22 @@ fn main() {
         .map(|pct| f64::from(*pct) / 100.0)
         .collect();
 
-    let points: Vec<ScenarioSpec> = scales
+    let points: Vec<SweepPoint> = scales
         .iter()
         .map(|scale| {
-            ScenarioSpec::new(format!("scale={scale:.2}"), Workload::VocoderArchitecture)
-                .frames(frames)
-                .timing_scale(*scale)
+            SweepPoint::new(
+                ScenarioSpec::new(format!("scale={scale:.2}"), Workload::VocoderArchitecture)
+                    .frames(frames)
+                    .timing_scale(*scale),
+            )
+            .param("scale", Json::Num(*scale))
         })
         .collect();
 
-    let started = std::time::Instant::now();
-    let outcomes = run_sweep(args.seed, args.jobs, &points, |ctx, p| {
-        p.run_seeded(ctx.seed)
-    });
-    let wall = started.elapsed();
+    let app = SweepApp::new("load_sweep", args).header("frames", Json::U64(frames as u64));
+    let run = app.run(&points);
 
-    if !args.quiet {
+    if !app.args.quiet {
         println!(
             "A6: codec load sweep — stage times scaled, {frames} frames, priority-preemptive\n"
         );
@@ -56,7 +56,7 @@ fn main() {
             "worst transcode",
             "frames > 20ms",
         ]);
-        for (scale, outcome) in scales.iter().zip(&outcomes) {
+        for (scale, outcome) in scales.iter().zip(&run.outcomes) {
             match outcome.as_completed() {
                 Some(o) => t.row([
                     format!("{scale:.2}"),
@@ -79,28 +79,11 @@ fn main() {
             "\nShape check: delay is flat below utilization 1.0 and diverges past it\n\
              (each frame adds a constant backlog once the DSP saturates)."
         );
-        println!(
-            "\nfarm: {} points, jobs={}, wall {}",
-            points.len(),
-            args.jobs,
-            bench::fmt_host(wall)
-        );
     }
 
-    if let Some(path) = &args.json {
-        let mut doc = ResultsDoc::new("load_sweep", args.seed);
-        doc.header("frames", Json::U64(frames as u64));
-        for (i, (p, outcome)) in points.iter().zip(&outcomes).enumerate() {
-            match outcome {
-                PointResult::Completed(o) => {
-                    doc.push_point(&p.name, i, Json::obj([("scale", Json::Num(scales[i]))]), o);
-                }
-                PointResult::Degraded(d) => {
-                    doc.push_degraded(d);
-                }
-            }
-        }
-        let means: Vec<f64> = outcomes
+    app.finish(&points, &run, |doc| {
+        let means: Vec<f64> = run
+            .outcomes
             .iter()
             .filter_map(PointResult::as_completed)
             .filter_map(|o| o.metric("mean_transcode_delay_ms"))
@@ -108,20 +91,5 @@ fn main() {
         if let Some(a) = Aggregate::from_samples(&means) {
             doc.push_aggregate("all_scales", [("mean_transcode_delay_ms", a)]);
         }
-        match doc.write(path) {
-            Ok(_) => {
-                if !args.quiet {
-                    println!("wrote {}", path.display());
-                }
-            }
-            Err(e) => {
-                eprintln!("error: writing {}: {e}", path.display());
-                std::process::exit(1);
-            }
-        }
-    }
-
-    if let Some(p) = points.first() {
-        bench::trace::handle_trace_out(&args, p, derive_seed(args.seed, 0));
-    }
+    });
 }

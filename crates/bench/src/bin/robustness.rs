@@ -10,38 +10,30 @@
 //! `WatchdogExpired`/`Deadlock` diagnosis. Part 3 (R1c) forces a 2×
 //! WCET overrun and shows the metric deltas of each `MissPolicy`.
 //!
-//! All points are declarative [`ScenarioSpec`]s executed by the
-//! experiment farm: `--jobs N` parallelizes the sweep with bit-identical
-//! results, `--json PATH` writes the `rtos-sld-bench/1` document.
+//! All points are declarative [`ScenarioSpec`]s driven by the shared
+//! [`SweepApp`] skeleton: `--jobs N` parallelizes the sweep with
+//! bit-identical results, `--json PATH` writes the `rtos-sld-bench/1`
+//! document, `--cache-dir DIR` makes reruns incremental.
 //!
 //! Run with `cargo run -p bench --bin robustness -- [--frames N]
-//! [--jobs N] [--seed S] [--watchdog-us US] [--json PATH] [--quiet]`.
-//! `--watchdog-us` tunes the decoder watchdog timeout (default 60000 µs,
-//! i.e. the 60 ms the sweep historically hardcoded).
+//! [--jobs N] [--seed S] [--watchdog-us US] [--json PATH]
+//! [--cache-dir DIR] [--quiet]`. `--watchdog-us` tunes the decoder
+//! watchdog timeout (default 60000 µs, i.e. the 60 ms the sweep
+//! historically hardcoded).
 
 use std::time::Duration;
 
-use bench::cli;
-use bench::farm::{derive_seed, run_sweep, PointResult};
+use bench::cli::{self, SweepApp, SweepPoint};
 use bench::json::Json;
-use bench::results::ResultsDoc;
 use bench::scenario::{ScenarioOutcome, ScenarioSpec, Workload};
 use bench::stats::Aggregate;
 use bench::TextTable;
 use rtos_model::{MissPolicy, Priority, SchedAlg, WatchdogAction};
-use sldl_sim::FaultPlan;
+use sldl_sim::prelude::*;
 use vocoder::WatchdogSpec;
 
 const ABOUT: &str =
     "R1: vocoder fault-injection sweep per scheduler + deadline-miss-policy ablation";
-
-/// One sweep point: the spec plus the knobs that defined it (for tables
-/// and the JSON `params` object).
-struct Point {
-    section: &'static str,
-    spec: ScenarioSpec,
-    params: Vec<(&'static str, Json)>,
-}
 
 fn algs() -> [(&'static str, SchedAlg); 3] {
     [
@@ -63,26 +55,34 @@ fn watchdog(timeout: Duration) -> WatchdogSpec {
     }
 }
 
-fn build_points(frames: usize, wd_timeout: Duration) -> Vec<Point> {
+/// The point's section tag (`r1a`/`r1b`/`r1c`): always its first param.
+fn section(p: &SweepPoint) -> &str {
+    match &p.params[0].1 {
+        Json::Str(s) => s,
+        _ => "",
+    }
+}
+
+fn build_points(frames: usize, wd_timeout: Duration) -> Vec<SweepPoint> {
     let mut points = Vec::new();
     // R1a: WCET jitter rate x scheduler.
     for rate in [0.0, 0.05, 0.2, 0.5] {
         for (name, alg) in algs() {
-            points.push(Point {
-                section: "r1a",
-                spec: ScenarioSpec::new(
-                    format!("r1a/jitter={rate:.2}/{name}"),
-                    Workload::VocoderArchitecture,
+            points.push(
+                SweepPoint::new(
+                    ScenarioSpec::new(
+                        format!("r1a/jitter={rate:.2}/{name}"),
+                        Workload::VocoderArchitecture,
+                    )
+                    .frames(frames)
+                    .sched(alg)
+                    .faults(FaultPlan::none().with_wcet_jitter(rate, 2.0))
+                    .watchdog(watchdog(wd_timeout)),
                 )
-                .frames(frames)
-                .sched(alg)
-                .faults(FaultPlan::none().with_wcet_jitter(rate, 2.0))
-                .watchdog(watchdog(wd_timeout)),
-                params: vec![
-                    ("jitter_rate", Json::Num(rate)),
-                    ("scheduler", Json::str(name)),
-                ],
-            });
+                .param("section", Json::str("r1a"))
+                .param("jitter_rate", Json::Num(rate))
+                .param("scheduler", Json::str(name)),
+            );
         }
     }
     // R1b: dropped notifications x watchdog armed.
@@ -100,14 +100,12 @@ fn build_points(frames: usize, wd_timeout: Duration) -> Vec<Point> {
             if armed {
                 spec = spec.watchdog(watchdog(wd_timeout));
             }
-            points.push(Point {
-                section: "r1b",
-                spec,
-                params: vec![
-                    ("drop_rate", Json::Num(rate)),
-                    ("watchdog", Json::Bool(armed)),
-                ],
-            });
+            points.push(
+                SweepPoint::new(spec)
+                    .param("section", Json::str("r1b"))
+                    .param("drop_rate", Json::Num(rate))
+                    .param("watchdog", Json::Bool(armed)),
+            );
         }
     }
     // R1c: deadline-miss policies on a forced 2x WCET overrun.
@@ -119,21 +117,21 @@ fn build_points(frames: usize, wd_timeout: Duration) -> Vec<Point> {
         ("KillTask", MissPolicy::KillTask),
     ];
     for (name, policy) in policies {
-        points.push(Point {
-            section: "r1c",
-            spec: ScenarioSpec::new(
+        points.push(
+            SweepPoint::new(ScenarioSpec::new(
                 format!("r1c/policy={name}"),
                 Workload::MissPolicyOverrun { policy },
-            ),
-            params: vec![("policy", Json::str(name))],
-        });
+            ))
+            .param("section", Json::str("r1c"))
+            .param("policy", Json::str(name)),
+        );
     }
     points
 }
 
 fn print_tables(
-    points: &[Point],
-    outcomes: &[PointResult<ScenarioOutcome>],
+    points: &[SweepPoint],
+    outcomes: &[bench::farm::PointResult<ScenarioOutcome>],
     frames: usize,
     wd_timeout: Duration,
 ) {
@@ -158,12 +156,12 @@ fn print_tables(
     for (p, outcome) in points
         .iter()
         .zip(outcomes)
-        .filter(|(p, _)| p.section == "r1a")
+        .filter(|(p, _)| section(p) == "r1a")
     {
         let Some(o) = outcome.as_completed() else {
             t.row([
-                fmt_num(&p.params[0].1),
-                strip_quotes(&p.params[1].1),
+                fmt_num(&p.params[1].1),
+                strip_quotes(&p.params[2].1),
                 "degraded".into(),
                 "-".into(),
                 "-".into(),
@@ -173,8 +171,8 @@ fn print_tables(
             continue;
         };
         t.row([
-            fmt_num(&p.params[0].1),
-            strip_quotes(&p.params[1].1),
+            fmt_num(&p.params[1].1),
+            strip_quotes(&p.params[2].1),
             o.status.clone(),
             o.fmt_metric("faults_injected", 0),
             ms(o, "mean_transcode_delay_ms"),
@@ -190,11 +188,11 @@ fn print_tables(
     for (p, outcome) in points
         .iter()
         .zip(outcomes)
-        .filter(|(p, _)| p.section == "r1b")
+        .filter(|(p, _)| section(p) == "r1b")
     {
         let Some(o) = outcome.as_completed() else {
             t.row([
-                fmt_num(&p.params[0].1),
+                fmt_num(&p.params[1].1),
                 "-".into(),
                 "degraded".into(),
                 "-".into(),
@@ -202,8 +200,8 @@ fn print_tables(
             continue;
         };
         t.row([
-            fmt_num(&p.params[0].1),
-            if p.params[1].1 == Json::Bool(true) {
+            fmt_num(&p.params[1].1),
+            if p.params[2].1 == Json::Bool(true) {
                 "armed"
             } else {
                 "off"
@@ -229,11 +227,11 @@ fn print_tables(
     for (p, outcome) in points
         .iter()
         .zip(outcomes)
-        .filter(|(p, _)| p.section == "r1c")
+        .filter(|(p, _)| section(p) == "r1c")
     {
         let Some(o) = outcome.as_completed() else {
             t.row([
-                strip_quotes(&p.params[0].1),
+                strip_quotes(&p.params[1].1),
                 "degraded".into(),
                 "-".into(),
                 "-".into(),
@@ -244,7 +242,7 @@ fn print_tables(
             continue;
         };
         t.row([
-            strip_quotes(&p.params[0].1),
+            strip_quotes(&p.params[1].1),
             o.fmt_metric("deadline_misses", 0),
             o.fmt_metric("cycles_skipped", 0),
             o.fmt_metric("restarts", 0),
@@ -294,44 +292,21 @@ fn main() {
     let wd_timeout = Duration::from_micros(args.extra_or("watchdog-us", 60_000u64));
     let points = build_points(frames, wd_timeout);
 
-    let started = std::time::Instant::now();
-    let outcomes = run_sweep(args.seed, args.jobs, &points, |ctx, p| {
-        p.spec.run_seeded(ctx.seed)
-    });
-    let wall = started.elapsed();
+    let app = SweepApp::new("robustness", args).header("frames", Json::U64(frames as u64));
+    let run = app.run(&points);
 
-    if !args.quiet {
-        print_tables(&points, &outcomes, frames, wd_timeout);
-        println!(
-            "\nfarm: {} points, jobs={}, wall {}",
-            points.len(),
-            args.jobs,
-            bench::fmt_host(wall)
-        );
+    if !app.args.quiet {
+        print_tables(&points, &run.outcomes, frames, wd_timeout);
     }
 
-    if let Some(path) = &args.json {
-        let mut doc = ResultsDoc::new("robustness", args.seed);
-        doc.header("frames", Json::U64(frames as u64));
-        for (i, (p, outcome)) in points.iter().zip(&outcomes).enumerate() {
-            match outcome {
-                PointResult::Completed(o) => {
-                    let mut params = vec![("section", Json::str(p.section))];
-                    params.extend(p.params.iter().map(|(k, v)| (*k, v.clone())));
-                    doc.push_point(&p.spec.name, i, Json::obj(params), o);
-                }
-                PointResult::Degraded(d) => {
-                    doc.push_degraded(d);
-                }
-            }
-        }
+    app.finish(&points, &run, |doc| {
         // Aggregate transcoding delay across the jitter sweep, per
         // scheduler.
         for (name, _) in algs() {
             let samples: Vec<f64> = points
                 .iter()
-                .zip(&outcomes)
-                .filter(|(p, _)| p.section == "r1a" && strip_quotes(&p.params[1].1) == name)
+                .zip(&run.outcomes)
+                .filter(|(p, _)| section(p) == "r1a" && strip_quotes(&p.params[2].1) == name)
                 .filter_map(|(_, outcome)| outcome.as_completed())
                 .filter_map(|o| o.metric("mean_transcode_delay_ms"))
                 .collect();
@@ -339,22 +314,5 @@ fn main() {
                 doc.push_aggregate(format!("r1a/{name}"), [("mean_transcode_delay_ms", agg)]);
             }
         }
-        match doc.write(path) {
-            Ok(_) => {
-                if !args.quiet {
-                    println!("wrote {}", path.display());
-                }
-            }
-            Err(e) => {
-                eprintln!("error: writing {}: {e}", path.display());
-                std::process::exit(1);
-            }
-        }
-    }
-
-    if let Some(p) = points.first() {
-        // Same derived seed the sweep used for point 0, so the exported
-        // trace matches the first results point.
-        bench::trace::handle_trace_out(&args, &p.spec, derive_seed(args.seed, 0));
-    }
+    });
 }

@@ -10,20 +10,21 @@
 //! For each target utilization, random task sets (log-uniform periods,
 //! UUniFast-style utilization split) run to a fixed horizon under each
 //! algorithm. Every `(utilization, algorithm, set)` triple is one
-//! declarative [`ScenarioSpec`] point on the experiment farm; the set's
-//! generator seed depends only on `(base seed, utilization, set index)` —
-//! **not** on the algorithm — so all four algorithms face identical task
-//! sets (paired sampling) and results are `--jobs`-independent.
+//! declarative [`ScenarioSpec`] point driven by the shared [`SweepApp`]
+//! skeleton; the set's generator seed depends only on `(base seed,
+//! utilization, set index)` — **not** on the algorithm — so all four
+//! algorithms face identical task sets (paired sampling) and results are
+//! `--jobs`-independent.
 //!
 //! Run with `cargo run -p bench --bin schedulers -- [--sets N]
-//! [--frames HORIZON_MS] [--jobs N] [--seed S] [--json PATH] [--quiet]`.
+//! [--frames HORIZON_MS] [--jobs N] [--seed S] [--json PATH]
+//! [--cache-dir DIR] [--quiet]`.
 
 use std::time::Duration;
 
-use bench::cli;
-use bench::farm::{derive_seed, run_sweep, PointResult};
+use bench::cli::{self, SweepApp, SweepPoint};
+use bench::farm::derive_seed;
 use bench::json::Json;
-use bench::results::ResultsDoc;
 use bench::scenario::{ScenarioSpec, Workload};
 use bench::stats::Aggregate;
 use bench::TextTable;
@@ -33,13 +34,6 @@ const ABOUT: &str =
     "A2: scheduler comparison on random periodic task sets (RMS/EDF/fixed-prio/FIFO)";
 const N_TASKS: usize = 5;
 
-struct Point {
-    util: f64,
-    alg_name: &'static str,
-    set_idx: usize,
-    spec: ScenarioSpec,
-}
-
 fn algs() -> [(&'static str, SchedAlg); 4] {
     [
         ("RMS", SchedAlg::Rms),
@@ -47,6 +41,20 @@ fn algs() -> [(&'static str, SchedAlg); 4] {
         ("fixed-prio (RM-assigned)", SchedAlg::PriorityPreemptive),
         ("FIFO", SchedAlg::Fifo),
     ]
+}
+
+/// The `(utilization, algorithm)` pair a point belongs to, read back
+/// from its params (the grouping key of the paired-sampling aggregate).
+fn group_key(p: &SweepPoint) -> (f64, &str) {
+    let util = match p.params[0].1 {
+        Json::Num(x) => x,
+        _ => f64::NAN,
+    };
+    let alg = match &p.params[1].1 {
+        Json::Str(s) => s.as_str(),
+        _ => "",
+    };
+    (util, alg)
 }
 
 fn main() {
@@ -69,48 +77,53 @@ fn main() {
                 // algorithms (it ignores the algorithm), derived via two
                 // SplitMix64 splits from the base seed.
                 let set_seed = derive_seed(derive_seed(args.seed, u_idx as u64), set_idx as u64);
-                points.push(Point {
-                    util: *util,
-                    alg_name,
-                    set_idx,
-                    spec: ScenarioSpec::new(
-                        format!("u={util:.2}/{alg_name}/set={set_idx}"),
-                        Workload::TaskSet {
-                            tasks: N_TASKS,
-                            utilization: *util,
-                            horizon_us,
-                        },
+                points.push(
+                    SweepPoint::new(
+                        ScenarioSpec::new(
+                            format!("u={util:.2}/{alg_name}/set={set_idx}"),
+                            Workload::TaskSet {
+                                tasks: N_TASKS,
+                                utilization: *util,
+                                horizon_us,
+                            },
+                        )
+                        .sched(alg)
+                        // 100 µs preemption quantum: fine enough that the
+                        // textbook schedulability results emerge (whole-delay
+                        // slicing would charge priority inversions of entire
+                        // delay annotations and miss deadlines at low load).
+                        .slice(TimeSlice::Quantum(Duration::from_micros(100)))
+                        .seeded(set_seed),
                     )
-                    .sched(alg)
-                    // 100 µs preemption quantum: fine enough that the
-                    // textbook schedulability results emerge (whole-delay
-                    // slicing would charge priority inversions of entire
-                    // delay annotations and miss deadlines at low load).
-                    .slice(TimeSlice::Quantum(Duration::from_micros(100)))
-                    .seeded(set_seed),
-                });
+                    // Seeds are pre-baked into the specs (paired sampling),
+                    // so the farm's per-index seed is unused here.
+                    .prebaked()
+                    .param("utilization", Json::Num(*util))
+                    .param("algorithm", Json::str(alg_name))
+                    .param("set", Json::U64(set_idx as u64))
+                    .param("set_seed", Json::U64(set_seed)),
+                );
             }
         }
     }
 
-    let started = std::time::Instant::now();
-    // Seeds are pre-baked into the specs (paired sampling), so the farm's
-    // per-index seed is unused here.
-    let outcomes = run_sweep(args.seed, args.jobs, &points, |_ctx, p| p.spec.run());
-    let wall = started.elapsed();
+    let app = SweepApp::new("schedulers", args)
+        .header("tasks", Json::U64(N_TASKS as u64))
+        .header("sets_per_point", Json::U64(sets_per_point as u64))
+        .header("horizon_ms", Json::U64(horizon_ms as u64));
+    let run = app.run(&points);
 
     // Aggregate per (utilization, algorithm) over the paired sets, in
     // sweep order — deterministic regardless of --jobs.
     struct Group {
         util: f64,
-        alg_name: &'static str,
+        alg_name: String,
         misses: u64,
         cycles: u64,
         worst: f64,
-        worst_samples: Vec<f64>,
     }
     let mut groups: Vec<Group> = Vec::new();
-    for (p, outcome) in points.iter().zip(&outcomes) {
+    for (p, outcome) in points.iter().zip(&run.outcomes) {
         let Some(o) = outcome.as_completed() else {
             continue; // quarantined by the farm; reported in the document
         };
@@ -118,17 +131,17 @@ fn main() {
             eprintln!("warning: point {} failed: {}", p.spec.name, o.status);
             continue;
         }
+        let (util, alg_name) = group_key(p);
         let pos = groups
             .iter()
-            .position(|g| g.util == p.util && g.alg_name == p.alg_name)
+            .position(|g| g.util == util && g.alg_name == alg_name)
             .unwrap_or_else(|| {
                 groups.push(Group {
-                    util: p.util,
-                    alg_name: p.alg_name,
+                    util,
+                    alg_name: alg_name.to_string(),
                     misses: 0,
                     cycles: 0,
                     worst: 0.0,
-                    worst_samples: Vec::new(),
                 });
                 groups.len() - 1
             });
@@ -137,10 +150,9 @@ fn main() {
         g.cycles += o.metric("cycles_run").unwrap_or(0.0) as u64;
         let w = o.metric("worst_resp_over_period").unwrap_or(0.0);
         g.worst = g.worst.max(w);
-        g.worst_samples.push(w);
     }
 
-    if !args.quiet {
+    if !app.args.quiet {
         println!(
             "A2: scheduler comparison — {N_TASKS} periodic tasks, {sets_per_point} random \
              sets/point, horizon {horizon_ms} ms\n"
@@ -156,7 +168,7 @@ fn main() {
         for g in &groups {
             table.row([
                 format!("{:.2}", g.util),
-                g.alg_name.to_string(),
+                g.alg_name.clone(),
                 format!("{:.3}%", 100.0 * g.misses as f64 / g.cycles.max(1) as f64),
                 format!("{:.2}", g.worst),
                 g.cycles.to_string(),
@@ -167,46 +179,16 @@ fn main() {
             "\nShape checks: EDF misses ≈ 0 up to util 1.0; RMS safe ≤ 0.69 (Liu–Layland, \
              n=5 bound 0.743); FIFO degrades first."
         );
-        println!(
-            "\nfarm: {} points, jobs={}, wall {}",
-            points.len(),
-            args.jobs,
-            bench::fmt_host(wall)
-        );
     }
 
-    if let Some(path) = &args.json {
-        let mut doc = ResultsDoc::new("schedulers", args.seed);
-        doc.header("tasks", Json::U64(N_TASKS as u64));
-        doc.header("sets_per_point", Json::U64(sets_per_point as u64));
-        doc.header("horizon_ms", Json::U64(horizon_ms as u64));
-        for (i, (p, outcome)) in points.iter().zip(&outcomes).enumerate() {
-            match outcome {
-                PointResult::Completed(o) => {
-                    doc.push_point(
-                        &p.spec.name,
-                        i,
-                        Json::obj([
-                            ("utilization", Json::Num(p.util)),
-                            ("algorithm", Json::str(p.alg_name)),
-                            ("set", Json::U64(p.set_idx as u64)),
-                            ("set_seed", Json::U64(p.spec.seed)),
-                        ]),
-                        o,
-                    );
-                }
-                PointResult::Degraded(d) => {
-                    doc.push_degraded(d);
-                }
-            }
-        }
+    app.finish(&points, &run, |doc| {
         for g in &groups {
             let collect = |key: &str| -> Vec<f64> {
                 points
                     .iter()
-                    .zip(&outcomes)
+                    .zip(&run.outcomes)
                     .filter_map(|(p, outcome)| outcome.as_completed().map(|o| (p, o)))
-                    .filter(|(p, o)| p.util == g.util && p.alg_name == g.alg_name && o.completed)
+                    .filter(|(p, o)| group_key(p) == (g.util, g.alg_name.as_str()) && o.completed)
                     .filter_map(|(_, o)| o.metric(key))
                     .collect()
             };
@@ -218,22 +200,5 @@ fn main() {
             }
             doc.push_aggregate(format!("u={:.2}/{}", g.util, g.alg_name), metrics);
         }
-        match doc.write(path) {
-            Ok(_) => {
-                if !args.quiet {
-                    println!("wrote {}", path.display());
-                }
-            }
-            Err(e) => {
-                eprintln!("error: writing {}: {e}", path.display());
-                std::process::exit(1);
-            }
-        }
-    }
-
-    if let Some(p) = points.first() {
-        // Seeds are pre-baked into the specs here (paired sampling), so
-        // the exported trace re-runs point 0 under its own seed.
-        bench::trace::handle_trace_out(&args, &p.spec, p.spec.seed);
-    }
+    });
 }

@@ -12,18 +12,19 @@
 //! real GSM codec); the *shape* — ordering and rough ratios — is the claim
 //! being reproduced.
 //!
-//! The three models are declarative [`ScenarioSpec`] points on the
-//! experiment farm, so they run concurrently under `--jobs ≥ 3`. The
-//! JSON document carries the deterministic rows (LoC, switches, delay,
-//! SNR); host execution time is printed to stdout only.
+//! The three models are declarative [`ScenarioSpec`] points driven by the
+//! shared [`SweepApp`] skeleton, so they run concurrently under
+//! `--jobs ≥ 3`. The JSON document carries the deterministic rows (LoC,
+//! switches, delay, SNR); host execution time is printed to stdout only
+//! (points answered from a `--cache-dir` cache skip simulation, so their
+//! host time reads ~0).
 //!
 //! Run with `cargo run -p bench --bin table1 -- [--frames N] [--jobs N]
-//! [--json PATH] [--quiet]`.
+//! [--json PATH] [--cache-dir DIR] [--quiet]`.
 
-use bench::cli;
-use bench::farm::{derive_seed, run_sweep};
+use bench::cli::{self, SweepApp, SweepPoint};
+use bench::farm::PointResult;
 use bench::json::Json;
-use bench::results::ResultsDoc;
 use bench::scenario::{ScenarioSpec, Workload};
 use bench::{fmt_host, model_loc, TextTable};
 
@@ -33,50 +34,51 @@ fn main() {
     let args = cli::parse("table1", ABOUT, 0x71, &[]);
     let frames = args.frames.unwrap_or(163); // ≈ 3.26 s of speech
 
-    let points: Vec<(&str, ScenarioSpec)> = vec![
-        (
-            "unscheduled",
-            ScenarioSpec::new("unscheduled", Workload::VocoderUnscheduled).frames(frames),
-        ),
-        (
-            "architecture",
-            ScenarioSpec::new("architecture", Workload::VocoderArchitecture).frames(frames),
-        ),
-        (
-            "implementation",
-            ScenarioSpec::new("implementation", Workload::VocoderImpl).frames(frames),
-        ),
-    ];
-
-    let started = std::time::Instant::now();
-    // Table 1 is three curated points — all must complete; a quarantined
-    // point here is a real bug, so surface it instead of tabulating.
-    let outcomes: Vec<_> = run_sweep(args.seed, args.jobs, &points, |ctx, (_, spec)| {
-        spec.run_seeded(ctx.seed)
-    })
+    let points: Vec<SweepPoint> = [
+        ("unscheduled", Workload::VocoderUnscheduled),
+        ("architecture", Workload::VocoderArchitecture),
+        ("implementation", Workload::VocoderImpl),
+    ]
     .into_iter()
-    .map(|outcome| match outcome {
-        bench::farm::PointResult::Completed(o) => o,
-        bench::farm::PointResult::Degraded(d) => {
-            eprintln!(
-                "error: table1 point {} {} (seed {}): {}",
-                d.index,
-                d.kind.as_str(),
-                d.seed,
-                d.message
-            );
-            std::process::exit(1);
-        }
+    .map(|(model, workload)| {
+        SweepPoint::new(ScenarioSpec::new(model, workload).frames(frames))
+            .param("model", Json::str(model))
     })
     .collect();
-    let wall = started.elapsed();
-    let (unsched, arch, impl_run) = (&outcomes[0], &outcomes[1], &outcomes[2]);
+
+    let app = SweepApp::new("table1", args)
+        .header("frames", Json::U64(frames as u64))
+        // The architecture model (point 1) is the interesting trace: task
+        // spans, context-switch markers and scheduler decisions on one DSP.
+        .trace_point(1);
+    let run = app.run(&points);
+
+    // Table 1 is three curated points — all must complete; a quarantined
+    // point here is a real bug, so surface it instead of tabulating.
+    let outcomes: Vec<_> = run
+        .outcomes
+        .iter()
+        .map(|outcome| match outcome {
+            PointResult::Completed(o) => o,
+            PointResult::Degraded(d) => {
+                eprintln!(
+                    "error: table1 point {} {} (seed {}): {}",
+                    d.index,
+                    d.kind.as_str(),
+                    d.seed,
+                    d.message
+                );
+                std::process::exit(1);
+            }
+        })
+        .collect();
+    let (unsched, arch, impl_run) = (outcomes[0], outcomes[1], outcomes[2]);
     for o in &outcomes {
         assert!(o.completed, "model run failed: {}", o.status);
     }
     let (loc_u, loc_a, loc_i) = model_loc();
 
-    if !args.quiet {
+    if !app.args.quiet {
         println!("Table 1 reproduction: vocoder, {frames} frames (20 ms each)\n");
         let mut t = TextTable::new();
         t.row(["", "unscheduled", "architecture", "implementation"]);
@@ -144,42 +146,15 @@ fn main() {
             "  execution time: abstract models fast, ISS much slower: {}",
             impl_run.host_time > arch.host_time
         );
-        println!(
-            "\nfarm: {} points, jobs={}, wall {}",
-            points.len(),
-            args.jobs,
-            fmt_host(wall)
-        );
     }
 
-    if let Some(path) = &args.json {
-        let mut doc = ResultsDoc::new("table1", args.seed);
-        doc.header("frames", Json::U64(frames as u64));
-        doc.header(
-            "lines_of_code",
-            Json::obj([
-                ("unscheduled", Json::U64(loc_u as u64)),
-                ("architecture", Json::U64(loc_a as u64)),
-                ("implementation", Json::U64(loc_i as u64)),
-            ]),
-        );
-        for (i, ((model, spec), o)) in points.iter().zip(&outcomes).enumerate() {
-            doc.push_point(&spec.name, i, Json::obj([("model", Json::str(*model))]), o);
-        }
-        match doc.write(path) {
-            Ok(_) => {
-                if !args.quiet {
-                    println!("wrote {}", path.display());
-                }
-            }
-            Err(e) => {
-                eprintln!("error: writing {}: {e}", path.display());
-                std::process::exit(1);
-            }
-        }
-    }
-
-    // The architecture model (point 1) is the interesting trace: task
-    // spans, context-switch markers and scheduler decisions on one DSP.
-    bench::trace::handle_trace_out(&args, &points[1].1, derive_seed(args.seed, 1));
+    let app = app.header(
+        "lines_of_code",
+        Json::obj([
+            ("unscheduled", Json::U64(loc_u as u64)),
+            ("architecture", Json::U64(loc_a as u64)),
+            ("implementation", Json::U64(loc_i as u64)),
+        ]),
+    );
+    app.finish(&points, &run, |_doc| {});
 }

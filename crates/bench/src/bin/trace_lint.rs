@@ -26,6 +26,10 @@
 //!   minimal-repro artifact) the replay coordinates are checked: string
 //!   `workload`, numeric `frames`/`seed`, a `failure` object with a known
 //!   `kind`, and `fault_plan`/`chaos_plan` objects with numeric rates.
+//!   For `rtos-sld-cache/1` (one content-addressed result-cache entry,
+//!   see `bench::cache`) the `key` and `payload_hash` must be
+//!   32-hex-digit strings and the cached `point` object must carry a
+//!   string `status`, a boolean `completed` and all-numeric `metrics`.
 //!
 //! Exits nonzero on the first invalid file.
 
@@ -136,6 +140,9 @@ fn lint_results(top: &[(String, Json)], schema: &str) -> Result<String, String> 
     if schema == "rtos-sld-chaos-repro/1" {
         return lint_chaos_repro(top);
     }
+    if schema == "rtos-sld-cache/1" {
+        return lint_cache_entry(top);
+    }
     if schema != "rtos-sld-bench/1" {
         return Err(format!("unsupported results schema {schema:?}"));
     }
@@ -227,6 +234,41 @@ fn lint_chaos_repro(top: &[(String, Json)]) -> Result<String, String> {
         }
     }
     Ok("valid rtos-sld-chaos-repro/1 artifact".into())
+}
+
+/// Checks a `rtos-sld-cache/1` content-addressed cache entry: two
+/// 32-hex-digit hashes plus the cached point outcome.
+fn lint_cache_entry(top: &[(String, Json)]) -> Result<String, String> {
+    for key in ["key", "payload_hash"] {
+        match field(top, key) {
+            Some(Json::Str(h)) if h.len() == 32 && h.bytes().all(|b| b.is_ascii_hexdigit()) => {}
+            Some(Json::Str(h)) => {
+                return Err(format!("cache entry `{key}` {h:?} is not 32 hex digits"));
+            }
+            _ => return Err(format!("cache entry lacks a string `{key}`")),
+        }
+    }
+    let Some(Json::Obj(point)) = field(top, "point") else {
+        return Err("cache entry lacks a `point` object".into());
+    };
+    match field(point, "status") {
+        Some(Json::Str(_)) => {}
+        _ => return Err("cache entry point lacks a string `status`".into()),
+    }
+    if !matches!(field(point, "completed"), Some(Json::Bool(_))) {
+        return Err("cache entry point lacks a boolean `completed`".into());
+    }
+    match field(point, "metrics") {
+        Some(Json::Obj(metrics)) => {
+            for (key, value) in metrics {
+                if !is_number(value) {
+                    return Err(format!("cache entry point metrics.{key} is not numeric"));
+                }
+            }
+        }
+        _ => return Err("cache entry point lacks a `metrics` object".into()),
+    }
+    Ok("valid rtos-sld-cache/1 entry".into())
 }
 
 fn lint_file(path: &str) -> Result<String, String> {
@@ -388,6 +430,53 @@ mod tests {
             unreachable!()
         };
         assert!(lint_results(top, "rtos-sld-chaos-repro/1").is_err());
+    }
+
+    #[test]
+    fn cache_entries_are_validated() {
+        let ok = Json::parse(
+            r#"{"schema":"rtos-sld-cache/1",
+                "key":"0123456789abcdef0123456789abcdef",
+                "payload_hash":"fedcba9876543210fedcba9876543210",
+                "point":{"status":"ok","completed":true,"metrics":{"cycles":12}}}"#,
+        )
+        .unwrap();
+        let Json::Obj(top) = &ok else { unreachable!() };
+        assert!(lint_results(top, "rtos-sld-cache/1").is_ok());
+
+        let short_key = Json::parse(
+            r#"{"schema":"rtos-sld-cache/1","key":"abc",
+                "payload_hash":"fedcba9876543210fedcba9876543210",
+                "point":{"status":"ok","completed":true,"metrics":{}}}"#,
+        )
+        .unwrap();
+        let Json::Obj(top) = &short_key else {
+            unreachable!()
+        };
+        assert!(lint_results(top, "rtos-sld-cache/1").is_err());
+
+        let bad_metrics = Json::parse(
+            r#"{"schema":"rtos-sld-cache/1",
+                "key":"0123456789abcdef0123456789abcdef",
+                "payload_hash":"fedcba9876543210fedcba9876543210",
+                "point":{"status":"ok","completed":true,"metrics":{"cycles":"twelve"}}}"#,
+        )
+        .unwrap();
+        let Json::Obj(top) = &bad_metrics else {
+            unreachable!()
+        };
+        assert!(lint_results(top, "rtos-sld-cache/1").is_err());
+
+        let no_point = Json::parse(
+            r#"{"schema":"rtos-sld-cache/1",
+                "key":"0123456789abcdef0123456789abcdef",
+                "payload_hash":"fedcba9876543210fedcba9876543210"}"#,
+        )
+        .unwrap();
+        let Json::Obj(top) = &no_point else {
+            unreachable!()
+        };
+        assert!(lint_results(top, "rtos-sld-cache/1").is_err());
     }
 
     #[test]

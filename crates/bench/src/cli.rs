@@ -1,7 +1,8 @@
-//! Shared argv parsing for every bench binary.
+//! Shared argv parsing for every bench binary, plus the [`SweepApp`]
+//! driver the sweep binaries are built on.
 //!
-//! All five converted experiment binaries (`robustness`, `schedulers`,
-//! `load_sweep`, `granularity`, `table1`) accept the same core flags:
+//! All six experiment binaries (`robustness`, `schedulers`, `load_sweep`,
+//! `granularity`, `table1`, `chaos`) accept the same core flags:
 //!
 //! * `--frames N` — workload size (binary-specific default);
 //! * `--jobs N` — farm worker threads (default: all host cores). Results
@@ -9,6 +10,10 @@
 //! * `--seed S` — base seed from which per-point seeds are derived;
 //! * `--json PATH` — write the machine-readable results document
 //!   (see `EXPERIMENTS.md` for the schema) to `PATH`;
+//! * `--cache-dir DIR` — reuse previously computed point results from the
+//!   content-addressed cache at `DIR` (see [`crate::cache`]); unchanged
+//!   points replay instead of re-simulating, and the resulting document
+//!   is byte-identical to a cold run;
 //! * `--quiet` — suppress the human-readable tables;
 //! * `--help` — print usage.
 //!
@@ -16,9 +21,27 @@
 //! being silently ignored. Binary-specific extras (e.g. `schedulers
 //! --sets N`) are declared at the parse site and folded into the same
 //! usage text.
+//!
+//! ## The sweep driver
+//!
+//! Every sweep binary used to hand-roll the same skeleton: run the farm,
+//! print a farm summary line, build the [`ResultsDoc`], write `--json`,
+//! export `--trace-out`. [`SweepApp`] owns that skeleton once. A binary
+//! declares its [`SweepPoint`]s (spec + JSON params), calls
+//! [`SweepApp::run`], prints its bench-specific tables from the returned
+//! outcomes, and hands the document aggregates to [`SweepApp::finish`].
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use crate::cache::ScenarioCache;
+use crate::farm::{
+    derive_seed, run_sweep_cached, run_sweep_guarded_cached, CacheHooks, PointCtx, PointResult,
+};
+use crate::json::Json;
+use crate::results::ResultsDoc;
+use crate::scenario::{ScenarioOutcome, ScenarioSpec};
 
 /// One binary-specific extra flag: `(--name, VALUE, help)`.
 pub type ExtraFlag = (&'static str, &'static str, &'static str);
@@ -40,6 +63,9 @@ pub struct Args {
     /// Perfetto JSON execution trace of the sweep's representative point
     /// (load the file at <https://ui.perfetto.dev>).
     pub trace_out: Option<PathBuf>,
+    /// `--cache-dir DIR`: root of the persistent content-addressed result
+    /// cache ([`crate::cache`]); unset disables caching entirely.
+    pub cache_dir: Option<PathBuf>,
     /// `--quiet`: suppress human-readable output.
     pub quiet: bool,
     extras: BTreeMap<&'static str, String>,
@@ -90,6 +116,7 @@ fn usage(bin: &str, about: &str, extras: &[ExtraFlag]) -> String {
          \x20 --seed S      base seed for per-point seed derivation\n\
          \x20 --json PATH   write machine-readable results JSON to PATH\n\
          \x20 --trace-out PATH  write a Perfetto/Chrome trace JSON of a representative point\n\
+         \x20 --cache-dir DIR   reuse cached point results (incremental sweeps; byte-identical)\n\
          \x20 --quiet       suppress human-readable tables\n\
          \x20 --help        print this message\n"
     );
@@ -125,6 +152,7 @@ pub fn parse_from(
         seed: default_seed,
         json: None,
         trace_out: None,
+        cache_dir: None,
         quiet: false,
         extras: BTreeMap::new(),
     };
@@ -173,6 +201,9 @@ pub fn parse_from(
             "--trace-out" => {
                 args.trace_out = Some(PathBuf::from(value(&mut it)?));
             }
+            "--cache-dir" => {
+                args.cache_dir = Some(PathBuf::from(value(&mut it)?));
+            }
             other => {
                 let extra = extras
                     .iter()
@@ -204,6 +235,290 @@ pub fn parse(bin: &str, about: &str, default_seed: u64, extras: &[ExtraFlag]) ->
         Err(CliError::Invalid(msg, u)) => {
             eprint!("error: {msg}\n\n{u}");
             std::process::exit(2);
+        }
+    }
+}
+
+/// One point of a [`SweepApp`] sweep: the scenario to run plus the
+/// metadata describing it in the results document.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Point name in the results document (defaults to the spec's name;
+    /// override with [`named`](Self::named) when the document name
+    /// differs, as in `chaos`).
+    pub name: String,
+    /// The scenario to run.
+    pub spec: ScenarioSpec,
+    /// The point's JSON `params` object, in insertion order.
+    pub params: Vec<(String, Json)>,
+    /// When set, the spec's own pre-baked seed is used for running,
+    /// caching and tracing (paired-sampling sweeps like `schedulers`);
+    /// otherwise the farm derives the per-point seed from the base seed
+    /// and point index.
+    pub prebaked_seed: bool,
+}
+
+impl SweepPoint {
+    /// A point named after its spec.
+    #[must_use]
+    pub fn new(spec: ScenarioSpec) -> Self {
+        SweepPoint {
+            name: spec.name.clone(),
+            spec,
+            params: Vec::new(),
+            prebaked_seed: false,
+        }
+    }
+
+    /// Overrides the document point name.
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Appends one `params` entry.
+    #[must_use]
+    pub fn param(mut self, key: impl Into<String>, value: Json) -> Self {
+        self.params.push((key.into(), value));
+        self
+    }
+
+    /// Marks the spec's own seed as authoritative (no per-index
+    /// derivation).
+    #[must_use]
+    pub fn prebaked(mut self) -> Self {
+        self.prebaked_seed = true;
+        self
+    }
+
+    /// The seed this point actually runs under, given the farm-derived
+    /// per-index seed.
+    #[must_use]
+    pub fn effective_seed(&self, derived: u64) -> u64 {
+        if self.prebaked_seed {
+            self.spec.seed
+        } else {
+            derived
+        }
+    }
+}
+
+/// Everything [`SweepApp::run`] produced: the per-point outcomes (in
+/// point order, `--jobs`-independent), the sweep wall time, and the
+/// opened result cache (when `--cache-dir` was passed).
+#[derive(Debug)]
+pub struct SweepRun {
+    /// Per-point results, in point order.
+    pub outcomes: Vec<PointResult<ScenarioOutcome>>,
+    /// Host wall clock of the whole sweep.
+    pub wall: Duration,
+    cache: Option<ScenarioCache>,
+}
+
+impl SweepRun {
+    /// The cache's one-line stdout summary, if a cache was active.
+    #[must_use]
+    pub fn cache_summary(&self) -> Option<String> {
+        self.cache.as_ref().map(ScenarioCache::summary)
+    }
+
+    /// The active cache, if any (tests use this to inspect counters).
+    #[must_use]
+    pub fn cache(&self) -> Option<&ScenarioCache> {
+        self.cache.as_ref()
+    }
+}
+
+/// The shared skeleton of every sweep binary: farm execution (optionally
+/// watchdog-guarded and cache-accelerated), the farm/cache summary
+/// lines, the `--json` results document and the `--trace-out` export.
+///
+/// ```no_run
+/// use bench::cli::{self, SweepApp, SweepPoint};
+/// use bench::json::Json;
+/// use bench::scenario::{ScenarioSpec, Workload};
+///
+/// let args = cli::parse("demo", "a demo sweep", 0xD, &[]);
+/// let points: Vec<SweepPoint> = (0..4)
+///     .map(|i| {
+///         SweepPoint::new(ScenarioSpec::new(
+///             format!("p{i}"),
+///             Workload::VocoderArchitecture,
+///         ))
+///         .param("i", Json::U64(i))
+///     })
+///     .collect();
+/// let app = SweepApp::new("demo", args);
+/// let run = app.run(&points);
+/// // ... print bench-specific tables from run.outcomes ...
+/// app.finish(&points, &run, |_doc| {});
+/// ```
+#[derive(Debug)]
+pub struct SweepApp {
+    bench: &'static str,
+    /// The parsed command line (public: binaries read `frames`, `quiet`,
+    /// extras, …).
+    pub args: Args,
+    headers: Vec<(String, Json)>,
+    watchdog: Option<Duration>,
+    trace_point: usize,
+}
+
+impl SweepApp {
+    /// A driver for the binary named `bench` (the document's `bench`
+    /// field) with the given parsed arguments.
+    #[must_use]
+    pub fn new(bench: &'static str, args: Args) -> Self {
+        SweepApp {
+            bench,
+            args,
+            headers: Vec::new(),
+            watchdog: None,
+            trace_point: 0,
+        }
+    }
+
+    /// Appends a document header field.
+    #[must_use]
+    pub fn header(mut self, key: impl Into<String>, value: Json) -> Self {
+        self.headers.push((key.into(), value));
+        self
+    }
+
+    /// Guards every point with a per-point wall-clock watchdog
+    /// ([`crate::farm::run_sweep_guarded`]) — for sweeps whose points can
+    /// hang under injected faults.
+    #[must_use]
+    pub fn watchdog(mut self, timeout: Duration) -> Self {
+        self.watchdog = Some(timeout);
+        self
+    }
+
+    /// Selects which point `--trace-out` re-runs traced (default 0).
+    #[must_use]
+    pub fn trace_point(mut self, index: usize) -> Self {
+        self.trace_point = index;
+        self
+    }
+
+    /// Executes the sweep on the farm. With `--cache-dir`, each point is
+    /// answered from the content-addressed cache when possible and every
+    /// fresh completed outcome is recorded; degraded points are never
+    /// cached. Results are in point order and byte-identical for any
+    /// `--jobs` and any cache state.
+    #[must_use]
+    pub fn run(&self, points: &[SweepPoint]) -> SweepRun {
+        let cache = self.args.cache_dir.as_ref().map(|dir| {
+            ScenarioCache::open(dir).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            })
+        });
+        let lookup = |ctx: PointCtx, p: &SweepPoint| {
+            cache
+                .as_ref()
+                .and_then(|c| c.lookup_spec(&p.spec, p.effective_seed(ctx.seed)))
+        };
+        let insert = |ctx: PointCtx, p: &SweepPoint, r: &ScenarioOutcome| {
+            if let Some(c) = cache.as_ref() {
+                c.insert_spec(&p.spec, p.effective_seed(ctx.seed), r);
+            }
+        };
+        let hooks = cache.as_ref().map(|_| CacheHooks {
+            lookup: &lookup,
+            insert: &insert,
+        });
+        let runner = |ctx: PointCtx, p: &SweepPoint| {
+            if p.prebaked_seed {
+                p.spec.run()
+            } else {
+                p.spec.run_seeded(ctx.seed)
+            }
+        };
+        let started = Instant::now();
+        let outcomes = match self.watchdog {
+            Some(timeout) => run_sweep_guarded_cached(
+                self.args.seed,
+                self.args.jobs,
+                timeout,
+                points,
+                hooks,
+                runner,
+            ),
+            None => run_sweep_cached(self.args.seed, self.args.jobs, points, hooks, runner),
+        };
+        SweepRun {
+            outcomes,
+            wall: started.elapsed(),
+            cache,
+        }
+    }
+
+    /// The shared epilogue: farm/cache summary lines (unless `--quiet`),
+    /// the `--json` document (headers, points and degraded entries in
+    /// point order, then whatever `aggregates` appends), and the
+    /// `--trace-out` export of the representative point. Exits nonzero if
+    /// the document cannot be written.
+    pub fn finish(
+        &self,
+        points: &[SweepPoint],
+        run: &SweepRun,
+        aggregates: impl FnOnce(&mut ResultsDoc),
+    ) {
+        if !self.args.quiet {
+            match self.watchdog {
+                Some(wd) => println!(
+                    "\nfarm: {} points, jobs={}, watchdog {} ms, wall {}",
+                    points.len(),
+                    self.args.jobs,
+                    wd.as_millis(),
+                    crate::fmt_host(run.wall)
+                ),
+                None => println!(
+                    "\nfarm: {} points, jobs={}, wall {}",
+                    points.len(),
+                    self.args.jobs,
+                    crate::fmt_host(run.wall)
+                ),
+            }
+            if let Some(summary) = run.cache_summary() {
+                println!("{summary}");
+            }
+        }
+
+        if let Some(path) = &self.args.json {
+            let mut doc = ResultsDoc::new(self.bench, self.args.seed);
+            for (k, v) in &self.headers {
+                doc.header(k.clone(), v.clone());
+            }
+            for (i, (p, outcome)) in points.iter().zip(&run.outcomes).enumerate() {
+                match outcome {
+                    PointResult::Completed(o) => {
+                        doc.push_point(&p.name, i, Json::Obj(p.params.clone()), o);
+                    }
+                    PointResult::Degraded(d) => {
+                        doc.push_degraded(d);
+                    }
+                }
+            }
+            aggregates(&mut doc);
+            match doc.write(path) {
+                Ok(_) => {
+                    if !self.args.quiet {
+                        println!("wrote {}", path.display());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: writing {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+
+        if let Some(p) = points.get(self.trace_point) {
+            let seed = p.effective_seed(derive_seed(self.args.seed, self.trace_point as u64));
+            crate::trace::handle_trace_out(&self.args, &p.spec, seed);
         }
     }
 }

@@ -80,7 +80,12 @@ pub struct PointCtx {
 }
 
 /// Why a sweep point was quarantined.
+///
+/// Non-exhaustive: future farms may quarantine for new reasons (resource
+/// exhaustion, cancelled sweeps, …); downstream matches need a wildcard
+/// arm so adding one is not a breaking change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DegradedKind {
     /// The point's closure panicked (caught by `catch_unwind`).
     Panicked,
@@ -171,6 +176,42 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Cache hooks for the farm's cache-aware sweep path
+/// ([`run_sweep_cached`] / [`run_sweep_guarded_cached`]).
+///
+/// The farm stays agnostic of what the cache stores or how keys are
+/// computed: `lookup` is consulted *before* a point is simulated (a
+/// `Some` result short-circuits the simulation entirely — on the guarded
+/// path it also skips the disposable watchdog thread), and `insert` is
+/// called with every freshly computed completed result. Degraded
+/// (panicked/overtime) points are **never** offered to `insert`: a
+/// quarantined point must be re-attempted on the next sweep, not replayed
+/// from a cache.
+///
+/// Both hooks run on farm worker threads and must be infallible: a
+/// corrupt or unreadable cache entry is a `lookup` miss (`None`), never a
+/// panic.
+pub struct CacheHooks<'a, P, R> {
+    /// Returns the cached result of `(ctx, point)`, if any.
+    pub lookup: &'a (dyn Fn(PointCtx, &P) -> Option<R> + Sync),
+    /// Offers a freshly computed completed result for insertion.
+    pub insert: &'a (dyn Fn(PointCtx, &P, &R) + Sync),
+}
+
+impl<P, R> std::fmt::Debug for CacheHooks<'_, P, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheHooks").finish_non_exhaustive()
+    }
+}
+
+impl<P, R> Clone for CacheHooks<'_, P, R> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<P, R> Copy for CacheHooks<'_, P, R> {}
+
 /// Runs `f` over every point of `points` on `jobs` worker threads and
 /// returns the outcomes **in point order** (index `i` of the output is the
 /// outcome of `points[i]`, regardless of which worker ran it when).
@@ -186,6 +227,28 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// should go through [`run_sweep_guarded`], which adds a wall-clock
 /// watchdog.
 pub fn run_sweep<P, R, F>(base_seed: u64, jobs: usize, points: &[P], f: F) -> Vec<PointResult<R>>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(PointCtx, &P) -> R + Sync,
+{
+    run_sweep_cached(base_seed, jobs, points, None, f)
+}
+
+/// [`run_sweep`] with an optional persistent-result cache: each point is
+/// looked up via [`CacheHooks::lookup`] before being simulated, and every
+/// freshly computed result is offered to [`CacheHooks::insert`]. Because
+/// results merge in point order either way, a sweep that mixes cache hits
+/// and fresh simulations is byte-identical to an all-cold one — provided
+/// the cache faithfully round-trips results (which `bench::cache`
+/// enforces at insert time).
+pub fn run_sweep_cached<P, R, F>(
+    base_seed: u64,
+    jobs: usize,
+    points: &[P],
+    cache: Option<CacheHooks<'_, P, R>>,
+    f: F,
+) -> Vec<PointResult<R>>
 where
     P: Sync,
     R: Send,
@@ -218,10 +281,20 @@ where
                             index,
                             seed: derive_seed(base_seed, index as u64),
                         };
+                        if let Some(r) = cache.and_then(|hooks| (hooks.lookup)(ctx, &points[index]))
+                        {
+                            mine.push((index, PointResult::Completed(r)));
+                            continue;
+                        }
                         let outcome = match std::panic::catch_unwind(AssertUnwindSafe(|| {
                             f(ctx, &points[index])
                         })) {
-                            Ok(r) => PointResult::Completed(r),
+                            Ok(r) => {
+                                if let Some(hooks) = cache {
+                                    (hooks.insert)(ctx, &points[index], &r);
+                                }
+                                PointResult::Completed(r)
+                            }
                             Err(payload) => PointResult::Degraded(DegradedPoint {
                                 index,
                                 seed: ctx.seed,
@@ -312,6 +385,26 @@ where
     R: Send + 'static,
     F: Fn(PointCtx, &P) -> R + Send + Sync + 'static,
 {
+    run_sweep_guarded_cached(base_seed, jobs, watchdog, points, None, f)
+}
+
+/// [`run_sweep_guarded`] with an optional persistent-result cache (see
+/// [`run_sweep_cached`]). A cache hit bypasses the disposable watchdog
+/// thread entirely — an index lookup cannot hang — so warm torture sweeps
+/// skip both the simulation and the per-point thread cost.
+pub fn run_sweep_guarded_cached<P, R, F>(
+    base_seed: u64,
+    jobs: usize,
+    watchdog: Duration,
+    points: &[P],
+    cache: Option<CacheHooks<'_, P, R>>,
+    f: F,
+) -> Vec<PointResult<R>>
+where
+    P: Clone + Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(PointCtx, &P) -> R + Send + Sync + 'static,
+{
     let jobs = jobs.clamp(1, points.len().max(1));
     sldl_sim::pool::prewarm(jobs);
     let next = AtomicUsize::new(0);
@@ -335,10 +428,20 @@ where
                             index,
                             seed: derive_seed(base_seed, index as u64),
                         };
+                        if let Some(r) = cache.and_then(|hooks| (hooks.lookup)(ctx, &points[index]))
+                        {
+                            mine.push((index, PointResult::Completed(r)));
+                            continue;
+                        }
                         let point = points[index].clone();
                         let f = Arc::clone(f);
                         let outcome = match run_guarded(watchdog, move || f(ctx, &point)) {
-                            Guarded::Finished(r) => PointResult::Completed(r),
+                            Guarded::Finished(r) => {
+                                if let Some(hooks) = cache {
+                                    (hooks.insert)(ctx, &points[index], &r);
+                                }
+                                PointResult::Completed(r)
+                            }
                             Guarded::Panicked(message) => PointResult::Degraded(DegradedPoint {
                                 index,
                                 seed: ctx.seed,
