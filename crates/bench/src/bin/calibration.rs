@@ -14,18 +14,62 @@
 //!    should predict the ISS within a few microseconds — at a fraction of
 //!    the simulation cost.
 //!
-//! Run with `cargo run -p bench --bin calibration`.
+//! Run with `cargo run -p bench --bin calibration -- [--frames N]
+//! [--json PATH] [--quiet]`. The JSON document follows the shared
+//! `rtos-sld-bench/1` schema: one point per calibration stage with the
+//! transcode delay and the signed error against the ISS ground truth as
+//! metrics (simulated time — deterministic; host times are only printed,
+//! never serialized).
 
+use std::collections::BTreeMap;
 use std::time::Duration;
 
+use bench::json::Json;
+use bench::results::ResultsDoc;
+use bench::scenario::ScenarioOutcome;
 use bench::{fmt_host, fmt_ms, TextTable};
 use dsp_iss::vocoder_app::{run_impl_model, ImplConfig, ACTUAL_VS_WCET};
 use rtos_model::{SchedAlg, TimeSlice};
 use vocoder::{simulate_architecture, VocoderConfig};
 
+const ABOUT: &str = "Back-annotation study: calibrate the architecture model's kernel \
+                     overheads against the implementation-model (ISS) ground truth";
+
+/// One calibration stage's observables.
+struct Stage {
+    name: &'static str,
+    transcode: Duration,
+    host: Duration,
+}
+
+impl Stage {
+    /// Folds the stage into the shared results-document point shape.
+    fn outcome(&self, ground_truth: Duration) -> ScenarioOutcome {
+        let mut metrics = BTreeMap::new();
+        metrics.insert(
+            "transcode_delay_us".to_string(),
+            self.transcode.as_nanos() as f64 / 1e3,
+        );
+        metrics.insert(
+            "error_vs_iss_us".to_string(),
+            (self.transcode.as_secs_f64() - ground_truth.as_secs_f64()) * 1e6,
+        );
+        ScenarioOutcome {
+            status: "completed".into(),
+            completed: true,
+            metrics,
+            kernel_stats: None,
+            tasks: Vec::new(),
+            records: Vec::new(),
+            dropped_records: 0,
+            host_time: self.host,
+        }
+    }
+}
+
 fn main() {
-    let frames = 40;
-    println!("Back-annotation of the architecture model against the RTK/ISS ({frames} frames)\n");
+    let args = bench::cli::parse("calibration", ABOUT, 0xCA, &[]);
+    let frames = args.frames.unwrap_or(40);
 
     // 1. Ground truth from the implementation model.
     let impl_run = run_impl_model(&ImplConfig {
@@ -73,50 +117,107 @@ fn main() {
     .expect("arch calibrated");
     let t_cal = arch_cal.mean_transcode_delay();
 
-    let err = |t: Duration| {
-        let e = (t.as_secs_f64() - t_impl.as_secs_f64()) * 1e6;
-        format!("{e:+.0} us")
-    };
-    let mut table = TextTable::new();
-    table.row(["model", "transcode delay", "error vs ISS", "host time"]);
-    table.row([
-        "implementation (ISS ground truth)".to_string(),
-        fmt_ms(t_impl),
-        "—".to_string(),
-        fmt_host(impl_run.host_time),
-    ]);
-    table.row([
-        "architecture, WCET annotations".to_string(),
-        fmt_ms(arch_wcet.mean_transcode_delay()),
-        err(arch_wcet.mean_transcode_delay()),
-        fmt_host(arch_wcet.host_time),
-    ]);
-    table.row([
-        "architecture, actual times, no kernel cost".to_string(),
-        fmt_ms(t0),
-        err(t0),
-        fmt_host(arch_actual.host_time),
-    ]);
-    table.row([
-        format!(
-            "architecture, calibrated (switch ≈ {} ns)",
-            est_switch_cost.as_nanos()
-        ),
-        fmt_ms(t_cal),
-        err(t_cal),
-        fmt_host(arch_cal.host_time),
-    ]);
-    print!("{}", table.render());
+    let stages = [
+        Stage {
+            name: "implementation_iss",
+            transcode: t_impl,
+            host: impl_run.host_time,
+        },
+        Stage {
+            name: "architecture_wcet",
+            transcode: arch_wcet.mean_transcode_delay(),
+            host: arch_wcet.host_time,
+        },
+        Stage {
+            name: "architecture_actual",
+            transcode: t0,
+            host: arch_actual.host_time,
+        },
+        Stage {
+            name: "architecture_calibrated",
+            transcode: t_cal,
+            host: arch_cal.host_time,
+        },
+    ];
 
-    println!(
-        "\nISS: {:.1} switches/frame; estimated RTK per-switch cost {} ns",
-        switches_per_frame,
-        est_switch_cost.as_nanos()
-    );
     let final_err = (t_cal.as_secs_f64() - t_impl.as_secs_f64()).abs() / t_impl.as_secs_f64();
-    println!(
-        "calibrated model error: {:.2}% (shape check: < 1%: {})",
-        final_err * 100.0,
-        final_err < 0.01
-    );
+
+    if !args.quiet {
+        println!(
+            "Back-annotation of the architecture model against the RTK/ISS ({frames} frames)\n"
+        );
+        let err = |t: Duration| {
+            let e = (t.as_secs_f64() - t_impl.as_secs_f64()) * 1e6;
+            format!("{e:+.0} us")
+        };
+        let mut table = TextTable::new();
+        table.row(["model", "transcode delay", "error vs ISS", "host time"]);
+        table.row([
+            "implementation (ISS ground truth)".to_string(),
+            fmt_ms(t_impl),
+            "—".to_string(),
+            fmt_host(impl_run.host_time),
+        ]);
+        table.row([
+            "architecture, WCET annotations".to_string(),
+            fmt_ms(arch_wcet.mean_transcode_delay()),
+            err(arch_wcet.mean_transcode_delay()),
+            fmt_host(arch_wcet.host_time),
+        ]);
+        table.row([
+            "architecture, actual times, no kernel cost".to_string(),
+            fmt_ms(t0),
+            err(t0),
+            fmt_host(arch_actual.host_time),
+        ]);
+        table.row([
+            format!(
+                "architecture, calibrated (switch ≈ {} ns)",
+                est_switch_cost.as_nanos()
+            ),
+            fmt_ms(t_cal),
+            err(t_cal),
+            fmt_host(arch_cal.host_time),
+        ]);
+        print!("{}", table.render());
+
+        println!(
+            "\nISS: {:.1} switches/frame; estimated RTK per-switch cost {} ns",
+            switches_per_frame,
+            est_switch_cost.as_nanos()
+        );
+        println!(
+            "calibrated model error: {:.2}% (shape check: < 1%: {})",
+            final_err * 100.0,
+            final_err < 0.01
+        );
+    }
+
+    if let Some(path) = &args.json {
+        let mut doc = ResultsDoc::new("calibration", args.seed);
+        doc.header("frames", Json::U64(frames as u64));
+        doc.header(
+            "est_switch_cost_ns",
+            Json::U64(est_switch_cost.as_nanos() as u64),
+        );
+        for (i, stage) in stages.iter().enumerate() {
+            doc.push_point(
+                stage.name,
+                i,
+                Json::obj([("stage", Json::str(stage.name))]),
+                &stage.outcome(t_impl),
+            );
+        }
+        match doc.write(path) {
+            Ok(_) => {
+                if !args.quiet {
+                    println!("wrote {}", path.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("error: writing {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 }

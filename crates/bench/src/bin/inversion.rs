@@ -8,24 +8,59 @@
 //! RTOS model*, which is exactly the kind of dynamic-behavior bug the
 //! paper argues should be caught at the architecture-model stage.
 //!
-//! Run with `cargo run -p bench --bin inversion`.
+//! Run with `cargo run -p bench --bin inversion -- [--json PATH]
+//! [--trace-out PATH] [--analyze-out PATH] [--quiet]`. The JSON document
+//! follows the shared `rtos-sld-bench/1` schema; `--trace-out` exports
+//! the most inverted point (no inheritance, largest M workload) as a
+//! Chrome trace whose `mutex:wait`/`mutex:acquired` instants carry the
+//! blocking edges, and `--analyze-out` writes the derived-analytics
+//! document in which `bench::analyze` classifies exactly those windows
+//! as unbounded inversion.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
+use bench::json::Json;
+use bench::results::ResultsDoc;
+use bench::scenario::ScenarioOutcome;
 use bench::TextTable;
 use rtos_model::{InheritancePolicy, Priority, Rtos, RtosMutex, SchedAlg, TaskParams, TimeSlice};
 use sldl_sim::sync::Mutex;
-use sldl_sim::{Child, Simulation};
+use sldl_sim::{Child, Record, Simulation, TraceConfig};
+
+const ABOUT: &str = "A4: priority inversion — H needs a mutex L holds while M hogs the CPU; \
+                     with vs without priority inheritance";
+
+/// M workloads swept (µs of CPU hogging).
+const MEDIUM_WORK_US: [u64; 6] = [100, 250, 500, 1_000, 2_000, 4_000];
 
 fn us(n: u64) -> Duration {
     Duration::from_micros(n)
 }
 
-/// Runs the H/M/L scenario; returns H's completion time in µs.
-fn run_scenario(policy: InheritancePolicy, medium_work_us: u64) -> u64 {
-    let mut sim = Simulation::new();
+/// One scenario run's observables.
+struct RunResult {
+    /// H's completion time in µs.
+    h_completion_us: u64,
+    /// Trace records (empty unless `traced`).
+    records: Vec<Record>,
+    /// Records the sink dropped during a traced run.
+    dropped_records: u64,
+}
+
+/// Runs the H/M/L scenario under `policy` with M working `medium_work_us`.
+fn run_scenario(policy: InheritancePolicy, medium_work_us: u64, traced: bool) -> RunResult {
+    let mut builder = Simulation::builder();
+    if traced {
+        builder = builder.trace(TraceConfig::default());
+    }
+    let mut sim = builder.build();
+    let trace = sim.trace_handle();
     let os = Rtos::new("pe", sim.sync_layer());
+    if let Some(t) = &trace {
+        os.attach_trace(t.clone());
+    }
     os.start(SchedAlg::PriorityPreemptive);
     os.set_time_slice(TimeSlice::Quantum(us(10)));
     let m = RtosMutex::new(os.clone(), policy);
@@ -66,34 +101,205 @@ fn run_scenario(policy: InheritancePolicy, medium_work_us: u64) -> u64 {
     }));
 
     sim.run().expect("scenario runs");
-    let v = *h_done.lock();
-    v
+    let h_completion_us = *h_done.lock();
+    RunResult {
+        h_completion_us,
+        records: trace.as_ref().map(|t| t.snapshot()).unwrap_or_default(),
+        dropped_records: trace.as_ref().map_or(0, |t| t.dropped_records()),
+    }
+}
+
+fn policy_name(policy: InheritancePolicy) -> &'static str {
+    match policy {
+        InheritancePolicy::None => "none",
+        InheritancePolicy::Inherit => "inherit",
+    }
+}
+
+/// Folds one run into the shared results-document point shape.
+fn outcome(r: &RunResult) -> ScenarioOutcome {
+    let mut metrics = BTreeMap::new();
+    metrics.insert("h_completion_us".to_string(), r.h_completion_us as f64);
+    ScenarioOutcome {
+        status: "completed".into(),
+        completed: true,
+        metrics,
+        kernel_stats: None,
+        tasks: Vec::new(),
+        records: Vec::new(),
+        dropped_records: 0,
+        host_time: Duration::ZERO,
+    }
 }
 
 fn main() {
-    println!(
-        "A4: priority inversion — H needs a mutex L holds; M is a CPU hog.\n\
-         L critical section 100 us; H arrives at 20 us and needs 50 us.\n"
-    );
-    let mut t = TextTable::new();
-    t.row([
-        "M workload",
-        "H completion (no inheritance)",
-        "H completion (inheritance)",
-    ]);
-    for medium in [100u64, 250, 500, 1_000, 2_000, 4_000] {
-        let without = run_scenario(InheritancePolicy::None, medium);
-        let with = run_scenario(InheritancePolicy::Inherit, medium);
-        t.row([
-            format!("{medium} us"),
-            format!("{without} us"),
-            format!("{with} us"),
-        ]);
+    let args = bench::cli::parse("inversion", ABOUT, 0xA4, &[]);
+
+    let mut points: Vec<(InheritancePolicy, u64, RunResult)> = Vec::new();
+    for policy in [InheritancePolicy::None, InheritancePolicy::Inherit] {
+        for medium in MEDIUM_WORK_US {
+            points.push((policy, medium, run_scenario(policy, medium, false)));
+        }
     }
-    print!("{}", t.render());
-    println!(
-        "\nShape check: without inheritance H's latency grows linearly with M's\n\
-         workload (unbounded inversion); with inheritance it is pinned at the\n\
-         length of L's critical section (~170 us)."
-    );
+    let get = |policy: InheritancePolicy, medium: u64| -> u64 {
+        points
+            .iter()
+            .find(|(p, m, _)| *p == policy && *m == medium)
+            .expect("point swept")
+            .2
+            .h_completion_us
+    };
+
+    if !args.quiet {
+        println!(
+            "A4: priority inversion — H needs a mutex L holds; M is a CPU hog.\n\
+             L critical section 100 us; H arrives at 20 us and needs 50 us.\n"
+        );
+        let mut t = TextTable::new();
+        t.row([
+            "M workload",
+            "H completion (no inheritance)",
+            "H completion (inheritance)",
+        ]);
+        for medium in MEDIUM_WORK_US {
+            t.row([
+                format!("{medium} us"),
+                format!("{} us", get(InheritancePolicy::None, medium)),
+                format!("{} us", get(InheritancePolicy::Inherit, medium)),
+            ]);
+        }
+        print!("{}", t.render());
+        println!(
+            "\nShape check: without inheritance H's latency grows linearly with M's\n\
+             workload (unbounded inversion); with inheritance it is pinned at the\n\
+             length of L's critical section (~170 us)."
+        );
+    }
+
+    if let Some(path) = &args.json {
+        let mut doc = ResultsDoc::new("inversion", args.seed);
+        doc.header("critical_section_us", Json::U64(100));
+        for (i, (policy, medium, r)) in points.iter().enumerate() {
+            let params = Json::obj([
+                ("inheritance", Json::str(policy_name(*policy))),
+                ("medium_work_us", Json::U64(*medium)),
+            ]);
+            doc.push_point(
+                &format!("{}_m{medium}", policy_name(*policy)),
+                i,
+                params,
+                &outcome(r),
+            );
+        }
+        match doc.write(path) {
+            Ok(_) => {
+                if !args.quiet {
+                    println!("wrote {}", path.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("error: writing {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // The representative traced point is the *most inverted* one: no
+    // inheritance, largest M workload — its trace carries the mutex wait
+    // edges the analyzer classifies as unbounded inversion windows.
+    if args.trace_out.is_some() || args.analyze_out.is_some() {
+        let worst = *MEDIUM_WORK_US.last().expect("nonempty sweep");
+        let traced = run_scenario(InheritancePolicy::None, worst, true);
+        if let Some(path) = &args.trace_out {
+            match bench::trace::write_chrome_trace_with_meta(
+                path,
+                &traced.records,
+                traced.dropped_records,
+            ) {
+                Ok(n) => {
+                    if !args.quiet {
+                        println!(
+                            "wrote {n} trace events to {} (load at https://ui.perfetto.dev)",
+                            path.display()
+                        );
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: writing {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Some(path) = &args.analyze_out {
+            let data =
+                bench::analyze::TraceData::from_records(&traced.records, traced.dropped_records);
+            if let Err(e) = bench::analyze::check_lossless(&data) {
+                eprintln!("error: traced run was lossy ({e}); raise SLDL_TRACE_CAP");
+                std::process::exit(1);
+            }
+            let analysis = bench::analyze::Analysis::from_trace(&data);
+            match analysis.to_json().write_to(path) {
+                Ok(()) => {
+                    if !args.quiet {
+                        let unbounded = analysis.blocking.iter().filter(|b| !b.bounded()).count();
+                        println!(
+                            "wrote analysis document to {} ({} blocking episodes, {} unbounded)",
+                            path.display(),
+                            analysis.blocking.len(),
+                            unbounded
+                        );
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: writing {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inheritance_bounds_h_latency_and_trace_shows_inversion() {
+        let without = run_scenario(InheritancePolicy::None, 2_000, false);
+        let with = run_scenario(InheritancePolicy::Inherit, 2_000, false);
+        assert!(
+            without.h_completion_us > with.h_completion_us + 1_000,
+            "no-inheritance H completion {} should dwarf inheritance {}",
+            without.h_completion_us,
+            with.h_completion_us
+        );
+
+        // The analyzer sees the no-inheritance run as unbounded inversion
+        // (M interferes while H waits) and the inheritance run as bounded.
+        let traced = run_scenario(InheritancePolicy::None, 2_000, true);
+        let data = bench::analyze::TraceData::from_records(&traced.records, traced.dropped_records);
+        let analysis = bench::analyze::Analysis::from_trace(&data);
+        let h_waits: Vec<_> = analysis
+            .blocking
+            .iter()
+            .filter(|b| b.waiter == "high")
+            .collect();
+        assert!(!h_waits.is_empty(), "H blocked on the mutex at least once");
+        assert!(
+            h_waits.iter().any(|b| !b.bounded()),
+            "no-inheritance blocking must show third-party interference"
+        );
+
+        let traced = run_scenario(InheritancePolicy::Inherit, 2_000, true);
+        let data = bench::analyze::TraceData::from_records(&traced.records, traced.dropped_records);
+        let analysis = bench::analyze::Analysis::from_trace(&data);
+        assert!(
+            analysis
+                .blocking
+                .iter()
+                .filter(|b| b.waiter == "high")
+                .all(|b| b.bounded()),
+            "with inheritance every H blocking window is owner-bounded"
+        );
+    }
 }

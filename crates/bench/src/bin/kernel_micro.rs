@@ -69,6 +69,7 @@ impl Point {
             kernel_stats: self.kernel.clone(),
             tasks: Vec::new(),
             records: Vec::new(),
+            dropped_records: 0,
             host_time: self.wall,
         }
     }

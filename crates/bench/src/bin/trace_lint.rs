@@ -30,6 +30,11 @@
 //!   see `bench::cache`) the `key` and `payload_hash` must be
 //!   32-hex-digit strings and the cached `point` object must carry a
 //!   string `status`, a boolean `completed` and all-numeric `metrics`.
+//!   For `rtos-sld-analysis/1` (the `analyze` bin's derived-analytics
+//!   document, see `bench::analyze`) the per-PE, per-task, preemption
+//!   and blocking sections are shape-checked and `dropped_records` must
+//!   be zero — the analyzer refuses lossy traces, so a nonzero count in
+//!   a published document is a pipeline bug.
 //!
 //! Exits nonzero on the first invalid file.
 
@@ -142,6 +147,9 @@ fn lint_results(top: &[(String, Json)], schema: &str) -> Result<String, String> 
     }
     if schema == "rtos-sld-cache/1" {
         return lint_cache_entry(top);
+    }
+    if schema == "rtos-sld-analysis/1" {
+        return lint_analysis(top);
     }
     if schema != "rtos-sld-bench/1" {
         return Err(format!("unsupported results schema {schema:?}"));
@@ -269,6 +277,117 @@ fn lint_cache_entry(top: &[(String, Json)]) -> Result<String, String> {
         _ => return Err("cache entry point lacks a `metrics` object".into()),
     }
     Ok("valid rtos-sld-cache/1 entry".into())
+}
+
+/// Checks a `rtos-sld-analysis/1` derived-analytics document (the
+/// `analyze` bin's output): sections present and well-typed, and the
+/// trace it came from lossless.
+fn lint_analysis(top: &[(String, Json)]) -> Result<String, String> {
+    match field(top, "dropped_records") {
+        Some(Json::U64(0)) => {}
+        Some(j) if is_number(j) => {
+            return Err("analysis document has nonzero `dropped_records` (lossy trace)".into());
+        }
+        _ => return Err("analysis document lacks a numeric `dropped_records`".into()),
+    }
+    for key in ["end_us", "context_switches"] {
+        if !field(top, key).is_some_and(is_number) {
+            return Err(format!("analysis document lacks a numeric `{key}`"));
+        }
+    }
+    let section = |key: &str| -> Result<&[Json], String> {
+        match field(top, key) {
+            Some(Json::Arr(a)) => Ok(a),
+            _ => Err(format!("analysis document lacks a `{key}` array")),
+        }
+    };
+    for (i, p) in section("pes")?.iter().enumerate() {
+        let Json::Obj(f) = p else {
+            return Err(format!("pes[{i}] is not an object"));
+        };
+        if !matches!(field(f, "name"), Some(Json::Str(_))) {
+            return Err(format!("pes[{i}] lacks a string `name`"));
+        }
+        for key in ["decisions", "busy_us", "utilization"] {
+            if !field(f, key).is_some_and(is_number) {
+                return Err(format!("pes[{i}] lacks a numeric `{key}`"));
+            }
+        }
+    }
+    let mut n_tasks = 0usize;
+    for (i, t) in section("tasks")?.iter().enumerate() {
+        let Json::Obj(f) = t else {
+            return Err(format!("tasks[{i}] is not an object"));
+        };
+        if !matches!(field(f, "name"), Some(Json::Str(_))) {
+            return Err(format!("tasks[{i}] lacks a string `name`"));
+        }
+        for key in [
+            "releases",
+            "dispatches",
+            "preemptions",
+            "completed_cycles",
+            "implicit_deadline_misses",
+        ] {
+            if !field(f, key).is_some_and(is_number) {
+                return Err(format!("tasks[{i}] lacks a numeric `{key}`"));
+            }
+        }
+        n_tasks += 1;
+    }
+    for (i, p) in section("preemptions")?.iter().enumerate() {
+        let Json::Obj(f) = p else {
+            return Err(format!("preemptions[{i}] is not an object"));
+        };
+        for key in ["by", "of"] {
+            if !matches!(field(f, key), Some(Json::Str(_))) {
+                return Err(format!("preemptions[{i}] lacks a string `{key}`"));
+            }
+        }
+        if !field(f, "count").is_some_and(is_number) {
+            return Err(format!("preemptions[{i}] lacks a numeric `count`"));
+        }
+    }
+    let mut unbounded = 0usize;
+    for (i, b) in section("blocking")?.iter().enumerate() {
+        let Json::Obj(f) = b else {
+            return Err(format!("blocking[{i}] is not an object"));
+        };
+        for key in ["waiter", "owner"] {
+            if !matches!(field(f, key), Some(Json::Str(_))) {
+                return Err(format!("blocking[{i}] lacks a string `{key}`"));
+            }
+        }
+        for key in ["blocked_us", "interference_us"] {
+            if !field(f, key).is_some_and(is_number) {
+                return Err(format!("blocking[{i}] lacks a numeric `{key}`"));
+            }
+        }
+        match field(f, "bounded") {
+            Some(Json::Bool(bounded)) => {
+                if !bounded {
+                    unbounded += 1;
+                }
+            }
+            _ => return Err(format!("blocking[{i}] lacks a boolean `bounded`")),
+        }
+    }
+    let Some(Json::Obj(sched)) = field(top, "schedulability") else {
+        return Err("analysis document lacks a `schedulability` object".into());
+    };
+    for key in ["tasks_in_model", "total_utilization", "liu_layland_bound"] {
+        if !field(sched, key).is_some_and(is_number) {
+            return Err(format!("schedulability lacks a numeric `{key}`"));
+        }
+    }
+    Ok(format!(
+        "valid rtos-sld-analysis/1 document ({n_tasks} tasks{})",
+        if unbounded > 0 {
+            format!("; {unbounded} unbounded inversion windows")
+        } else {
+            String::new()
+        }
+    ))
 }
 
 fn lint_file(path: &str) -> Result<String, String> {
@@ -477,6 +596,44 @@ mod tests {
             unreachable!()
         };
         assert!(lint_results(top, "rtos-sld-cache/1").is_err());
+    }
+
+    #[test]
+    fn analysis_documents_are_validated() {
+        // End-to-end: a real analysis document from a traced run passes.
+        let o = bench::scenario::ScenarioSpec::new(
+            "t",
+            bench::scenario::Workload::TaskSet {
+                tasks: 3,
+                utilization: 0.5,
+                horizon_us: 20_000,
+            },
+        )
+        .trace(true)
+        .run_seeded(5);
+        let data = bench::analyze::TraceData::from_records(&o.records, o.dropped_records);
+        let doc = bench::analyze::Analysis::from_trace(&data).to_json();
+        let Json::Obj(top) = &doc else { unreachable!() };
+        let msg = lint_results(top, "rtos-sld-analysis/1").unwrap();
+        assert!(msg.contains("valid rtos-sld-analysis/1"), "{msg}");
+
+        // A lossy trace's document is rejected even though well-shaped.
+        let lossy = bench::analyze::Analysis::from_trace(&bench::analyze::TraceData::from_records(
+            &o.records, 7,
+        ))
+        .to_json();
+        let Json::Obj(top) = &lossy else {
+            unreachable!()
+        };
+        let err = lint_results(top, "rtos-sld-analysis/1").unwrap_err();
+        assert!(err.contains("lossy"), "{err}");
+
+        // Missing sections are named.
+        let bare = Json::parse(r#"{"schema":"rtos-sld-analysis/1","dropped_records":0}"#).unwrap();
+        let Json::Obj(top) = &bare else {
+            unreachable!()
+        };
+        assert!(lint_results(top, "rtos-sld-analysis/1").is_err());
     }
 
     #[test]

@@ -63,6 +63,10 @@ pub struct Args {
     /// Perfetto JSON execution trace of the sweep's representative point
     /// (load the file at <https://ui.perfetto.dev>).
     pub trace_out: Option<PathBuf>,
+    /// `--analyze-out PATH`: where to write the `rtos-sld-analysis/1`
+    /// derived-analytics document ([`crate::analyze`]) of the sweep's
+    /// representative point (same point `--trace-out` exports).
+    pub analyze_out: Option<PathBuf>,
     /// `--cache-dir DIR`: root of the persistent content-addressed result
     /// cache ([`crate::cache`]); unset disables caching entirely.
     pub cache_dir: Option<PathBuf>,
@@ -116,6 +120,7 @@ fn usage(bin: &str, about: &str, extras: &[ExtraFlag]) -> String {
          \x20 --seed S      base seed for per-point seed derivation\n\
          \x20 --json PATH   write machine-readable results JSON to PATH\n\
          \x20 --trace-out PATH  write a Perfetto/Chrome trace JSON of a representative point\n\
+         \x20 --analyze-out PATH  write a derived-analytics (rtos-sld-analysis/1) JSON of that point\n\
          \x20 --cache-dir DIR   reuse cached point results (incremental sweeps; byte-identical)\n\
          \x20 --quiet       suppress human-readable tables\n\
          \x20 --help        print this message\n"
@@ -152,6 +157,7 @@ pub fn parse_from(
         seed: default_seed,
         json: None,
         trace_out: None,
+        analyze_out: None,
         cache_dir: None,
         quiet: false,
         extras: BTreeMap::new(),
@@ -200,6 +206,9 @@ pub fn parse_from(
             }
             "--trace-out" => {
                 args.trace_out = Some(PathBuf::from(value(&mut it)?));
+            }
+            "--analyze-out" => {
+                args.analyze_out = Some(PathBuf::from(value(&mut it)?));
             }
             "--cache-dir" => {
                 args.cache_dir = Some(PathBuf::from(value(&mut it)?));
@@ -519,6 +528,7 @@ impl SweepApp {
         if let Some(p) = points.get(self.trace_point) {
             let seed = p.effective_seed(derive_seed(self.args.seed, self.trace_point as u64));
             crate::trace::handle_trace_out(&self.args, &p.spec, seed);
+            crate::trace::handle_analyze_out(&self.args, &p.spec, seed);
         }
     }
 }

@@ -18,6 +18,7 @@
 //! * [`trace`] — the Chrome-trace-event / Perfetto JSON exporter behind
 //!   every binary's `--trace-out` flag.
 
+pub mod analyze;
 pub mod cache;
 pub mod cli;
 pub mod farm;

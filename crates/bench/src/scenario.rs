@@ -380,7 +380,10 @@ impl ScenarioSpec {
                 o.set("faults_injected", report.faults.len() as f64);
                 o.kernel_stats = Some(report.kernel);
                 o.tasks = m.tasks;
-                o.records = trace.map(|t| t.snapshot()).unwrap_or_default();
+                if let Some(t) = &trace {
+                    o.dropped_records = t.dropped_records();
+                    o.records = t.snapshot();
+                }
                 o
             }
             Err(e) => ScenarioOutcome::failed(describe_run_error(&e)),
@@ -476,7 +479,10 @@ impl ScenarioSpec {
                 o.set("cycles_run", s.cycle_response_times.len() as f64);
                 o.kernel_stats = Some(report.kernel);
                 o.tasks = m.tasks;
-                o.records = trace.map(|t| t.snapshot()).unwrap_or_default();
+                if let Some(t) = &trace {
+                    o.dropped_records = t.dropped_records();
+                    o.records = t.snapshot();
+                }
                 o
             }
             Err(e) => ScenarioOutcome::failed(describe_run_error(&e)),
@@ -868,6 +874,12 @@ pub struct ScenarioOutcome {
     /// set). **Not** serialized by [`to_json`](Self::to_json); exported
     /// separately via [`crate::trace::to_chrome_json`].
     pub records: Vec<Record>,
+    /// Records the trace sink discarded during the run (ring-buffer
+    /// overflow). Nonzero means [`records`](Self::records) is lossy:
+    /// trace-derived metrics would silently undercount. Exported into the
+    /// Chrome JSON metadata and checked by `bench::analyze`. **Not**
+    /// serialized by [`to_json`](Self::to_json).
+    pub dropped_records: u64,
     /// Host wall-clock cost of the run. **Not** part of the
     /// deterministic payload; excluded from [`to_json`](Self::to_json).
     pub host_time: Duration,
@@ -882,6 +894,7 @@ impl ScenarioOutcome {
             kernel_stats: None,
             tasks: Vec::new(),
             records: Vec::new(),
+            dropped_records: 0,
             host_time: Duration::ZERO,
         }
     }
@@ -894,6 +907,7 @@ impl ScenarioOutcome {
             kernel_stats: None,
             tasks: Vec::new(),
             records: Vec::new(),
+            dropped_records: 0,
             host_time: Duration::ZERO,
         }
     }
@@ -1038,6 +1052,7 @@ impl ScenarioOutcome {
             kernel_stats,
             tasks,
             records: Vec::new(),
+            dropped_records: 0,
             host_time: Duration::ZERO,
         })
     }

@@ -17,6 +17,8 @@ pub struct Aggregate {
     pub count: usize,
     /// Arithmetic mean.
     pub mean: f64,
+    /// Population standard deviation (`0` for a single sample).
+    pub stddev: f64,
     /// Minimum.
     pub min: f64,
     /// Median (nearest-rank 50th percentile).
@@ -39,9 +41,12 @@ impl Aggregate {
         let mut sorted = samples.to_vec();
         sorted.sort_by(f64::total_cmp);
         let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let variance = sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
         Some(Aggregate {
             count,
-            mean: sorted.iter().sum::<f64>() / count as f64,
+            mean,
+            stddev: variance.sqrt(),
             min: sorted[0],
             p50: percentile_sorted(&sorted, 50.0),
             p95: percentile_sorted(&sorted, 95.0),
@@ -71,6 +76,7 @@ impl Aggregate {
         Json::obj([
             ("count", Json::U64(self.count as u64)),
             ("mean", Json::Num(self.mean)),
+            ("stddev", Json::Num(self.stddev)),
             ("min", Json::Num(self.min)),
             ("p50", Json::Num(self.p50)),
             ("p95", Json::Num(self.p95)),
@@ -118,6 +124,35 @@ mod tests {
         assert!(Aggregate::from_samples(&[]).is_none());
         let a = Aggregate::from_samples(&[2.5]).unwrap();
         assert_eq!((a.min, a.p50, a.p99, a.max), (2.5, 2.5, 2.5, 2.5));
+        assert_eq!(a.stddev, 0.0, "a single sample has zero spread");
+    }
+
+    #[test]
+    fn stddev_of_known_set() {
+        // Population stddev of {2, 4, 4, 4, 5, 5, 7, 9} is exactly 2.
+        let a = Aggregate::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((a.stddev - 2.0).abs() < 1e-12, "stddev {}", a.stddev);
+        // Constant samples have zero spread.
+        let b = Aggregate::from_samples(&[3.0; 5]).unwrap();
+        assert_eq!(b.stddev, 0.0);
+    }
+
+    #[test]
+    fn stddev_renders_after_mean_and_nan_is_null() {
+        let a = Aggregate::from_samples(&[1.0, 3.0]).unwrap();
+        let text = a.to_json().render();
+        let mean_at = text.find("\"mean\"").unwrap();
+        let stddev_at = text.find("\"stddev\"").unwrap();
+        let min_at = text.find("\"min\"").unwrap();
+        assert!(
+            mean_at < stddev_at && stddev_at < min_at,
+            "field order: {text}"
+        );
+        // NaN propagated into an aggregate degrades to null, not a panic
+        // or bare NaN token (which would be invalid JSON).
+        let n = Aggregate::from_samples(&[f64::NAN, 1.0]).unwrap();
+        assert!(n.stddev.is_nan());
+        assert!(!n.to_json().render().contains("NaN"));
     }
 
     #[test]

@@ -62,18 +62,16 @@ impl TrackMap {
         // Tracks in first-appearance order.
         let mut order: Vec<String> = Vec::new();
         let mut seen: HashMap<String, ()> = HashMap::new();
-        let mut note = |t: &String| {
-            if seen.insert(t.clone(), ()).is_none() {
-                order.push(t.clone());
+        let mut note = |t: &str| {
+            if seen.insert(t.to_string(), ()).is_none() {
+                order.push(t.to_string());
             }
         };
         for r in records {
-            match &r.kind {
-                RecordKind::SpanBegin { track, .. }
-                | RecordKind::SpanEnd { track }
-                | RecordKind::Marker { track, .. }
-                | RecordKind::SchedDecision { track, .. } => note(track),
-                _ => {}
+            // Every track-addressed kind (spans, markers, scheduler
+            // decisions, mutex records) claims its track.
+            if let Some(track) = r.kind.track() {
+                note(track);
             }
         }
 
@@ -140,14 +138,27 @@ fn event(name: &str, ph: &str, pid: u32, tid: u32) -> Vec<(String, Json)> {
 }
 
 /// Converts trace records to a Chrome-trace-event JSON document
+/// (`{"traceEvents": [...]}`) with `dropped_records: 0` metadata —
+/// shorthand for [`to_chrome_json_with_meta`] when the source sink is
+/// known to be lossless.
+#[must_use]
+pub fn to_chrome_json(records: &[Record]) -> Json {
+    to_chrome_json_with_meta(records, 0)
+}
+
+/// Converts trace records to a Chrome-trace-event JSON document
 /// (`{"traceEvents": [...]}`).
 ///
 /// Spans are exported from [`segments`], so the span multiset of the JSON
-/// equals the one every existing analysis sees; markers and scheduler
-/// decisions are exported in record order as instant events. Output bytes
-/// are a pure function of `records`.
+/// equals the one every existing analysis sees; markers, scheduler
+/// decisions and mutex records are exported in record order as instant
+/// events. `dropped_records` (the count of records the source sink
+/// discarded, e.g. on ring-buffer overflow) lands in the top-level
+/// `otherData` object so consumers — notably `bench::analyze` — can tell
+/// a lossless trace from a lossy one. Output bytes are a pure function of
+/// the arguments.
 #[must_use]
-pub fn to_chrome_json(records: &[Record]) -> Json {
+pub fn to_chrome_json_with_meta(records: &[Record], dropped_records: u64) -> Json {
     let map = TrackMap::build(records);
     let mut events: Vec<Json> = Vec::new();
 
@@ -211,12 +222,70 @@ pub fn to_chrome_json(records: &[Record]) -> Json {
                 ));
                 events.push(Json::Obj(e));
             }
+            RecordKind::MutexWait {
+                track,
+                task,
+                owner,
+                mutex,
+            } => {
+                let (pid, tid) = map.ids(track);
+                let mut e = event("mutex:wait", "i", pid, tid);
+                e.push(("ts".into(), ts_us(r.time)));
+                e.push(("s".into(), Json::str("t")));
+                e.push((
+                    "args".into(),
+                    Json::obj([
+                        ("task", Json::str(task)),
+                        ("owner", Json::str(owner)),
+                        ("mutex", Json::U64(u64::from(*mutex))),
+                    ]),
+                ));
+                events.push(Json::Obj(e));
+            }
+            RecordKind::TaskReleased {
+                track,
+                task,
+                release,
+            } => {
+                let (pid, tid) = map.ids(track);
+                let mut e = event("task:released", "i", pid, tid);
+                e.push(("ts".into(), ts_us(r.time)));
+                e.push(("s".into(), Json::str("t")));
+                e.push((
+                    "args".into(),
+                    Json::obj([("task", Json::str(task)), ("release", ts_us(*release))]),
+                ));
+                events.push(Json::Obj(e));
+            }
+            RecordKind::MutexAcquired { track, task, mutex }
+            | RecordKind::MutexReleased { track, task, mutex } => {
+                let name = match &r.kind {
+                    RecordKind::MutexAcquired { .. } => "mutex:acquired",
+                    _ => "mutex:released",
+                };
+                let (pid, tid) = map.ids(track);
+                let mut e = event(name, "i", pid, tid);
+                e.push(("ts".into(), ts_us(r.time)));
+                e.push(("s".into(), Json::str("t")));
+                e.push((
+                    "args".into(),
+                    Json::obj([
+                        ("task", Json::str(task)),
+                        ("mutex", Json::U64(u64::from(*mutex))),
+                    ]),
+                ));
+                events.push(Json::Obj(e));
+            }
             _ => {}
         }
     }
 
     Json::obj([
         ("displayTimeUnit", Json::str("ms")),
+        (
+            "otherData",
+            Json::obj([("dropped_records", Json::U64(dropped_records))]),
+        ),
         ("traceEvents", Json::Arr(events)),
     ])
 }
@@ -229,7 +298,21 @@ pub fn to_chrome_json(records: &[Record]) -> Json {
 ///
 /// Propagates filesystem errors.
 pub fn write_chrome_trace(path: &Path, records: &[Record]) -> std::io::Result<usize> {
-    let doc = to_chrome_json(records);
+    write_chrome_trace_with_meta(path, records, 0)
+}
+
+/// [`write_chrome_trace`] carrying a `dropped_records` count into the
+/// document metadata (see [`to_chrome_json_with_meta`]).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_chrome_trace_with_meta(
+    path: &Path,
+    records: &[Record],
+    dropped_records: u64,
+) -> std::io::Result<usize> {
+    let doc = to_chrome_json_with_meta(records, dropped_records);
     let n = match &doc {
         Json::Obj(pairs) => pairs
             .iter()
@@ -259,7 +342,7 @@ pub fn export_scenario_trace(
     path: &Path,
 ) -> std::io::Result<usize> {
     let outcome = spec.clone().trace(true).run_seeded(seed);
-    write_chrome_trace(path, &outcome.records)
+    write_chrome_trace_with_meta(path, &outcome.records, outcome.dropped_records)
 }
 
 /// Handles a binary's `--trace-out` flag: when present, re-runs `spec`
@@ -282,6 +365,40 @@ pub fn handle_trace_out(args: &crate::cli::Args, spec: &ScenarioSpec, seed: u64)
                     "wrote {n} trace events to {} (load at https://ui.perfetto.dev)",
                     path.display()
                 );
+            }
+        }
+        Err(e) => {
+            eprintln!("error: writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Handles a binary's `--analyze-out` flag: when present, re-runs `spec`
+/// (the same representative point `--trace-out` exports, under the same
+/// seed) with tracing enabled, runs the [`crate::analyze`] engine over
+/// the in-memory records, and writes the `rtos-sld-analysis/1` document.
+/// A lossy traced re-run (ring overflow) is a hard error, mirroring the
+/// `analyze` bin. Exits the process with status 1 on failure.
+pub fn handle_analyze_out(args: &crate::cli::Args, spec: &ScenarioSpec, seed: u64) {
+    let Some(path) = &args.analyze_out else {
+        return;
+    };
+    let outcome = spec.clone().trace(true).run_seeded(seed);
+    let data = crate::analyze::TraceData::from_records(&outcome.records, outcome.dropped_records);
+    if let Err(e) = crate::analyze::check_lossless(&data) {
+        eprintln!(
+            "error: {}: traced re-run was lossy ({}); raise SLDL_TRACE_CAP",
+            path.display(),
+            e.trace_value
+        );
+        std::process::exit(1);
+    }
+    let analysis = crate::analyze::Analysis::from_trace(&data);
+    match analysis.to_json().write_to(path) {
+        Ok(()) => {
+            if !args.quiet {
+                println!("wrote analysis document to {}", path.display());
             }
         }
         Err(e) => {
@@ -350,6 +467,44 @@ mod tests {
         };
         // 1 process + 3 threads metadata, 1 X span, 1 marker, 1 decision.
         assert_eq!(items.len(), 7, "{a}");
+    }
+
+    #[test]
+    fn mutex_records_and_dropped_count_are_exported() {
+        let t = TraceHandle::new();
+        t.record(
+            SimTime::from_micros(5),
+            RecordKind::MutexWait {
+                track: "dsp:mutex".into(),
+                task: "b".into(),
+                owner: "a".into(),
+                mutex: 3,
+            },
+        );
+        t.record(
+            SimTime::from_micros(9),
+            RecordKind::MutexAcquired {
+                track: "dsp:mutex".into(),
+                task: "b".into(),
+                mutex: 3,
+            },
+        );
+        let records = t.snapshot();
+        let text = to_chrome_json_with_meta(&records, 42).render();
+        let doc = Json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            doc.get("otherData").and_then(|o| o.get("dropped_records")),
+            Some(&Json::U64(42)),
+            "{text}"
+        );
+        // The mutex track claims a tid, and both records export as
+        // instant events with their args.
+        assert!(text.contains("\"mutex:wait\""), "{text}");
+        assert!(text.contains("\"mutex:acquired\""), "{text}");
+        assert!(text.contains("\"owner\": \"a\""), "{text}");
+        let map = TrackMap::build(&records);
+        assert_eq!(map.tracks.len(), 1);
+        assert_eq!(map.tracks[0].0, "dsp:mutex");
     }
 
     #[test]

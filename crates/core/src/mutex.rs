@@ -156,6 +156,12 @@ impl RtosMutex {
         &self.name
     }
 
+    /// Stable trace id of this mutex (its RTOS event index) — the `mutex`
+    /// field of the `"{pe}:mutex"` trace records.
+    fn trace_id(&self) -> u32 {
+        u32::try_from(self.freed.index()).unwrap_or(u32::MAX)
+    }
+
     /// Declares the kernel wait-for edge `me --[this mutex]--> owner` so
     /// the stall checker can name lock cycles.
     fn declare_edge(&self, me: TaskId, owner: TaskId) {
@@ -189,6 +195,8 @@ impl RtosMutex {
                     None => {
                         st.owner = Some(me);
                         st.depth = 1;
+                        drop(st);
+                        self.os.trace_mutex_acquired(ctx.now(), me, self.trace_id());
                         return;
                     }
                     Some(owner) if owner == me => {
@@ -203,6 +211,8 @@ impl RtosMutex {
                             // The owner inherits our (current) priority.
                             self.inherit(owner, me);
                         }
+                        self.os
+                            .trace_mutex_wait(ctx.now(), me, owner, self.trace_id());
                     }
                 }
             }
@@ -241,6 +251,8 @@ impl RtosMutex {
                     None => {
                         st.owner = Some(me);
                         st.depth = 1;
+                        drop(st);
+                        self.os.trace_mutex_acquired(ctx.now(), me, self.trace_id());
                         return Ok(());
                     }
                     Some(owner) if owner == me => return Err(MutexError::AlreadyOwned),
@@ -256,6 +268,7 @@ impl RtosMutex {
             if self.policy == InheritancePolicy::Inherit {
                 self.inherit(owner, me);
             }
+            self.os.trace_mutex_wait(now, me, owner, self.trace_id());
             let fired = self.os.event_wait_timeout(ctx, self.freed, deadline - now);
             self.clear_edge(me);
             self.state.lock().waiters.retain(|&t| t != me);
@@ -295,6 +308,7 @@ impl RtosMutex {
             }
         };
         if fully_released {
+            self.os.trace_mutex_released(ctx.now(), me, self.trace_id());
             if self.policy == InheritancePolicy::Inherit {
                 self.os.restore_priority(me);
             }
@@ -320,6 +334,8 @@ impl RtosMutex {
             None => {
                 st.owner = Some(me);
                 st.depth = 1;
+                drop(st);
+                self.os.trace_mutex_acquired(ctx.now(), me, self.trace_id());
                 true
             }
             Some(owner) if owner == me => {

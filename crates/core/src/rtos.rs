@@ -21,8 +21,8 @@ use std::time::Duration;
 
 use sldl_sim::sync::Mutex;
 use sldl_sim::{
-    AbortReason, Child, DecisionReason, EventId, LabelId, ProcCtx, ProcessId, SimTime, SldlSync,
-    SyncLayer, TraceHandle, TrackId,
+    AbortReason, Child, CompactKind, DecisionReason, EventId, LabelId, ProcCtx, ProcessId, SimTime,
+    SldlSync, SyncLayer, TraceHandle, TrackId,
 };
 
 use crate::metrics::{MetricsSnapshot, TaskStats};
@@ -157,6 +157,8 @@ struct TraceIds {
     sched_track: TrackId,
     /// `"{pe}:switch"` — context-switch markers.
     switch_track: TrackId,
+    /// `"{pe}:mutex"` — mutex wait/acquire/release records.
+    mutex_track: TrackId,
     /// Per-task interned ids, lazily filled:
     /// (name-as-track, name-as-label, `"→name"` switch label).
     per_task: Vec<Option<(TrackId, LabelId, LabelId)>>,
@@ -166,10 +168,12 @@ impl TraceIds {
     fn new(handle: TraceHandle, pe: &str) -> Self {
         let sched_track = handle.intern_track(&format!("{pe}:sched"));
         let switch_track = handle.intern_track(&format!("{pe}:switch"));
+        let mutex_track = handle.intern_track(&format!("{pe}:mutex"));
         TraceIds {
             handle,
             sched_track,
             switch_track,
+            mutex_track,
             per_task: Vec::new(),
         }
     }
@@ -401,9 +405,11 @@ impl Rtos {
 
     /// Attaches a trace: task execution segments (one track per task,
     /// labeled by the `time_wait` annotation), context-switch markers
-    /// (`"{pe}:switch"`), and scheduler decision records (`"{pe}:sched"`:
-    /// who got the CPU, who lost it, and why) are recorded to it. Track
-    /// and label names are interned once, so recording is allocation-free.
+    /// (`"{pe}:switch"`), scheduler decision records (`"{pe}:sched"`:
+    /// who got the CPU, who lost it, and why), and mutex wait/acquire/
+    /// release records (`"{pe}:mutex"`, contributed by
+    /// [`RtosMutex`](crate::RtosMutex)) are recorded to it. Track and
+    /// label names are interned once, so recording is allocation-free.
     pub fn attach_trace(&self, trace: TraceHandle) {
         let ids = TraceIds::new(trace, &self.inner.name);
         self.inner.state.lock().trace = Some(ids);
@@ -613,6 +619,7 @@ impl Rtos {
                 None => SimTime::MAX,
             };
             st.stats[task.index()].activations += 1;
+            self.trace_task_released(&mut st, now, task, now);
             self.make_ready(&mut st, task, now, false);
             self.dispatch_if_idle(&mut st, ctx);
             drop(st);
@@ -823,6 +830,7 @@ impl Rtos {
                     None => SimTime::MAX,
                 };
             }
+            self.trace_task_released(&mut st, now, tid, next_release);
             self.undispatch(&mut st, tid, now, DecisionReason::EndCycle);
             st.tasks[tid.index()].state = TaskState::Sleeping;
             st.stats[tid.index()].activations += 1;
@@ -1440,6 +1448,96 @@ impl Rtos {
             tid
         };
         self.wait_until_dispatched(ctx, tid);
+    }
+
+    /// Records a mutex wait-for edge (`task` blocked behind `owner`) if a
+    /// trace is attached. Contributed by [`RtosMutex`](crate::RtosMutex).
+    pub(crate) fn trace_mutex_wait(&self, now: SimTime, task: TaskId, owner: TaskId, mutex: u32) {
+        let mut st = self.inner.state.lock();
+        if st.trace.is_none() {
+            return;
+        }
+        let Some((_, task_label, _)) = task_trace_ids(&mut st, task) else {
+            return;
+        };
+        let Some((_, owner_label, _)) = task_trace_ids(&mut st, owner) else {
+            return;
+        };
+        let tr = st.trace.as_ref().expect("trace present");
+        tr.handle.emit(
+            now,
+            CompactKind::MutexWait {
+                track: tr.mutex_track,
+                task: task_label,
+                owner: owner_label,
+                mutex,
+            },
+        );
+    }
+
+    /// Records a mutex acquisition (outermost only) if a trace is attached.
+    pub(crate) fn trace_mutex_acquired(&self, now: SimTime, task: TaskId, mutex: u32) {
+        let mut st = self.inner.state.lock();
+        if st.trace.is_none() {
+            return;
+        }
+        let Some((_, task_label, _)) = task_trace_ids(&mut st, task) else {
+            return;
+        };
+        let tr = st.trace.as_ref().expect("trace present");
+        tr.handle.emit(
+            now,
+            CompactKind::MutexAcquired {
+                track: tr.mutex_track,
+                task: task_label,
+                mutex,
+            },
+        );
+    }
+
+    /// Records a full mutex release (depth reached zero) if a trace is
+    /// attached.
+    pub(crate) fn trace_mutex_released(&self, now: SimTime, task: TaskId, mutex: u32) {
+        let mut st = self.inner.state.lock();
+        if st.trace.is_none() {
+            return;
+        }
+        let Some((_, task_label, _)) = task_trace_ids(&mut st, task) else {
+            return;
+        };
+        let tr = st.trace.as_ref().expect("trace present");
+        tr.handle.emit(
+            now,
+            CompactKind::MutexReleased {
+                track: tr.mutex_track,
+                task: task_label,
+                mutex,
+            },
+        );
+    }
+
+    /// Records a new task release (the start of an activation in the
+    /// response-time sense) if a trace is attached: first activation and
+    /// each periodic re-release, but never preemption/wakeup requeues.
+    /// `release` is the nominal release time, which may differ from `now`
+    /// (future for a task sleeping until its next period, past for an
+    /// overrun cycle released retroactively).
+    fn trace_task_released(&self, st: &mut OsState, now: SimTime, task: TaskId, release: SimTime) {
+        if st.trace.is_none() {
+            return;
+        }
+        let Some((task_track, task_label, _)) = task_trace_ids(st, task) else {
+            return;
+        };
+        let tr = st.trace.as_ref().expect("trace present");
+        tr.handle.emit(
+            now,
+            CompactKind::TaskReleased {
+                track: task_track,
+                task: task_label,
+                release,
+            },
+        );
     }
 
     fn span_begin(&self, ctx: &ProcCtx, label: &str) {

@@ -162,6 +162,91 @@ pub enum RecordKind {
         /// Why the scheduler acted.
         reason: DecisionReason,
     },
+    /// A task started waiting on a contended RTOS mutex — one wait-for
+    /// edge (`task` → `owner`) of a potential blocking chain.
+    MutexWait {
+        /// Mutex track, conventionally `"{pe}:mutex"`.
+        track: String,
+        /// Task that blocked.
+        task: String,
+        /// Task holding the mutex at block time.
+        owner: String,
+        /// Stable mutex id (its kernel event index).
+        mutex: u32,
+    },
+    /// A task acquired an RTOS mutex (outermost acquisition only; recursive
+    /// re-entry is not re-recorded).
+    MutexAcquired {
+        /// Mutex track, conventionally `"{pe}:mutex"`.
+        track: String,
+        /// New owner.
+        task: String,
+        /// Stable mutex id (its kernel event index).
+        mutex: u32,
+    },
+    /// A task fully released an RTOS mutex (recursion depth reached zero).
+    MutexReleased {
+        /// Mutex track, conventionally `"{pe}:mutex"`.
+        track: String,
+        /// Previous owner.
+        task: String,
+        /// Stable mutex id (its kernel event index).
+        mutex: u32,
+    },
+    /// A new task release: the start of an activation in the
+    /// response-time sense. Emitted when the kernel establishes a release
+    /// time — first activation and each periodic re-release — *not* on
+    /// requeues after preemption or wakeup. The record's own time is the
+    /// bookkeeping moment; `release` is the nominal release, which can be
+    /// in the future (sleep until next period) or the past (overrun).
+    TaskReleased {
+        /// The task's own track (its name).
+        track: String,
+        /// Task that was released.
+        task: String,
+        /// Nominal release time of the new activation.
+        release: SimTime,
+    },
+}
+
+impl RecordKind {
+    /// Stable lowercase kind name (matches the CSV `kind` column, except
+    /// for `ProcessSuspended`, whose CSV kind encodes the suspend reason).
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            RecordKind::ProcessSpawned { .. } => "process_spawned",
+            RecordKind::ProcessResumed { .. } => "process_resumed",
+            RecordKind::ProcessSuspended { .. } => "process_suspended",
+            RecordKind::ProcessFinished { .. } => "process_finished",
+            RecordKind::EventNotified { .. } => "event_notified",
+            RecordKind::Marker { .. } => "marker",
+            RecordKind::SpanBegin { .. } => "span_begin",
+            RecordKind::SpanEnd { .. } => "span_end",
+            RecordKind::SchedDecision { .. } => "sched_decision",
+            RecordKind::MutexWait { .. } => "mutex_wait",
+            RecordKind::MutexAcquired { .. } => "mutex_acquired",
+            RecordKind::MutexReleased { .. } => "mutex_released",
+            RecordKind::TaskReleased { .. } => "task_released",
+        }
+    }
+
+    /// The track this record belongs to, for track-addressed kinds
+    /// (spans, markers, scheduler decisions, mutex records).
+    #[must_use]
+    pub fn track(&self) -> Option<&str> {
+        match self {
+            RecordKind::Marker { track, .. }
+            | RecordKind::SpanBegin { track, .. }
+            | RecordKind::SpanEnd { track }
+            | RecordKind::SchedDecision { track, .. }
+            | RecordKind::MutexWait { track, .. }
+            | RecordKind::MutexAcquired { track, .. }
+            | RecordKind::MutexReleased { track, .. }
+            | RecordKind::TaskReleased { track, .. } => Some(track),
+            _ => None,
+        }
+    }
 }
 
 /// A time-stamped trace record.
@@ -311,6 +396,44 @@ pub enum CompactKind {
         /// Why the scheduler acted.
         reason: DecisionReason,
     },
+    /// See [`RecordKind::MutexWait`].
+    MutexWait {
+        /// Interned mutex track.
+        track: TrackId,
+        /// Task that blocked.
+        task: LabelId,
+        /// Task holding the mutex.
+        owner: LabelId,
+        /// Stable mutex id.
+        mutex: u32,
+    },
+    /// See [`RecordKind::MutexAcquired`].
+    MutexAcquired {
+        /// Interned mutex track.
+        track: TrackId,
+        /// New owner.
+        task: LabelId,
+        /// Stable mutex id.
+        mutex: u32,
+    },
+    /// See [`RecordKind::MutexReleased`].
+    MutexReleased {
+        /// Interned mutex track.
+        track: TrackId,
+        /// Previous owner.
+        task: LabelId,
+        /// Stable mutex id.
+        mutex: u32,
+    },
+    /// See [`RecordKind::TaskReleased`].
+    TaskReleased {
+        /// Interned task track.
+        track: TrackId,
+        /// Released task.
+        task: LabelId,
+        /// Nominal release time.
+        release: SimTime,
+    },
 }
 
 /// A time-stamped record in interned form.
@@ -357,6 +480,36 @@ pub fn resolve_record(rec: &CompactRecord, interner: &Interner) -> Record {
             dispatched: dispatched.map(|l| interner.label(l).to_string()),
             displaced: displaced.map(|l| interner.label(l).to_string()),
             reason,
+        },
+        CompactKind::MutexWait {
+            track,
+            task,
+            owner,
+            mutex,
+        } => RecordKind::MutexWait {
+            track: interner.track(track).to_string(),
+            task: interner.label(task).to_string(),
+            owner: interner.label(owner).to_string(),
+            mutex,
+        },
+        CompactKind::MutexAcquired { track, task, mutex } => RecordKind::MutexAcquired {
+            track: interner.track(track).to_string(),
+            task: interner.label(task).to_string(),
+            mutex,
+        },
+        CompactKind::MutexReleased { track, task, mutex } => RecordKind::MutexReleased {
+            track: interner.track(track).to_string(),
+            task: interner.label(task).to_string(),
+            mutex,
+        },
+        CompactKind::TaskReleased {
+            track,
+            task,
+            release,
+        } => RecordKind::TaskReleased {
+            track: interner.track(track).to_string(),
+            task: interner.label(task).to_string(),
+            release,
         },
     };
     Record {
@@ -797,6 +950,36 @@ impl TraceHandle {
                     .map(|s| LabelId(inner.interner.intern(s))),
                 reason: *reason,
             },
+            RecordKind::MutexWait {
+                track,
+                task,
+                owner,
+                mutex,
+            } => CompactKind::MutexWait {
+                track: TrackId(inner.interner.intern(track)),
+                task: LabelId(inner.interner.intern(task)),
+                owner: LabelId(inner.interner.intern(owner)),
+                mutex: *mutex,
+            },
+            RecordKind::MutexAcquired { track, task, mutex } => CompactKind::MutexAcquired {
+                track: TrackId(inner.interner.intern(track)),
+                task: LabelId(inner.interner.intern(task)),
+                mutex: *mutex,
+            },
+            RecordKind::MutexReleased { track, task, mutex } => CompactKind::MutexReleased {
+                track: TrackId(inner.interner.intern(track)),
+                task: LabelId(inner.interner.intern(task)),
+                mutex: *mutex,
+            },
+            RecordKind::TaskReleased {
+                track,
+                task,
+                release,
+            } => CompactKind::TaskReleased {
+                track: TrackId(inner.interner.intern(track)),
+                task: LabelId(inner.interner.intern(task)),
+                release: *release,
+            },
         };
         let TraceInner { interner, sink } = &mut *inner;
         sink.record(
@@ -1037,6 +1220,39 @@ fn csv_row(out: &mut String, r: &Record) {
                 dispatched.as_deref().unwrap_or("-"),
                 displaced.as_deref().unwrap_or("-"),
             )),
+            -1,
+        ),
+        RecordKind::MutexWait {
+            track,
+            task,
+            owner,
+            mutex,
+        } => (
+            "mutex_wait",
+            track.as_str(),
+            Cow::Owned(format!("task={task} owner={owner}")),
+            i64::from(*mutex),
+        ),
+        RecordKind::MutexAcquired { track, task, mutex } => (
+            "mutex_acquired",
+            track.as_str(),
+            Cow::Owned(format!("task={task}")),
+            i64::from(*mutex),
+        ),
+        RecordKind::MutexReleased { track, task, mutex } => (
+            "mutex_released",
+            track.as_str(),
+            Cow::Owned(format!("task={task}")),
+            i64::from(*mutex),
+        ),
+        RecordKind::TaskReleased {
+            track,
+            task,
+            release,
+        } => (
+            "task_released",
+            track.as_str(),
+            Cow::Owned(format!("task={task} release={}", release.as_nanos())),
             -1,
         ),
     };
@@ -1383,6 +1599,52 @@ mod tests {
             line,
             "5000,sched_decision,\"dsp:sched\",\"dispatched=enc displaced=dec reason=preemption\",-1"
         );
+    }
+
+    #[test]
+    fn csv_includes_mutex_records() {
+        let recs = vec![
+            Record {
+                time: SimTime::from_micros(1),
+                kind: RecordKind::MutexWait {
+                    track: "dsp:mutex".into(),
+                    task: "enc".into(),
+                    owner: "dec".into(),
+                    mutex: 7,
+                },
+            },
+            Record {
+                time: SimTime::from_micros(2),
+                kind: RecordKind::MutexAcquired {
+                    track: "dsp:mutex".into(),
+                    task: "enc".into(),
+                    mutex: 7,
+                },
+            },
+            Record {
+                time: SimTime::from_micros(3),
+                kind: RecordKind::MutexReleased {
+                    track: "dsp:mutex".into(),
+                    task: "enc".into(),
+                    mutex: 7,
+                },
+            },
+        ];
+        let csv = to_csv(&recs);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[1],
+            "1000,mutex_wait,\"dsp:mutex\",\"task=enc owner=dec\",7"
+        );
+        assert_eq!(lines[2], "2000,mutex_acquired,\"dsp:mutex\",\"task=enc\",7");
+        assert_eq!(lines[3], "3000,mutex_released,\"dsp:mutex\",\"task=enc\",7");
+        for (r, want) in recs
+            .iter()
+            .zip(["mutex_wait", "mutex_acquired", "mutex_released"])
+        {
+            assert_eq!(r.kind.kind_name(), want);
+            assert_eq!(r.kind.track(), Some("dsp:mutex"));
+        }
     }
 
     #[test]
