@@ -1,0 +1,292 @@
+//! CI performance regression gate: compares a freshly measured
+//! `rtos-sld-bench/1` document against a committed baseline and fails when
+//! any throughput metric regressed beyond a generous noise ratio.
+//!
+//! Usage: `perf_gate BASELINE CURRENT [--ratio R]`
+//!
+//! Points are matched by `name`; within each matched point every
+//! `*_per_sec` metric present in **both** documents is compared. The gate
+//! fails when `current < baseline / R` (default R = 10): microbench rates
+//! are host wall-clock measurements, so only an order-of-magnitude cliff —
+//! an accidental O(n) scan back on the dispatch path, a lost cache, a
+//! debug build — should trip CI, never scheduler noise on a busy runner.
+//!
+//! A baseline point missing from the current document fails the gate (a
+//! silently dropped bench is itself a regression); points added by newer
+//! code are ignored until the baseline is refreshed. Baselines live in
+//! `bench-results/` and are regenerated with the same bins that produce
+//! the current documents (see EXPERIMENTS.md).
+//!
+//! Exits 0 when all matched metrics hold, 1 on any regression, 2 on usage
+//! or parse errors.
+
+use std::process::ExitCode;
+
+use bench::json::Json;
+use bench::TextTable;
+
+fn field<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_f64(j: &Json) -> Option<f64> {
+    match j {
+        Json::Num(n) => Some(*n),
+        Json::U64(u) => Some(*u as f64),
+        _ => None,
+    }
+}
+
+/// `(point name, metric name) -> rate` for every `*_per_sec` metric.
+fn rate_metrics(doc: &Json) -> Result<Vec<(String, String, f64)>, String> {
+    let Json::Obj(top) = doc else {
+        return Err("document top level is not an object".into());
+    };
+    match field(top, "schema") {
+        Some(Json::Str(s)) if s == "rtos-sld-bench/1" => {}
+        Some(Json::Str(s)) => return Err(format!("unsupported schema {s:?}")),
+        _ => return Err("document lacks a string `schema`".into()),
+    }
+    let Some(Json::Arr(points)) = field(top, "points") else {
+        return Err("document lacks a `points` array".into());
+    };
+    let mut out = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        let Json::Obj(fields) = p else {
+            return Err(format!("points[{i}] is not an object"));
+        };
+        let Some(Json::Str(name)) = field(fields, "name") else {
+            return Err(format!("points[{i}] lacks a string `name`"));
+        };
+        let Some(Json::Obj(metrics)) = field(fields, "metrics") else {
+            return Err(format!("points[{i}] lacks a `metrics` object"));
+        };
+        for (key, value) in metrics {
+            if key.ends_with("_per_sec") {
+                let Some(rate) = as_f64(value) else {
+                    return Err(format!("points[{i}].metrics.{key} is not numeric"));
+                };
+                out.push((name.clone(), key.clone(), rate));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// One compared metric.
+struct Row {
+    point: String,
+    metric: String,
+    baseline: f64,
+    current: f64,
+}
+
+impl Row {
+    /// current/baseline; > 1 means faster than the baseline.
+    fn speedup(&self) -> f64 {
+        if self.baseline > 0.0 {
+            self.current / self.baseline
+        } else {
+            1.0
+        }
+    }
+
+    fn regressed(&self, ratio: f64) -> bool {
+        self.current < self.baseline / ratio
+    }
+}
+
+/// Matches baseline metrics against current ones. Returns the comparison
+/// rows plus the names of baseline points absent from the current run.
+fn compare(baseline: &Json, current: &Json) -> Result<(Vec<Row>, Vec<String>), String> {
+    let base = rate_metrics(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cur = rate_metrics(current).map_err(|e| format!("current: {e}"))?;
+    if base.is_empty() {
+        return Err("baseline: no `*_per_sec` metrics to gate on".into());
+    }
+    let mut rows = Vec::new();
+    let mut missing = Vec::new();
+    for (point, metric, b) in base {
+        match cur.iter().find(|(p, m, _)| *p == point && *m == metric) {
+            Some(&(_, _, c)) => rows.push(Row {
+                point,
+                metric,
+                baseline: b,
+                current: c,
+            }),
+            None => missing.push(format!("{point}:{metric}")),
+        }
+    }
+    Ok((rows, missing))
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: read failed: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: perf_gate BASELINE CURRENT [--ratio R]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut ratio = 10.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--ratio" {
+            let Some(r) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                return usage();
+            };
+            if r.is_nan() || r < 1.0 {
+                eprintln!("error: --ratio must be >= 1");
+                return ExitCode::from(2);
+            }
+            ratio = r;
+        } else if a.starts_with("--") {
+            return usage();
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return usage();
+    };
+
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (rows, missing) = match compare(&baseline, &current) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut t = TextTable::new();
+    t.row(["point", "metric", "baseline", "current", "x", "verdict"]);
+    let mut regressions = 0usize;
+    for r in &rows {
+        let bad = r.regressed(ratio);
+        if bad {
+            regressions += 1;
+        }
+        t.row([
+            r.point.clone(),
+            r.metric.clone(),
+            format!("{:.0}", r.baseline),
+            format!("{:.0}", r.current),
+            format!("{:.2}", r.speedup()),
+            if bad { "REGRESSED".into() } else { "ok".into() },
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\ngate: {} metric(s) compared, noise ratio {ratio}x (fail below baseline/{ratio})",
+        rows.len()
+    );
+
+    if !missing.is_empty() {
+        for m in &missing {
+            eprintln!("error: baseline point `{m}` is missing from the current document");
+        }
+        return ExitCode::FAILURE;
+    }
+    if regressions > 0 {
+        eprintln!("error: {regressions} metric(s) regressed beyond {ratio}x");
+        return ExitCode::FAILURE;
+    }
+    println!("perf gate passed");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(points: &[(&str, &[(&str, f64)])]) -> Json {
+        let body: Vec<String> = points
+            .iter()
+            .enumerate()
+            .map(|(i, (name, metrics))| {
+                let m: Vec<String> = metrics
+                    .iter()
+                    .map(|(k, v)| format!(r#""{k}":{v}"#))
+                    .collect();
+                format!(
+                    r#"{{"name":"{name}","index":{i},"seed":1,"status":"completed",
+                         "completed":true,"metrics":{{{}}}}}"#,
+                    m.join(",")
+                )
+            })
+            .collect();
+        Json::parse(&format!(
+            r#"{{"schema":"rtos-sld-bench/1","bench":"b","base_seed":1,"points":[{}]}}"#,
+            body.join(",")
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn extracts_only_rate_metrics() {
+        let d = doc(&[("handoff", &[("ops", 500.0), ("handoffs_per_sec", 2e6)])]);
+        let rates = rate_metrics(&d).unwrap();
+        assert_eq!(rates.len(), 1);
+        assert_eq!(rates[0].0, "handoff");
+        assert_eq!(rates[0].1, "handoffs_per_sec");
+    }
+
+    #[test]
+    fn passes_within_ratio_fails_beyond() {
+        let base = doc(&[("a", &[("x_per_sec", 1000.0)])]);
+        let ok = doc(&[("a", &[("x_per_sec", 150.0)])]);
+        let (rows, missing) = compare(&base, &ok).unwrap();
+        assert!(missing.is_empty());
+        assert!(!rows[0].regressed(10.0), "within 10x noise must pass");
+
+        let bad = doc(&[("a", &[("x_per_sec", 50.0)])]);
+        let (rows, _) = compare(&base, &bad).unwrap();
+        assert!(rows[0].regressed(10.0), "20x cliff must fail");
+        // A tighter ratio flags the smaller drop too.
+        let (rows, _) = compare(&base, &ok).unwrap();
+        assert!(rows[0].regressed(2.0));
+    }
+
+    #[test]
+    fn missing_baseline_point_is_reported() {
+        let base = doc(&[
+            ("a", &[("x_per_sec", 1000.0)]),
+            ("b", &[("y_per_sec", 500.0)]),
+        ]);
+        let cur = doc(&[("a", &[("x_per_sec", 1000.0)])]);
+        let (rows, missing) = compare(&base, &cur).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(missing, vec!["b:y_per_sec".to_string()]);
+    }
+
+    #[test]
+    fn extra_current_points_are_ignored() {
+        let base = doc(&[("a", &[("x_per_sec", 1000.0)])]);
+        let cur = doc(&[
+            ("a", &[("x_per_sec", 900.0)]),
+            ("new", &[("z_per_sec", 1.0)]),
+        ]);
+        let (rows, missing) = compare(&base, &cur).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(missing.is_empty());
+    }
+
+    #[test]
+    fn rejects_documents_without_rates() {
+        let base = doc(&[("a", &[("ops", 5.0)])]);
+        let cur = doc(&[("a", &[("ops", 5.0)])]);
+        assert!(compare(&base, &cur).is_err());
+    }
+}

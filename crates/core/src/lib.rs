@@ -62,6 +62,7 @@
 pub mod analysis;
 mod metrics;
 mod mutex;
+pub mod readyq;
 mod rtos;
 mod sched;
 mod task;

@@ -26,6 +26,7 @@ use sldl_sim::{
 };
 
 use crate::metrics::{MetricsSnapshot, TaskStats};
+use crate::readyq::ReadyQueue;
 use crate::sched::SchedAlg;
 use crate::task::{MissPolicy, Priority, TaskId, TaskParams, TaskState, Tcb};
 
@@ -144,9 +145,15 @@ impl Watchdog {
     }
 }
 
+/// An RTOS event's waiter queue: an intrusive doubly-linked list threaded
+/// through the waiting tasks' TCBs (`wait_next`/`wait_prev`/`waiting_on`).
+/// Tasks are appended at the tail and notified head-first, preserving the
+/// old `Vec` push order; enqueue, unlink (kill, timeout withdrawal) and
+/// drain are all O(1) per task with no per-event allocation.
 struct OsEvent {
     alive: bool,
-    waiters: Vec<TaskId>,
+    head: Option<TaskId>,
+    tail: Option<TaskId>,
 }
 
 /// Attached trace handle plus interned ids for the RTOS's own tracks, so
@@ -210,11 +217,16 @@ struct OsState {
     switch_cost: Duration,
     tasks: Vec<Tcb>,
     by_pid: HashMap<ProcessId, TaskId>,
-    ready: Vec<TaskId>,
+    /// Indexed ready structure keyed by [`SchedAlg::queue_rank`]; rebuilt
+    /// by [`Rtos::start`] when the algorithm changes.
+    ready: ReadyQueue,
     running: Option<TaskId>,
     last_dispatched: Option<TaskId>,
     seq: u64,
     events: Vec<OsEvent>,
+    /// Reusable buffer for draining an event's waiter list in
+    /// [`Rtos::event_notify`] without allocating per notify.
+    waiter_scratch: Vec<TaskId>,
     trace: Option<TraceIds>,
     /// Why the CPU was last vacated, consumed by the next dispatch to emit
     /// a scheduler *decision* record: (displaced task, reason).
@@ -310,11 +322,12 @@ impl Rtos {
                     switch_cost: Duration::ZERO,
                     tasks: Vec::new(),
                     by_pid: HashMap::new(),
-                    ready: Vec::new(),
+                    ready: ReadyQueue::for_alg(SchedAlg::PriorityPreemptive),
                     running: None,
                     last_dispatched: None,
                     seq: 0,
                     events: Vec::new(),
+                    waiter_scratch: Vec::new(),
                     trace: None,
                     pending_decision: None,
                     context_switches: 0,
@@ -386,6 +399,15 @@ impl Rtos {
         let mut st = self.inner.state.lock();
         st.alg = alg;
         st.started = true;
+        // Re-key the ready structure for the new algorithm (defensive: a
+        // re-start with tasks already queued must not strand them under
+        // stale ranks or in the wrong structure shape).
+        let queued: Vec<TaskId> = st.ready.iter_live().map(TaskId).collect();
+        st.ready = ReadyQueue::for_alg(alg);
+        for t in queued {
+            let rank = st.alg.queue_rank(&st.tasks[t.index()]);
+            st.ready.insert(t.0, rank);
+        }
     }
 
     /// Sets the preemption-modeling granularity of
@@ -489,7 +511,12 @@ impl Rtos {
     pub fn boost_priority(&self, task: TaskId, to: Priority) {
         let mut st = self.inner.state.lock();
         let tcb = &mut st.tasks[task.index()];
-        tcb.priority = tcb.priority.min(to);
+        let boosted = tcb.priority.min(to);
+        if boosted != tcb.priority {
+            tcb.priority = boosted;
+            // A READY task's queue key embeds its priority: re-rank it.
+            self.requeue_if_ready(&mut st, task);
+        }
     }
 
     /// Restores `task`'s priority to its assigned (base) value, ending any
@@ -501,7 +528,10 @@ impl Rtos {
     pub fn restore_priority(&self, task: TaskId) {
         let mut st = self.inner.state.lock();
         let tcb = &mut st.tasks[task.index()];
-        tcb.priority = tcb.base_priority;
+        if tcb.priority != tcb.base_priority {
+            tcb.priority = tcb.base_priority;
+            self.requeue_if_ready(&mut st, task);
+        }
     }
 
     /// The task bound to the calling process, if any (tasks bind at their
@@ -571,6 +601,9 @@ impl Rtos {
             miss_policy: params.miss_policy,
             miss_budget: params.miss_budget.max(1),
             consecutive_misses: 0,
+            wait_next: None,
+            wait_prev: None,
+            waiting_on: None,
         });
         st.stats.push(TaskStats {
             name: params.name.clone(),
@@ -711,10 +744,8 @@ impl Rtos {
                 "{}: task_kill on the caller's own task",
                 self.inner.name
             );
-            st.ready.retain(|&t| t != task);
-            for e in &mut st.events {
-                e.waiters.retain(|&t| t != task);
-            }
+            st.ready.remove(task.0);
+            self.unlink_waiter(&mut st, task);
             st.tasks[task.index()].state = TaskState::Terminated;
             let pid = st.tasks[task.index()].pid.take();
             if let Some(pid) = pid {
@@ -910,7 +941,8 @@ impl Rtos {
         let id = RtosEvent(u32::try_from(st.events.len()).expect("event ids exhausted"));
         st.events.push(OsEvent {
             alive: true,
-            waiters: Vec::new(),
+            head: None,
+            tail: None,
         });
         id
     }
@@ -925,7 +957,7 @@ impl Rtos {
         let e = &mut st.events[event.index()];
         assert!(e.alive, "{}: {event} deleted twice", self.inner.name);
         assert!(
-            e.waiters.is_empty(),
+            e.head.is_none(),
             "{}: deleting {event} with waiting tasks",
             self.inner.name
         );
@@ -952,7 +984,7 @@ impl Rtos {
             let now = ctx.now();
             self.undispatch(&mut st, tid, now, DecisionReason::Block);
             st.tasks[tid.index()].state = TaskState::Blocked;
-            st.events[event.index()].waiters.push(tid);
+            self.enqueue_waiter(&mut st, event, tid);
             self.dispatch_best(&mut st, ctx);
             tid
         };
@@ -988,7 +1020,7 @@ impl Rtos {
             let now = ctx.now();
             self.undispatch(&mut st, tid, now, DecisionReason::Block);
             st.tasks[tid.index()].state = TaskState::Blocked;
-            st.events[event.index()].waiters.push(tid);
+            self.enqueue_waiter(&mut st, event, tid);
             self.dispatch_best(&mut st, ctx);
             tid
         };
@@ -1007,10 +1039,10 @@ impl Rtos {
                     let now = ctx.now();
                     let ev = st.tasks[tid.index()].dispatch_ev;
                     if fired && now >= deadline {
-                        if st.events[event.index()].waiters.contains(&tid) {
+                        if st.tasks[tid.index()].waiting_on == Some(event.0) {
                             // Timed out while still queued: withdraw and
                             // compete for the CPU.
-                            st.events[event.index()].waiters.retain(|&t| t != tid);
+                            self.unlink_waiter(&mut st, tid);
                             self.make_ready(&mut st, tid, now, false);
                             self.dispatch_if_idle(&mut st, ctx);
                             fired = false;
@@ -1059,10 +1091,16 @@ impl Rtos {
                 self.inner.name
             );
             let now = ctx.now();
-            let waiters = std::mem::take(&mut st.events[event.index()].waiters);
-            for t in waiters {
+            // Drain the intrusive waiter list head-first (registration
+            // order) into the reusable scratch buffer, then requeue.
+            let mut woken = std::mem::take(&mut st.waiter_scratch);
+            woken.clear();
+            self.drain_waiters(&mut st, event, &mut woken);
+            for &t in &woken {
                 self.make_ready(&mut st, t, now, false);
             }
+            woken.clear();
+            st.waiter_scratch = woken;
             let is_task = st.by_pid.get(&ctx.pid()).copied() == st.running && st.running.is_some();
             if !is_task {
                 self.dispatch_if_idle(&mut st, ctx);
@@ -1213,7 +1251,7 @@ impl Rtos {
     /// Inserts `task` into the ready queue. `keep_seq` preserves the FIFO
     /// position (used when requeueing a preempted task).
     fn make_ready(&self, st: &mut OsState, task: TaskId, now: SimTime, keep_seq: bool) {
-        debug_assert!(!st.ready.contains(&task), "{task} already ready");
+        debug_assert!(!st.ready.contains(task.0), "{task} already ready");
         if !keep_seq {
             st.seq += 1;
             st.tasks[task.index()].ready_seq = st.seq;
@@ -1223,15 +1261,75 @@ impl Rtos {
         if tcb.ready_since.is_none() {
             tcb.ready_since = Some(now);
         }
-        st.ready.push(task);
+        let rank = st.alg.queue_rank(&st.tasks[task.index()]);
+        st.ready.insert(task.0, rank);
     }
 
-    /// The most urgent ready task under the current algorithm.
-    fn select(&self, st: &OsState) -> Option<TaskId> {
-        st.ready
-            .iter()
-            .copied()
-            .min_by_key(|&t| st.alg.rank(&st.tasks[t.index()]))
+    /// Re-ranks a queued task after its priority changed (inheritance
+    /// boost/restore can target a READY task). No-op otherwise: a running,
+    /// sleeping or blocked task is keyed when it next becomes ready.
+    fn requeue_if_ready(&self, st: &mut OsState, task: TaskId) {
+        if st.ready.remove(task.0) {
+            let rank = st.alg.queue_rank(&st.tasks[task.index()]);
+            st.ready.insert(task.0, rank);
+        }
+    }
+
+    /// The most urgent ready task under the current algorithm: the indexed
+    /// structure's unique rank-minimal entry (`&mut` because the peek
+    /// sweeps lazily deleted entries).
+    fn select(&self, st: &mut OsState) -> Option<TaskId> {
+        st.ready.peek().map(TaskId)
+    }
+
+    /// Appends `task` to `event`'s intrusive waiter list (tail insert:
+    /// notify order is registration order, as with the old `Vec` push).
+    fn enqueue_waiter(&self, st: &mut OsState, event: RtosEvent, task: TaskId) {
+        debug_assert!(
+            st.tasks[task.index()].waiting_on.is_none(),
+            "{task} is already waiting on an event"
+        );
+        let prev_tail = st.events[event.index()].tail.replace(task);
+        match prev_tail {
+            Some(prev) => st.tasks[prev.index()].wait_next = Some(task),
+            None => st.events[event.index()].head = Some(task),
+        }
+        let tcb = &mut st.tasks[task.index()];
+        tcb.wait_prev = prev_tail;
+        tcb.wait_next = None;
+        tcb.waiting_on = Some(event.0);
+    }
+
+    /// Unlinks `task` from whatever event queue it is waiting on, if any
+    /// (kill and timeout withdrawal paths). O(1).
+    fn unlink_waiter(&self, st: &mut OsState, task: TaskId) {
+        let tcb = &mut st.tasks[task.index()];
+        let Some(ev) = tcb.waiting_on.take() else {
+            return;
+        };
+        let prev = tcb.wait_prev.take();
+        let next = tcb.wait_next.take();
+        match prev {
+            Some(p) => st.tasks[p.index()].wait_next = next,
+            None => st.events[ev as usize].head = next,
+        }
+        match next {
+            Some(n) => st.tasks[n.index()].wait_prev = prev,
+            None => st.events[ev as usize].tail = prev,
+        }
+    }
+
+    /// Empties `event`'s waiter list into `out`, head (oldest) first.
+    fn drain_waiters(&self, st: &mut OsState, event: RtosEvent, out: &mut Vec<TaskId>) {
+        let mut cur = st.events[event.index()].head.take();
+        st.events[event.index()].tail = None;
+        while let Some(t) = cur {
+            let tcb = &mut st.tasks[t.index()];
+            cur = tcb.wait_next.take();
+            tcb.wait_prev = None;
+            tcb.waiting_on = None;
+            out.push(t);
+        }
     }
 
     /// Dispatches the most urgent ready task, if the CPU is idle.
@@ -1279,19 +1377,22 @@ impl Rtos {
                 ),
             );
         }
-        if tcb.state != TaskState::Ready || !st.ready.contains(&task) {
+        if tcb.state != TaskState::Ready || !st.ready.contains(task.0) {
             ctx.invariant_violation(
                 "scheduler-conformance",
                 subject,
                 format!(
                     "dispatched from state {:?} (in ready queue: {}) — only Ready tasks may run",
                     tcb.state,
-                    st.ready.contains(&task)
+                    st.ready.contains(task.0)
                 ),
             );
         }
+        // Independent cross-check of the indexed pick: a deliberate linear
+        // scan re-ranking every queued task with `SchedAlg::rank` (not the
+        // structure's own `queue_rank` keys).
         let rank = st.alg.rank(tcb);
-        for &other in &st.ready {
+        for other in st.ready.iter_live().map(TaskId) {
             let o = &st.tasks[other.index()];
             if st.alg.rank(o) < rank {
                 ctx.invariant_violation(
@@ -1312,7 +1413,7 @@ impl Rtos {
         if st.conformance {
             self.check_dispatch_conformance(st, task, ctx);
         }
-        st.ready.retain(|&t| t != task);
+        st.ready.remove(task.0);
         let tcb = &mut st.tasks[task.index()];
         tcb.state = TaskState::Running;
         tcb.dispatched_at = Some(now);
@@ -1417,7 +1518,7 @@ impl Rtos {
             };
             let now = ctx.now();
             let switch = if st.alg.is_preemptive() {
-                match self.select(&st) {
+                match self.select(&mut st) {
                     Some(best)
                         if st.alg.rank(&st.tasks[best.index()])
                             < st.alg.rank(&st.tasks[tid.index()]) =>

@@ -85,6 +85,28 @@ impl SchedAlg {
             ),
         }
     }
+
+    /// Key under which the indexed ready structure
+    /// ([`ReadyQueue`](crate::readyq::ReadyQueue)) stores a task: a
+    /// normalized `(level_hi, level_lo, seq)` triple that orders identically
+    /// to [`rank`](Self::rank) — `queue_rank(a) < queue_rank(b)` iff
+    /// `rank(a) < rank(b)` — but always carries the FIFO sequence number in
+    /// the last position, so the first two components form a stable
+    /// per-level key and in-level order is pure arrival order. `ready_seq`
+    /// values are globally unique (the counter only ever grows and a
+    /// requeue reuses the task's own number), so no two queued tasks ever
+    /// compare equal and the structure's unique minimum *is* the linear
+    /// scan's first-minimal pick.
+    pub(crate) fn queue_rank(self, tcb: &Tcb) -> (u64, u64, u64) {
+        match self {
+            SchedAlg::PriorityPreemptive | SchedAlg::PriorityCooperative => {
+                (u64::from(tcb.priority.0), 0, tcb.ready_seq)
+            }
+            SchedAlg::Fifo | SchedAlg::RoundRobin { .. } => (0, 0, tcb.ready_seq),
+            // RMS and EDF ranks already carry the seq last.
+            SchedAlg::Rms | SchedAlg::Edf => self.rank(tcb),
+        }
+    }
 }
 
 impl fmt::Display for SchedAlg {
@@ -134,6 +156,9 @@ mod tests {
             miss_policy: crate::task::MissPolicy::Count,
             miss_budget: 1,
             consecutive_misses: 0,
+            wait_next: None,
+            wait_prev: None,
+            waiting_on: None,
         }
     }
 
@@ -216,6 +241,55 @@ mod tests {
             Some(Duration::from_micros(250))
         );
         assert_eq!(SchedAlg::Edf.quantum(), None);
+    }
+
+    #[test]
+    fn queue_rank_orders_exactly_like_rank() {
+        // The indexed ready structure sorts by queue_rank; the conformance
+        // oracle re-checks picks with rank. The two must agree on every
+        // pair, for every algorithm.
+        let tcbs = [
+            tcb(0, TaskKind::Aperiodic, 3, 700),
+            tcb(2, TaskKind::Aperiodic, 1, 100),
+            tcb(
+                2,
+                TaskKind::Periodic {
+                    period: Duration::from_millis(5),
+                },
+                2,
+                250,
+            ),
+            tcb(
+                7,
+                TaskKind::Periodic {
+                    period: Duration::from_millis(50),
+                },
+                4,
+                250,
+            ),
+            tcb(7, TaskKind::Aperiodic, 5, 100),
+        ];
+        let algs = [
+            SchedAlg::PriorityPreemptive,
+            SchedAlg::PriorityCooperative,
+            SchedAlg::Fifo,
+            SchedAlg::RoundRobin {
+                quantum: Duration::from_millis(1),
+            },
+            SchedAlg::Rms,
+            SchedAlg::Edf,
+        ];
+        for alg in algs {
+            for a in &tcbs {
+                for b in &tcbs {
+                    assert_eq!(
+                        alg.rank(a).cmp(&alg.rank(b)),
+                        alg.queue_rank(a).cmp(&alg.queue_rank(b)),
+                        "{alg}: rank and queue_rank disagree"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

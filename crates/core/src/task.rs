@@ -260,6 +260,12 @@ pub(crate) struct Tcb {
     pub(crate) miss_budget: u32,
     /// Current run of consecutive deadline misses.
     pub(crate) consecutive_misses: u32,
+    /// Intrusive link: next task in the waited-on event's queue.
+    pub(crate) wait_next: Option<TaskId>,
+    /// Intrusive link: previous task in the waited-on event's queue.
+    pub(crate) wait_prev: Option<TaskId>,
+    /// Index of the RTOS event this task is queued on, if blocked on one.
+    pub(crate) waiting_on: Option<u32>,
 }
 
 impl Tcb {

@@ -45,7 +45,7 @@
 //!   (`queued_gen`) matched against the kernel's current `delta_gen`, so
 //!   queuing a notification never scans the notified list.
 
-use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -63,6 +63,7 @@ use crate::time::SimTime;
 use crate::trace::{
     CompactKind, KernelStats, RecordKind, SuspendReason, TraceConfig, TraceHandle, TraceSink,
 };
+use crate::wheel::TimerWheel;
 
 /// A process body: runs once on its own thread with a [`ProcCtx`].
 pub type ProcBody = Box<dyn FnOnce(&ProcCtx) + Send + 'static>;
@@ -204,7 +205,8 @@ struct Violation {
 enum ProcState {
     Ready,
     Running,
-    /// Waiting for one of the events listed in `ProcEntry::waiting_on`.
+    /// Waiting for one of the events whose waiter-slab nodes are listed
+    /// in `ProcEntry::waiting_on`.
     WaitEvent,
     /// Waiting for a timed wake-up.
     WaitTime,
@@ -224,8 +226,10 @@ struct ProcEntry {
     cell: Arc<ParkCell>,
     /// Parent joining on this process through `par`, if any.
     parent: Option<ProcessId>,
-    /// Events this process is currently registered on (for `wait_any`).
-    waiting_on: Vec<EventId>,
+    /// Waiter-slab node indices this process holds, one per event it is
+    /// registered on (for `wait_any`). The `Vec` is emptied by `pop` on
+    /// wake/cancel so its capacity is reused across waits.
+    waiting_on: Vec<u32>,
     /// The event that woke this process, for `wait_any`/`wait_timeout`.
     wake_cause: Option<EventId>,
     /// Invalidates stale timed wake-ups after an event-based wake.
@@ -238,37 +242,33 @@ enum TimedKind {
     Notify(EventId),
 }
 
-struct TimedEntry {
-    time: SimTime,
-    seq: u64,
-    kind: TimedKind,
-}
+/// Null link in the waiter slab's intrusive lists.
+const NIL: u32 = u32::MAX;
 
-impl PartialEq for TimedEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for TimedEntry {}
-impl PartialOrd for TimedEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimedEntry {
-    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
+/// Slab node of an event's intrusive waiter list: one node per
+/// (event, registration). Nodes live in `State::wait_nodes`, are linked
+/// head-to-tail in registration order off `EventEntry::wait_head`/`_tail`,
+/// and are recycled through `State::wait_free` — registering and
+/// deregistering a waiter are both O(1) with no per-event allocation.
+#[derive(Clone, Copy)]
+struct WaitNode {
+    pid: ProcessId,
+    event: EventId,
+    prev: u32,
+    next: u32,
 }
 
 /// Per-event slab entry: liveness plus the generation stamp used for O(1)
 /// delta-cycle dedup (an event is already queued for the current delta iff
 /// `queued_gen == State::delta_gen`). Stamps are invalidated implicitly by
-/// bumping `delta_gen` at each delta flush — no clearing pass.
+/// bumping `delta_gen` at each delta flush — no clearing pass. The
+/// `wait_head`/`wait_tail` pair anchors the event's intrusive waiter list
+/// in the `State::wait_nodes` slab ([`NIL`] when empty).
 struct EventEntry {
     alive: bool,
     queued_gen: u64,
+    wait_head: u32,
+    wait_tail: u32,
 }
 
 struct State {
@@ -278,14 +278,25 @@ struct State {
     until: SimTime,
     procs: Vec<ProcEntry>,
     ready: VecDeque<ProcessId>,
-    timed: BinaryHeap<TimedEntry>,
+    /// Pending timed wake-ups/notifications, earliest `(time, seq)` first.
+    timed: TimerWheel<TimedKind>,
+    /// Scratch for draining one instant's worth of `timed` entries without
+    /// allocating (swapped empty in the timed branch, swapped back after).
+    timed_due: Vec<(u64, TimedKind)>,
     seq: u64,
     /// Events notified in the current delta cycle, in notification order.
     notified: Vec<EventId>,
+    /// Idle twin of `notified`, swapped in at each delta flush so the
+    /// flush never allocates or frees.
+    notified_scratch: Vec<EventId>,
     /// Current delta generation; starts at 1 so a fresh event's
     /// `queued_gen == 0` can never collide.
     delta_gen: u64,
-    waiters: HashMap<EventId, Vec<ProcessId>>,
+    /// Waiter-list node slab (see [`WaitNode`]); indexed by the ids stored
+    /// in `ProcEntry::waiting_on` and `EventEntry::wait_head`.
+    wait_nodes: Vec<WaitNode>,
+    /// Recycled `wait_nodes` indices.
+    wait_free: Vec<u32>,
     events: Vec<EventEntry>,
     live_procs: usize,
     panic: Option<(String, String)>,
@@ -345,7 +356,59 @@ impl State {
     fn push_timed(&mut self, time: SimTime, kind: TimedKind) {
         let seq = self.next_seq();
         self.stats.timer_ops += 1;
-        self.timed.push(TimedEntry { time, seq, kind });
+        self.timed.push(time, seq, kind);
+    }
+
+    /// Appends `pid` to `event`'s waiter list, recycling a slab node when
+    /// one is free. Returns the node index for `ProcEntry::waiting_on`.
+    fn link_waiter(&mut self, event: EventId, pid: ProcessId) -> u32 {
+        let tail = self.events[event.index()].wait_tail;
+        let node = WaitNode {
+            pid,
+            event,
+            prev: tail,
+            next: NIL,
+        };
+        let idx = match self.wait_free.pop() {
+            Some(i) => {
+                self.wait_nodes[i as usize] = node;
+                i
+            }
+            None => {
+                let i = u32::try_from(self.wait_nodes.len()).expect("waiter nodes exhausted");
+                self.wait_nodes.push(node);
+                i
+            }
+        };
+        let entry = &mut self.events[event.index()];
+        entry.wait_tail = idx;
+        if tail == NIL {
+            entry.wait_head = idx;
+        } else {
+            self.wait_nodes[tail as usize].next = idx;
+        }
+        idx
+    }
+
+    /// Unlinks a waiter node from its event's list and recycles it. O(1).
+    /// The node's own fields are left intact so an in-flight traversal
+    /// that pre-read its `next` link stays valid (nothing re-links nodes
+    /// during a delta flush).
+    fn unlink_waiter(&mut self, idx: u32) {
+        let WaitNode {
+            event, prev, next, ..
+        } = self.wait_nodes[idx as usize];
+        if prev == NIL {
+            self.events[event.index()].wait_head = next;
+        } else {
+            self.wait_nodes[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.events[event.index()].wait_tail = prev;
+        } else {
+            self.wait_nodes[next as usize].prev = prev;
+        }
+        self.wait_free.push(idx);
     }
 
     /// Whether `e` names a live (created, not deleted) event.
@@ -383,11 +446,10 @@ impl State {
         entry.state = ProcState::Ready;
         entry.wake_cause = cause;
         entry.wake_gen += 1;
-        let waiting = std::mem::take(&mut entry.waiting_on);
-        for e in waiting {
-            if let Some(ws) = self.waiters.get_mut(&e) {
-                ws.retain(|&p| p != pid);
-            }
+        // Deregister from every waited-on event: O(1) per registration,
+        // and popping in place keeps the Vec's capacity for the next wait.
+        while let Some(idx) = self.procs[pid.index()].waiting_on.pop() {
+            self.unlink_waiter(idx);
         }
         self.ready.push_back(pid);
         self.note_ready_depth();
@@ -624,34 +686,52 @@ fn next_step(shared: &Shared, st: &mut State) -> Step {
             // `queued_gen` stamp for the next delta — no clearing pass.
             st.stats.delta_cycles += 1;
             st.delta_gen += 1;
-            let notified = std::mem::take(&mut st.notified);
-            for e in notified {
-                if let Some(ws) = st.waiters.remove(&e) {
-                    for pid in ws {
-                        // A waiter may already have been woken by an
-                        // earlier event in this same delta.
-                        if st.procs[pid.index()].state == ProcState::WaitEvent {
-                            st.wake(pid, Some(e));
-                        }
+            // Swap `notified` with its idle twin so the flush itself never
+            // allocates; the drained buffer is handed back (cleared) below.
+            let mut flush = std::mem::take(&mut st.notified_scratch);
+            debug_assert!(flush.is_empty());
+            std::mem::swap(&mut st.notified, &mut flush);
+            for &e in &flush {
+                // Walk the event's intrusive waiter list head-first —
+                // registration order, exactly the old Vec's push order.
+                // `wake` unlinks only the woken process's own nodes and
+                // leaves each unlinked node's fields intact, and no node
+                // is (re-)linked during the flush, so the pre-read `next`
+                // stays valid even when the woken process held it.
+                let mut idx = st.events[e.index()].wait_head;
+                while idx != NIL {
+                    let node = st.wait_nodes[idx as usize];
+                    idx = node.next;
+                    // A waiter may already have been woken by an earlier
+                    // event in this same delta.
+                    if st.procs[node.pid.index()].state == ProcState::WaitEvent {
+                        st.wake(node.pid, Some(e));
                     }
                 }
             }
+            flush.clear();
+            st.notified_scratch = flush;
             continue;
         }
-        if let Some(top) = st.timed.peek() {
-            if top.time > st.until {
+        if let Some(top) = st.timed.peek_next_time() {
+            if top > st.until {
                 return Step::Kernel;
             }
-            let now = top.time;
+            let now = top;
             st.now = now;
             shared.store_now(now);
-            while let Some(top) = st.timed.peek() {
-                if top.time != now {
-                    break;
-                }
-                let entry = st.timed.pop().expect("peeked entry");
+            // Pull everything due at this instant out of the wheel in one
+            // go, into a scratch buffer that is reused across steps. The
+            // wheel hands entries back sorted by seq — the exact pop order
+            // of the old (time, seq) binary heap. Processing never pushes
+            // new timed entries, so a single drain covers the instant.
+            let mut due = std::mem::take(&mut st.timed_due);
+            debug_assert!(due.is_empty());
+            let drained = st.timed.drain_next(&mut due);
+            debug_assert_eq!(drained, Some(now));
+            for &(_seq, kind) in &due {
                 st.stats.timer_ops += 1;
-                match entry.kind {
+                match kind {
                     TimedKind::Wake { pid, gen } => {
                         let p = &st.procs[pid.index()];
                         let fresh = p.wake_gen == gen
@@ -673,6 +753,8 @@ fn next_step(shared: &Shared, st: &mut State) -> Step {
                     }
                 }
             }
+            due.clear();
+            st.timed_due = due;
             // Fault hook: registered events may fire spuriously on every
             // advance of simulated time (glitching interrupt lines).
             // `st.faults` is `None` unless a non-empty plan was armed, so
@@ -998,11 +1080,14 @@ impl Simulation {
                 until: SimTime::MAX,
                 procs: Vec::new(),
                 ready: VecDeque::new(),
-                timed: BinaryHeap::new(),
+                timed: TimerWheel::new(),
+                timed_due: Vec::new(),
                 seq: 0,
                 notified: Vec::new(),
+                notified_scratch: Vec::new(),
                 delta_gen: 1,
-                waiters: HashMap::new(),
+                wait_nodes: Vec::new(),
+                wait_free: Vec::new(),
                 events: Vec::new(),
                 live_procs: 0,
                 panic: None,
@@ -1223,7 +1308,7 @@ impl Simulation {
                         // No error is pending (just checked), so either the
                         // next timed activity lies beyond the horizon, or
                         // the run is quiescent.
-                        if st.timed.peek().is_some() {
+                        if !st.timed.is_empty() {
                             return Ok(until);
                         }
                         if let Some(err) = st.stall_error() {
@@ -1304,6 +1389,8 @@ fn alloc_event(st: &mut State) -> EventId {
     st.events.push(EventEntry {
         alive: true,
         queued_gen: 0,
+        wait_head: NIL,
+        wait_tail: NIL,
     });
     id
 }
@@ -1743,12 +1830,14 @@ impl ProcCtx {
                     self.misuse(ModelError::WaitDeadEvent { event: e });
                 }
             }
+            let mut nodes = std::mem::take(&mut st.procs[self.pid.index()].waiting_on);
+            debug_assert!(nodes.is_empty());
             for &e in events {
-                st.waiters.entry(e).or_default().push(self.pid);
+                nodes.push(st.link_waiter(e, self.pid));
             }
             let entry = &mut st.procs[self.pid.index()];
             entry.state = ProcState::WaitEvent;
-            entry.waiting_on = events.to_vec();
+            entry.waiting_on = nodes;
             entry.wake_cause = None;
             if let Some(d) = timeout {
                 let gen = st.procs[self.pid.index()].wake_gen;
@@ -1847,12 +1936,9 @@ impl ProcCtx {
         }
         let entry = &mut st.procs[pid.index()];
         entry.wake_gen += 1; // invalidate stale timed wake-ups
-        let waiting = std::mem::take(&mut entry.waiting_on);
         let cell = Arc::clone(&entry.cell);
-        for e in waiting {
-            if let Some(ws) = st.waiters.get_mut(&e) {
-                ws.retain(|&p| p != pid);
-            }
+        while let Some(idx) = st.procs[pid.index()].waiting_on.pop() {
+            st.unlink_waiter(idx);
         }
         st.ready.retain(|&p| p != pid);
         st.finish(pid);

@@ -82,6 +82,7 @@ pub mod sync;
 pub mod trace;
 
 mod time;
+mod wheel;
 
 /// Monotonic revision of the kernel/model *semantics*.
 ///

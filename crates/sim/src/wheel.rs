@@ -1,0 +1,437 @@
+//! Hierarchical timing wheel backing the kernel's timed-event queue.
+//!
+//! The kernel's timed queue holds `(time, seq, kind)` entries and always
+//! consumes the earliest `(time, seq)` next. A binary heap gives O(log n)
+//! per operation with poor locality; this wheel gives O(1) pushes and
+//! amortized O(1) pops for the overwhelmingly common case of timers within
+//! [`SPAN`] (~68 s of simulated time) of the current instant, with a
+//! min-heap overflow for the far future.
+//!
+//! ## Layout
+//!
+//! Six levels of 64 slots each, 1 ns tick. An entry at absolute time `t`
+//! lives at the level of the highest nonzero 6-bit digit of `t ^ now` —
+//! i.e. the most significant digit (base 64) in which `t` differs from the
+//! wheel's current origin. Level-0 slots therefore hold a single timestamp
+//! each, and the slot index at level `k` is digit `k` of `t` itself, so no
+//! per-tick cascading is needed: when time advances to `t`, only the one
+//! slot containing `t` is re-hashed into lower levels ([`advance_to`]).
+//!
+//! Entries further than `SPAN` from `now` go to the overflow heap and are
+//! **never migrated**: the next due time is always the minimum of the
+//! wheel scan and the overflow top, so a stale overflow entry that has
+//! "come near" is still popped at exactly the right time.
+//!
+//! ## Ordering guarantee
+//!
+//! [`drain_next`] returns every entry stamped with the minimal pending
+//! time, sorted by `seq` — byte-identical to popping a min-heap ordered by
+//! `(time, seq)` until the timestamp changes, which is exactly what the
+//! kernel's timed branch used to do.
+//!
+//! [`advance_to`]: TimerWheel::advance_to
+//! [`drain_next`]: TimerWheel::drain_next
+
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Bits per wheel digit (64 slots per level).
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of levels.
+const LEVELS: usize = 6;
+/// Horizon covered by the wheel proper: `t ^ now < SPAN` (2^36 ns).
+const SPAN: u64 = 1 << (SLOT_BITS * LEVELS as u32);
+/// Null link / "no slot" marker is not needed; occupancy is a bitmap.
+const SLOT_MASK: u64 = SLOTS as u64 - 1;
+
+/// Far-future entry, min-ordered by `(time, seq)`.
+struct OverflowEntry<T> {
+    time: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for OverflowEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for OverflowEntry<T> {}
+impl<T> PartialOrd for OverflowEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for OverflowEntry<T> {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Hierarchical timing wheel over `(time, seq, item)` entries.
+///
+/// Times must never precede the wheel's current origin (the last time
+/// passed to [`advance_to`](Self::advance_to), initially zero) — the
+/// kernel only schedules into the future.
+pub(crate) struct TimerWheel<T> {
+    /// Current origin, in nanoseconds. Slot indices are digits of absolute
+    /// times, valid as long as the entry's level-selecting digit of
+    /// `t ^ now` is unchanged — which `advance_to` maintains.
+    now: u64,
+    /// Total live entries (wheel + overflow).
+    len: usize,
+    /// Per-level slot-occupancy bitmaps.
+    occ: [u64; LEVELS],
+    /// `LEVELS * SLOTS` buckets, flattened level-major.
+    slots: Vec<Vec<(u64, u64, T)>>,
+    /// Entries with `t ^ now >= SPAN`; never migrated into the wheel.
+    overflow: BinaryHeap<OverflowEntry<T>>,
+    /// Scratch buffer for slot re-hashing, kept to avoid reallocation.
+    cascade: Vec<(u64, u64, T)>,
+}
+
+impl<T: Copy> TimerWheel<T> {
+    pub(crate) fn new() -> Self {
+        TimerWheel {
+            now: 0,
+            len: 0,
+            occ: [0; LEVELS],
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            overflow: BinaryHeap::new(),
+            cascade: Vec::new(),
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Level of an entry whose time differs from `now` by the XOR `diff`:
+    /// the position of the highest nonzero base-64 digit.
+    fn level_of(diff: u64) -> usize {
+        if diff == 0 {
+            0
+        } else {
+            ((63 - diff.leading_zeros()) / SLOT_BITS) as usize
+        }
+    }
+
+    /// Inserts an entry. `time` must not precede the current origin.
+    pub(crate) fn push(&mut self, time: SimTime, seq: u64, item: T) {
+        let t = time.as_nanos();
+        debug_assert!(t >= self.now, "timer scheduled into the past");
+        let diff = t ^ self.now;
+        if diff >= SPAN {
+            self.overflow.push(OverflowEntry { time: t, seq, item });
+        } else {
+            let level = Self::level_of(diff);
+            let slot = ((t >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
+            self.slots[level * SLOTS + slot].push((t, seq, item));
+            self.occ[level] |= 1u64 << slot;
+        }
+        self.len += 1;
+    }
+
+    /// Minimum pending time among wheel entries (ignoring overflow).
+    ///
+    /// The lowest nonempty level holds the wheel minimum: a level-`k`
+    /// entry agrees with `now` above digit `k` and exceeds it at digit
+    /// `k`, so it is strictly larger than every entry of any lower level.
+    /// Within a level the smallest occupied slot (smallest digit `k`)
+    /// wins; level-0 slots hold a single timestamp, higher slots are
+    /// scanned (≤ slot population, amortized by the cascade).
+    fn wheel_min(&self) -> Option<u64> {
+        for level in 0..LEVELS {
+            let bits = self.occ[level];
+            if bits == 0 {
+                continue;
+            }
+            let slot = bits.trailing_zeros() as usize;
+            if level == 0 {
+                return Some((self.now & !SLOT_MASK) | slot as u64);
+            }
+            return self.slots[level * SLOTS + slot]
+                .iter()
+                .map(|&(t, _, _)| t)
+                .min();
+        }
+        None
+    }
+
+    /// Earliest pending entry time, or `None` when empty. O(levels).
+    pub(crate) fn peek_next_time(&self) -> Option<SimTime> {
+        let wheel = self.wheel_min();
+        let over = self.overflow.peek().map(|e| e.time);
+        match (wheel, over) {
+            (Some(a), Some(b)) => Some(SimTime::from_nanos(a.min(b))),
+            (Some(a), None) => Some(SimTime::from_nanos(a)),
+            (None, Some(b)) => Some(SimTime::from_nanos(b)),
+            (None, None) => None,
+        }
+    }
+
+    /// Advances the origin to `t`, re-hashing the one slot whose digit
+    /// changes. `t` must not exceed the earliest pending entry time (the
+    /// kernel only advances to the next due instant), which guarantees
+    /// every slot below the target is empty.
+    fn advance_to(&mut self, t: u64) {
+        debug_assert!(t >= self.now);
+        debug_assert!(self.wheel_min().is_none_or(|m| m >= t));
+        let diff = t ^ self.now;
+        if diff == 0 {
+            return;
+        }
+        if diff >= SPAN {
+            // Origin left the wheel's horizon entirely (only possible when
+            // the due entry came from overflow and the wheel is empty, but
+            // handle the general case): re-hash everything.
+            let mut moved = std::mem::take(&mut self.cascade);
+            debug_assert!(moved.is_empty());
+            for level in 0..LEVELS {
+                let mut bits = self.occ[level];
+                while bits != 0 {
+                    let slot = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    moved.append(&mut self.slots[level * SLOTS + slot]);
+                }
+                self.occ[level] = 0;
+            }
+            self.now = t;
+            self.len -= moved.len();
+            for &(time, seq, item) in &moved {
+                self.push(SimTime::from_nanos(time), seq, item);
+            }
+            moved.clear();
+            self.cascade = moved;
+            return;
+        }
+        let level = Self::level_of(diff);
+        if level == 0 {
+            // Level-0 slot indices are absolute digits; nothing moves.
+            self.now = t;
+            return;
+        }
+        let slot = ((t >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
+        let idx = level * SLOTS + slot;
+        let mut moved = std::mem::take(&mut self.cascade);
+        debug_assert!(moved.is_empty());
+        // Swap buffers so both the slot and the scratch keep their
+        // capacity; re-hashed entries land strictly below `level`, never
+        // back into `idx`.
+        std::mem::swap(&mut moved, &mut self.slots[idx]);
+        self.occ[level] &= !(1u64 << slot);
+        self.now = t;
+        self.len -= moved.len();
+        for &(time, seq, item) in &moved {
+            self.push(SimTime::from_nanos(time), seq, item);
+        }
+        moved.clear();
+        self.cascade = moved;
+    }
+
+    /// Removes every entry stamped with the earliest pending time and
+    /// appends them to `due` as `(seq, item)` sorted by `seq`; returns
+    /// that time. Equivalent to popping a `(time, seq)` min-heap until
+    /// the timestamp changes.
+    pub(crate) fn drain_next(&mut self, due: &mut Vec<(u64, T)>) -> Option<SimTime> {
+        let t = self.peek_next_time()?;
+        let tn = t.as_nanos();
+        self.advance_to(tn);
+        // After the advance, every wheel entry at `tn` sits in level-0
+        // slot `digit_0(tn)` (and that slot holds only time `tn`).
+        let slot = (tn & SLOT_MASK) as usize;
+        if self.occ[0] & (1u64 << slot) != 0 {
+            let bucket = &mut self.slots[slot];
+            self.len -= bucket.len();
+            for (time, seq, item) in bucket.drain(..) {
+                debug_assert_eq!(time, tn);
+                due.push((seq, item));
+            }
+            self.occ[0] &= !(1u64 << slot);
+        }
+        // Overflow entries are never migrated, so ones that have "come
+        // near" are collected here, straight off the heap top.
+        while let Some(top) = self.overflow.peek() {
+            if top.time != tn {
+                break;
+            }
+            let e = self.overflow.pop().expect("peeked entry");
+            due.push((e.seq, e.item));
+            self.len -= 1;
+        }
+        // Sequence numbers are unique, so this reproduces the exact
+        // (time, seq) pop order of the old binary heap.
+        due.sort_unstable_by_key(|&(seq, _)| seq);
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+
+    /// Deterministic xorshift64* for the property test.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    /// Drains both structures completely and asserts identical sequences.
+    fn drain_and_compare(
+        wheel: &mut TimerWheel<u32>,
+        reference: &mut BinaryHeap<Reverse<(u64, u64, u32)>>,
+    ) {
+        let mut due = Vec::new();
+        while let Some(t) = wheel.drain_next(&mut due) {
+            for &(seq, item) in &due {
+                let Reverse((rt, rseq, ritem)) = reference.pop().expect("wheel has extra entries");
+                assert_eq!((rt, rseq, ritem), (t.as_nanos(), seq, item));
+            }
+            due.clear();
+        }
+        assert!(reference.is_empty(), "wheel lost entries");
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn empty_wheel_peeks_none() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        assert!(w.is_empty());
+        assert_eq!(w.peek_next_time(), None);
+        assert_eq!(w.drain_next(&mut Vec::new()), None);
+    }
+
+    #[test]
+    fn same_time_entries_come_out_in_seq_order() {
+        let mut w = TimerWheel::new();
+        let t = SimTime::from_nanos(1000);
+        w.push(t, 3, 30);
+        w.push(t, 1, 10);
+        w.push(t, 2, 20);
+        let mut due = Vec::new();
+        assert_eq!(w.drain_next(&mut due), Some(t));
+        assert_eq!(due, vec![(1, 10), (2, 20), (3, 30)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn zero_delay_entry_at_current_origin() {
+        let mut w = TimerWheel::new();
+        w.push(SimTime::from_nanos(500), 1, 1);
+        let mut due = Vec::new();
+        assert_eq!(w.drain_next(&mut due), Some(SimTime::from_nanos(500)));
+        due.clear();
+        // A "waitfor zero" pushed at the advanced origin must drain at
+        // that same instant.
+        w.push(SimTime::from_nanos(500), 2, 2);
+        assert_eq!(w.drain_next(&mut due), Some(SimTime::from_nanos(500)));
+        assert_eq!(due, vec![(2, 2)]);
+    }
+
+    #[test]
+    fn far_future_entries_ride_the_overflow() {
+        let mut w = TimerWheel::new();
+        // Beyond SPAN: overflow. Near: wheel.
+        w.push(SimTime::from_nanos(SPAN * 3 + 17), 1, 1);
+        w.push(SimTime::from_nanos(64), 2, 2);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.peek_next_time(), Some(SimTime::from_nanos(64)));
+        let mut due = Vec::new();
+        assert_eq!(w.drain_next(&mut due), Some(SimTime::from_nanos(64)));
+        assert_eq!(due, vec![(2, 2)]);
+        due.clear();
+        assert_eq!(
+            w.drain_next(&mut due),
+            Some(SimTime::from_nanos(SPAN * 3 + 17))
+        );
+        assert_eq!(due, vec![(1, 1)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn overflow_entry_that_came_near_still_pops_on_time() {
+        let mut w = TimerWheel::new();
+        // `a` lands in overflow relative to origin 0; after advancing past
+        // `b`, `a` is within SPAN of the origin but is never migrated —
+        // peek must still report it.
+        let a = SPAN + 100;
+        let b = SPAN - 1; // top-level wheel entry
+        w.push(SimTime::from_nanos(a), 1, 1);
+        w.push(SimTime::from_nanos(b), 2, 2);
+        let mut due = Vec::new();
+        assert_eq!(w.drain_next(&mut due), Some(SimTime::from_nanos(b)));
+        due.clear();
+        assert_eq!(w.peek_next_time(), Some(SimTime::from_nanos(a)));
+        assert_eq!(w.drain_next(&mut due), Some(SimTime::from_nanos(a)));
+        assert_eq!(due, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn matches_binary_heap_reference_on_random_streams() {
+        // Three seeds x interleaved push/drain phases, spanning all wheel
+        // levels and the overflow: the wheel must reproduce the exact
+        // (time, seq) pop order of a min-heap.
+        for seed in [0x9E37_79B9u64, 42, 0xDEAD_BEEF] {
+            let mut rng = Rng(seed);
+            let mut wheel = TimerWheel::new();
+            let mut reference: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            let mut now = 0u64;
+            let mut due = Vec::new();
+            for round in 0..200 {
+                // Push a burst at mixed distances: same-instant, level-0,
+                // mid-level, top-level, overflow.
+                for _ in 0..(rng.next() % 8) {
+                    let r = rng.next();
+                    let dist = match r % 5 {
+                        0 => 0,
+                        1 => r % 64,
+                        2 => r % (1 << 18),
+                        3 => r % SPAN,
+                        _ => SPAN + r % SPAN,
+                    };
+                    seq += 1;
+                    let t = now + dist;
+                    wheel.push(SimTime::from_nanos(t), seq, round);
+                    reference.push(Reverse((t, seq, round)));
+                }
+                // Drain a few instants, checking order as we go.
+                for _ in 0..(rng.next() % 3) {
+                    due.clear();
+                    let Some(t) = wheel.drain_next(&mut due) else {
+                        assert!(reference.is_empty());
+                        break;
+                    };
+                    now = t.as_nanos();
+                    for &(s, item) in &due {
+                        let Reverse(top) = reference.pop().expect("reference exhausted early");
+                        assert_eq!(top, (now, s, item), "seed {seed} round {round}");
+                    }
+                    assert!(
+                        reference.peek().is_none_or(|&Reverse((rt, ..))| rt > now),
+                        "wheel left same-time entries behind"
+                    );
+                }
+                assert_eq!(wheel.len(), reference.len());
+            }
+            drain_and_compare(&mut wheel, &mut reference);
+        }
+    }
+}
