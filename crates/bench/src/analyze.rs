@@ -140,6 +140,19 @@ pub struct SpanEv {
     pub end: SimTime,
 }
 
+/// One bus-protocol marker (`req:`/`grant:`/`contend:` on a `bus:{name}`
+/// track).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusMarkEv {
+    /// Marker time.
+    pub time: SimTime,
+    /// Bus name (the track minus its `bus:` prefix).
+    pub bus: String,
+    /// Marker label (`req:{master}` / `grant:{master}` /
+    /// `contend:{master}`).
+    pub label: String,
+}
+
 /// Source-agnostic intermediate form of one execution trace. Every
 /// vector is in trace order; [`TraceData::from_records`] and
 /// [`TraceData::from_chrome_json`] produce identical data for the same
@@ -154,6 +167,8 @@ pub struct TraceData {
     pub mutexes: Vec<MutexEv>,
     /// Closed execution spans, sorted by (track, start, end).
     pub spans: Vec<SpanEv>,
+    /// Bus-protocol markers (`bus:*` tracks), in record order.
+    pub bus_markers: Vec<BusMarkEv>,
     /// Context-switch markers (`"{pe}:switch"` tracks).
     pub switch_markers: u64,
     /// Records the producing sink discarded; nonzero means this trace is
@@ -222,6 +237,13 @@ impl TraceData {
                     owner: None,
                     mutex: *mutex,
                 }),
+                RecordKind::Marker { track, label } if track.starts_with("bus:") => {
+                    data.bus_markers.push(BusMarkEv {
+                        time: r.time,
+                        bus: track["bus:".len()..].to_string(),
+                        label: label.clone(),
+                    });
+                }
                 RecordKind::Marker { track, .. } if track.ends_with(":switch") => {
                     data.switch_markers += 1;
                 }
@@ -375,8 +397,16 @@ impl TraceData {
                             owner: arg_str(e, "owner"),
                             mutex: u32::try_from(mutex).unwrap_or(u32::MAX),
                         });
-                    } else if track_of(e).is_ok_and(|t| t.ends_with(":switch")) {
-                        data.switch_markers += 1;
+                    } else if let Ok(track) = track_of(e) {
+                        if let Some(bus) = track.strip_prefix("bus:") {
+                            data.bus_markers.push(BusMarkEv {
+                                time,
+                                bus: bus.to_string(),
+                                label: name.to_string(),
+                            });
+                        } else if track.ends_with(":switch") {
+                            data.switch_markers += 1;
+                        }
                     }
                 }
                 _ => {}
@@ -762,6 +792,34 @@ pub struct TaskAnalysis {
     pub implicit_deadline_misses: u64,
 }
 
+/// Per-bus derived metrics, reconstructed purely from `bus:{name}` track
+/// records: `xfer:{master}:{bytes}` spans and `req:`/`grant:`/`contend:`
+/// markers ([`sldl_sim::bus`]'s protocol trace).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusAnalysis {
+    /// Bus name (track minus the `bus:` prefix).
+    pub name: String,
+    /// Completed transfers (`xfer` spans).
+    pub transfers: u64,
+    /// Payload bytes moved (sum of the spans' byte suffixes).
+    pub bytes: u64,
+    /// Bus occupancy (sum of transfer span durations).
+    pub busy: Duration,
+    /// busy / trace horizon.
+    pub utilization: f64,
+    /// Ownership requests (`req:` markers).
+    pub requests: u64,
+    /// Grants (`grant:` markers).
+    pub grants: u64,
+    /// Requests that found the bus busy (`contend:` markers).
+    pub contentions: u64,
+    /// Longest request → grant wait, from pairing each master's `req`
+    /// with its next `grant`.
+    pub max_wait: Duration,
+    /// Grants per master, by master name.
+    pub master_grants: BTreeMap<String, u64>,
+}
+
 /// Per-PE derived metrics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PeAnalysis {
@@ -798,8 +856,11 @@ pub struct Analysis {
     pub activations: BTreeMap<String, Vec<Activation>>,
     /// Total span time per non-task track (everything with a `pe:`
     /// prefix, e.g. ISR tracks), for occupancy reporting of non-RTOS
-    /// traces.
+    /// traces. Bus tracks are excluded — they get [`Analysis::buses`].
     pub track_busy: BTreeMap<String, Duration>,
+    /// Per-bus utilization/contention metrics, by bus name. Empty for
+    /// traces without `bus:*` tracks (single-PE models).
+    pub buses: BTreeMap<String, BusAnalysis>,
 }
 
 impl Analysis {
@@ -877,10 +938,42 @@ impl Analysis {
             }
         }
 
+        let mut buses: BTreeMap<String, BusAnalysis> = BTreeMap::new();
+        let bus_entry = |name: &str, buses: &mut BTreeMap<String, BusAnalysis>| {
+            buses
+                .entry(name.to_string())
+                .or_insert_with(|| BusAnalysis {
+                    name: name.to_string(),
+                    transfers: 0,
+                    bytes: 0,
+                    busy: Duration::ZERO,
+                    utilization: 0.0,
+                    requests: 0,
+                    grants: 0,
+                    contentions: 0,
+                    max_wait: Duration::ZERO,
+                    master_grants: BTreeMap::new(),
+                });
+        };
+
         let mut track_busy: BTreeMap<String, Duration> = BTreeMap::new();
         for s in &data.spans {
             let dur = s.end.saturating_since(s.start);
-            if let Some(t) = tasks.get_mut(&s.track) {
+            if let Some(bus) = s.track.strip_prefix("bus:") {
+                bus_entry(bus, &mut buses);
+                let b = buses.get_mut(bus).expect("just inserted");
+                b.busy += dur;
+                // `xfer:{master}:{bytes}` — the master name may itself
+                // contain colons, so the byte count is the *last* field.
+                if let Some((_, bytes)) = s
+                    .label
+                    .strip_prefix("xfer:")
+                    .and_then(|rest| rest.rsplit_once(':'))
+                {
+                    b.transfers += 1;
+                    b.bytes += bytes.parse::<u64>().unwrap_or(0);
+                }
+            } else if let Some(t) = tasks.get_mut(&s.track) {
                 t.span_busy += dur;
             } else if s.track.contains(':') {
                 *track_busy.entry(s.track.clone()).or_default() += dur;
@@ -889,6 +982,33 @@ impl Analysis {
                 // traces): surface it as a task-less track.
                 *track_busy.entry(s.track.clone()).or_default() += dur;
             }
+        }
+
+        // Protocol markers: count requests/grants/contentions and pair
+        // each master's `req` with its next `grant` for the wait time.
+        let mut pending_req: BTreeMap<(String, String), SimTime> = BTreeMap::new();
+        for m in &data.bus_markers {
+            bus_entry(&m.bus, &mut buses);
+            let b = buses.get_mut(&m.bus).expect("just inserted");
+            if let Some(master) = m.label.strip_prefix("req:") {
+                b.requests += 1;
+                pending_req.insert((m.bus.clone(), master.to_string()), m.time);
+            } else if let Some(master) = m.label.strip_prefix("grant:") {
+                b.grants += 1;
+                *b.master_grants.entry(master.to_string()).or_default() += 1;
+                if let Some(req) = pending_req.remove(&(m.bus.clone(), master.to_string())) {
+                    b.max_wait = b.max_wait.max(m.time.saturating_since(req));
+                }
+            } else if m.label.starts_with("contend:") {
+                b.contentions += 1;
+            }
+        }
+        for b in buses.values_mut() {
+            b.utilization = if data.end > SimTime::ZERO {
+                b.busy.as_secs_f64() / data.end.as_secs_f64()
+            } else {
+                0.0
+            };
         }
 
         for (name, task_acts) in &acts {
@@ -935,6 +1055,7 @@ impl Analysis {
             blocking: blocking_episodes(data),
             activations: acts,
             track_busy,
+            buses,
         }
     }
 
@@ -1089,7 +1210,7 @@ impl Analysis {
             .map(|(name, d)| Json::obj([("name", Json::str(name)), ("busy_us", us(*d))]))
             .collect();
 
-        Json::obj([
+        let mut doc = vec![
             ("schema", Json::str(SCHEMA)),
             ("dropped_records", Json::U64(self.dropped_records)),
             ("end_us", t_us(self.end)),
@@ -1100,7 +1221,39 @@ impl Analysis {
             ("blocking", Json::Arr(blocking)),
             ("tracks", Json::Arr(tracks)),
             ("schedulability", schedulability),
-        ])
+        ];
+        // Only traces with bus activity carry the section, so documents
+        // from single-PE models render byte-identically to before the
+        // communication layer existed.
+        if !self.buses.is_empty() {
+            let buses: Vec<Json> = self
+                .buses
+                .values()
+                .map(|b| {
+                    let grants: Vec<Json> = b
+                        .master_grants
+                        .iter()
+                        .map(|(m, n)| {
+                            Json::obj([("master", Json::str(m)), ("grants", Json::U64(*n))])
+                        })
+                        .collect();
+                    Json::obj([
+                        ("name", Json::str(&b.name)),
+                        ("transfers", Json::U64(b.transfers)),
+                        ("bytes", Json::U64(b.bytes)),
+                        ("busy_us", us(b.busy)),
+                        ("utilization", Json::Num(b.utilization)),
+                        ("requests", Json::U64(b.requests)),
+                        ("grants", Json::U64(b.grants)),
+                        ("contentions", Json::U64(b.contentions)),
+                        ("max_wait_us", us(b.max_wait)),
+                        ("master_grants", Json::Arr(grants)),
+                    ])
+                })
+                .collect();
+            doc.push(("buses", Json::Arr(buses)));
+        }
+        Json::obj(doc)
     }
 
     /// Renders the human-readable markdown schedulability report.
@@ -1182,6 +1335,34 @@ impl Analysis {
             );
             for ((by, of), n) in &self.preemption_matrix {
                 let _ = writeln!(md, "| {by} | {of} | {n} |");
+            }
+        }
+
+        if !self.buses.is_empty() {
+            md.push_str(
+                "\n## Buses\n\n| bus | transfers | bytes | busy (µs) | utilization | \
+                 contentions | max wait (µs) | grants by master |\n\
+                 |---|---|---|---|---|---|---|---|\n",
+            );
+            for b in self.buses.values() {
+                let grants = b
+                    .master_grants
+                    .iter()
+                    .map(|(m, n)| format!("{m}: {n}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = writeln!(
+                    md,
+                    "| {} | {} | {} | {} | {:.3} | {} | {} | {} |",
+                    b.name,
+                    b.transfers,
+                    b.bytes,
+                    us(b.busy),
+                    b.utilization,
+                    b.contentions,
+                    us(b.max_wait),
+                    grants
+                );
             }
         }
 
@@ -1673,6 +1854,56 @@ mod tests {
         let a = Analysis::from_trace(&from_records).to_json().render();
         let b = Analysis::from_trace(&from_chrome).to_json().render();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bus_records_survive_both_ingest_roads() {
+        let o = ScenarioSpec::new(
+            "t",
+            Workload::VocoderSplit {
+                clock_ns: 500,
+                width: 1,
+                setup_ns: 2_000,
+                arbitration: sldl_sim::bus::Arbitration::RoundRobin,
+                enc_pe: 0,
+                dec_pe: 1,
+            },
+        )
+        .timing_scale(0.002)
+        .frames(3)
+        .trace(true)
+        .run();
+        let from_records = TraceData::from_records(&o.records, o.dropped_records);
+        assert!(!from_records.bus_markers.is_empty(), "bus markers ingested");
+        let doc = to_chrome_json_with_meta(&o.records, o.dropped_records);
+        let reparsed = Json::parse(&doc.render()).expect("exporter output parses");
+        let from_chrome = TraceData::from_chrome_json(&reparsed).expect("ingests");
+        assert_eq!(from_records.bus_markers, from_chrome.bus_markers);
+        let a = Analysis::from_trace(&from_records);
+        let b = Analysis::from_trace(&from_chrome);
+        assert_eq!(a.to_json().render(), b.to_json().render());
+
+        // The derived section must agree with the kernel's own BusStats
+        // (surfaced through the scenario metrics) exactly.
+        let bus = &a.buses["pebus"];
+        assert!(bus.transfers > 0 && bus.bytes > 0);
+        assert_eq!(bus.transfers, bus.grants, "every transfer granted once");
+        assert_eq!(bus.requests, bus.transfers);
+        assert_eq!(Some(bus.transfers as f64), o.metric("bus_transactions"));
+        assert_eq!(Some(bus.bytes as f64), o.metric("bus_bytes"));
+        assert_eq!(Some(bus.contentions as f64), o.metric("bus_contended"));
+        assert_eq!(
+            Some(bus.max_wait.as_secs_f64() * 1e6),
+            o.metric("bus_max_wait_us")
+        );
+        assert!(bus.contentions > 0, "narrow bus contends");
+        assert!(a.to_markdown().contains("## Buses"));
+        assert!(a.to_json().render().contains("\"buses\""));
+        // Single-PE traces carry no bus section at all.
+        let single = traced_outcome(rtos_model::SchedAlg::PriorityPreemptive);
+        let sa = Analysis::from_trace(&TraceData::from_records(&single.records, 0));
+        assert!(sa.buses.is_empty());
+        assert!(!sa.to_json().render().contains("\"buses\""));
     }
 
     #[test]

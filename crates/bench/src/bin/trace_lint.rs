@@ -11,7 +11,11 @@
 //! * a top-level `traceEvents` array is checked against the
 //!   Chrome-trace-event shape: every event must be an object with a
 //!   string `name`, a string `ph` of a known phase, and numeric
-//!   `pid`/`tid`; `X` events must carry `ts` and `dur`;
+//!   `pid`/`tid`; `X` events must carry `ts` and `dur`. Events on
+//!   threads named `bus:{name}` additionally must follow the bus
+//!   protocol shape: instants labelled `req:{master}` / `grant:{master}`
+//!   / `contend:{master}` and complete events labelled
+//!   `xfer:{master}:{bytes}` with a decimal byte count;
 //! * a top-level `schema` field must name a supported schema. For
 //!   `rtos-sld-bench/1` the document is checked against it: string
 //!   `bench`, numeric `base_seed`, a `points` array whose entries carry a
@@ -26,7 +30,12 @@
 //!   `sched_micro` additionally must be `host_dependent` and carry its
 //!   select-scaling points in `select_indexed@N`/`select_linear@N` pairs,
 //!   each with a `selects_per_sec` metric — the pairing the perf gate and
-//!   the scaling table consume. For `rtos-sld-chaos-repro/1` (the chaos
+//!   the scaling table consume. A `comm_sweep` document must *not* be
+//!   `host_dependent` (its `bus_bytes_per_sec` is a simulated-time rate),
+//!   must include the zero-latency `ideal` point, and every completed
+//!   point must carry the full bus metric set (`bus_transactions`,
+//!   `bus_bytes`, `bus_busy_us`, `bus_max_wait_us`, `bus_contended`,
+//!   `bus_bytes_per_sec`). For `rtos-sld-chaos-repro/1` (the chaos
 //!   minimal-repro artifact) the replay coordinates are checked: string
 //!   `workload`, numeric `frames`/`seed`, a `failure` object with a known
 //!   `kind`, and `fault_plan`/`chaos_plan` objects with numeric rates.
@@ -190,6 +199,9 @@ fn lint_results(top: &[(String, Json)], schema: &str) -> Result<String, String> 
     if matches!(field(top, "bench"), Some(Json::Str(b)) if b == "sched_micro") {
         lint_sched_micro(top, points)?;
     }
+    if matches!(field(top, "bench"), Some(Json::Str(b)) if b == "comm_sweep") {
+        lint_comm_sweep(top, points)?;
+    }
     let advisory = matches!(field(top, "host_dependent"), Some(Json::Bool(true)));
     Ok(format!(
         "valid rtos-sld-bench/1 document ({} points{}{})",
@@ -255,6 +267,54 @@ fn lint_sched_micro(top: &[(String, Json)], points: &[Json]) -> Result<(), Strin
         if !indexed.contains(n) {
             return Err(format!("select_linear@{n} has no select_indexed@{n} pair"));
         }
+    }
+    Ok(())
+}
+
+/// Metrics every completed `comm_sweep` point must carry — the bus
+/// instrumentation the contention tables and the perf gate consume.
+const COMM_SWEEP_METRICS: [&str; 6] = [
+    "bus_transactions",
+    "bus_bytes",
+    "bus_busy_us",
+    "bus_max_wait_us",
+    "bus_contended",
+    "bus_bytes_per_sec",
+];
+
+/// Extra shape checks for `comm_sweep` documents: all rates are
+/// simulated-time (never `host_dependent`), the zero-latency `ideal`
+/// baseline point must be present, and every completed point must carry
+/// the full bus metric set.
+fn lint_comm_sweep(top: &[(String, Json)], points: &[Json]) -> Result<(), String> {
+    if matches!(field(top, "host_dependent"), Some(Json::Bool(true))) {
+        return Err(
+            "comm_sweep rates are simulated-time; the document must not be `host_dependent`".into(),
+        );
+    }
+    let mut has_ideal = false;
+    for (i, p) in points.iter().enumerate() {
+        let Json::Obj(fields) = p else { continue };
+        let Some(Json::Str(name)) = field(fields, "name") else {
+            continue;
+        };
+        has_ideal |= name == "ideal";
+        if !matches!(field(fields, "completed"), Some(Json::Bool(true))) {
+            continue;
+        }
+        match field(fields, "metrics") {
+            Some(Json::Obj(metrics)) => {
+                for want in COMM_SWEEP_METRICS {
+                    if !metrics.iter().any(|(k, _)| k == want) {
+                        return Err(format!("points[{i}] ({name}) lacks `{want}`"));
+                    }
+                }
+            }
+            _ => return Err(format!("points[{i}] ({name}) lacks a `metrics` object")),
+        }
+    }
+    if !has_ideal {
+        return Err("comm_sweep document has no `ideal` baseline point".into());
     }
     Ok(())
 }
@@ -449,6 +509,85 @@ fn lint_analysis(top: &[(String, Json)]) -> Result<String, String> {
     ))
 }
 
+/// Checks every event on a `bus:{name}` thread against the bus protocol
+/// shape: instants must be `req:`/`grant:`/`contend:` markers with a
+/// master name, complete events must be `xfer:{master}:{bytes}` spans
+/// with a decimal byte count. Returns the number of bus events seen.
+fn lint_bus_events(events: &[Json]) -> Result<u64, String> {
+    // Pass 1: which (pid, tid) pairs are bus tracks.
+    let mut bus_threads: Vec<(u64, u64)> = Vec::new();
+    for e in events {
+        let Json::Obj(fields) = e else { continue };
+        if !matches!(field(fields, "ph"), Some(Json::Str(p)) if p == "M") {
+            continue;
+        }
+        if !matches!(field(fields, "name"), Some(Json::Str(n)) if n == "thread_name") {
+            continue;
+        }
+        let is_bus = field(fields, "args")
+            .and_then(|a| a.get("name"))
+            .and_then(Json::as_str)
+            .is_some_and(|n| n.starts_with("bus:"));
+        if is_bus {
+            if let (Some(pid), Some(tid)) = (
+                field(fields, "pid").and_then(Json::as_u64),
+                field(fields, "tid").and_then(Json::as_u64),
+            ) {
+                bus_threads.push((pid, tid));
+            }
+        }
+    }
+    // Pass 2: shape-check the events on those threads.
+    let mut seen = 0u64;
+    for (i, e) in events.iter().enumerate() {
+        let Json::Obj(fields) = e else { continue };
+        let (Some(pid), Some(tid)) = (
+            field(fields, "pid").and_then(Json::as_u64),
+            field(fields, "tid").and_then(Json::as_u64),
+        ) else {
+            continue;
+        };
+        if !bus_threads.contains(&(pid, tid)) {
+            continue;
+        }
+        let ph = field(fields, "ph").and_then(Json::as_str).unwrap_or("");
+        let name = field(fields, "name").and_then(Json::as_str).unwrap_or("");
+        match ph {
+            "i" | "I" => {
+                seen += 1;
+                let well_formed = ["req:", "grant:", "contend:"]
+                    .iter()
+                    .any(|p| name.strip_prefix(p).is_some_and(|m| !m.is_empty()));
+                if !well_formed {
+                    return Err(format!(
+                        "traceEvents[{i}]: bus instant {name:?} is not \
+                         `req:`/`grant:`/`contend:` + master"
+                    ));
+                }
+            }
+            "X" => {
+                seen += 1;
+                let well_formed = name
+                    .strip_prefix("xfer:")
+                    .and_then(|rest| rest.rsplit_once(':'))
+                    .is_some_and(|(master, bytes)| {
+                        !master.is_empty()
+                            && !bytes.is_empty()
+                            && bytes.bytes().all(|b| b.is_ascii_digit())
+                    });
+                if !well_formed {
+                    return Err(format!(
+                        "traceEvents[{i}]: bus span {name:?} is not \
+                         `xfer:{{master}}:{{bytes}}`"
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(seen)
+}
+
 fn lint_file(path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
@@ -470,7 +609,16 @@ fn lint_file(path: &str) -> Result<String, String> {
     for (i, e) in events.iter().enumerate() {
         lint_event(i, e)?;
     }
-    Ok(format!("valid Chrome trace ({} events)", events.len()))
+    let bus_events = lint_bus_events(events)?;
+    Ok(format!(
+        "valid Chrome trace ({} events{})",
+        events.len(),
+        if bus_events > 0 {
+            format!("; {bus_events} bus events")
+        } else {
+            String::new()
+        }
+    ))
 }
 
 fn main() -> ExitCode {
@@ -782,5 +930,98 @@ mod tests {
         assert!(lint_event(0, &bad_phase).is_err());
         let x_without_dur = Json::parse(r#"{"name":"a","ph":"X","pid":1,"tid":1,"ts":0}"#).unwrap();
         assert!(lint_event(0, &x_without_dur).is_err());
+    }
+
+    #[test]
+    fn comm_sweep_documents_are_validated() {
+        let point = |name: &str, extra: &str| {
+            format!(
+                r#"{{"name":"{name}","index":0,"seed":1,"status":"completed",
+                     "completed":true,"metrics":{{"frames_decoded":10,
+                     "bus_transactions":44,"bus_bytes":680,"bus_busy_us":560,
+                     "bus_max_wait_us":1.45,"bus_contended":30,
+                     "bus_bytes_per_sec":3400.5{extra}}}}}"#
+            )
+        };
+        let doc = |host: Option<bool>, points: &[String]| {
+            let body = points.join(",");
+            let host = match host {
+                Some(h) => format!(r#""host_dependent":{h},"#),
+                None => String::new(),
+            };
+            let text = format!(
+                r#"{{"schema":"rtos-sld-bench/1","bench":"comm_sweep","base_seed":1,
+                     {host}"points":[{body}]}}"#
+            );
+            Json::parse(&text).unwrap()
+        };
+
+        let ok = doc(
+            None,
+            &[point("ideal", ""), point("w1_c500_fixed_priority", "")],
+        );
+        let Json::Obj(top) = &ok else { unreachable!() };
+        assert!(lint_results(top, "rtos-sld-bench/1").is_ok());
+
+        // Simulated-time bus metrics must not be flagged host-dependent.
+        let host_flagged = doc(Some(true), &[point("ideal", "")]);
+        let Json::Obj(top) = &host_flagged else {
+            unreachable!()
+        };
+        let err = lint_results(top, "rtos-sld-bench/1").unwrap_err();
+        assert!(err.contains("host_dependent"), "{err}");
+
+        // Without the zero-latency baseline the sweep is uninterpretable.
+        let no_ideal = doc(None, &[point("w1_c500_fixed_priority", "")]);
+        let Json::Obj(top) = &no_ideal else {
+            unreachable!()
+        };
+        let err = lint_results(top, "rtos-sld-bench/1").unwrap_err();
+        assert!(err.contains("ideal"), "{err}");
+
+        // A completed point missing any bus metric is rejected.
+        let truncated = point("ideal", "").replace(r#""bus_contended":30,"#, "");
+        let missing_metric = doc(None, &[truncated]);
+        let Json::Obj(top) = &missing_metric else {
+            unreachable!()
+        };
+        let err = lint_results(top, "rtos-sld-bench/1").unwrap_err();
+        assert!(err.contains("bus_contended"), "{err}");
+    }
+
+    #[test]
+    fn bus_events_are_shape_checked() {
+        let trace = |events: &str| -> Vec<Json> {
+            let meta = r#"{"name":"thread_name","ph":"M","pid":0,"tid":9,
+                           "args":{"name":"bus:pebus"}}"#;
+            let text = format!("[{meta},{events}]");
+            let Json::Arr(events) = Json::parse(&text).unwrap() else {
+                unreachable!()
+            };
+            events
+        };
+
+        let ok = trace(
+            r#"{"name":"req:pe0:link","ph":"i","pid":0,"tid":9,"ts":1},
+               {"name":"grant:pe0:link","ph":"i","pid":0,"tid":9,"ts":1},
+               {"name":"contend:pe1:link","ph":"i","pid":0,"tid":9,"ts":2},
+               {"name":"xfer:pe0:link:16","ph":"X","pid":0,"tid":9,"ts":1,"dur":10}"#,
+        );
+        assert_eq!(lint_bus_events(&ok).unwrap(), 4);
+
+        // Events on non-bus threads are out of scope for this check.
+        let other_thread = trace(r#"{"name":"whatever","ph":"i","pid":0,"tid":3,"ts":1}"#);
+        assert_eq!(lint_bus_events(&other_thread).unwrap(), 0);
+
+        let bad_marker = trace(r#"{"name":"release:pe0","ph":"i","pid":0,"tid":9,"ts":1}"#);
+        assert!(lint_bus_events(&bad_marker).is_err());
+        let bare_prefix = trace(r#"{"name":"req:","ph":"i","pid":0,"tid":9,"ts":1}"#);
+        assert!(lint_bus_events(&bare_prefix).is_err());
+
+        let bad_bytes =
+            trace(r#"{"name":"xfer:pe0:link:lots","ph":"X","pid":0,"tid":9,"ts":1,"dur":2}"#);
+        assert!(lint_bus_events(&bad_bytes).is_err());
+        let no_bytes = trace(r#"{"name":"xfer:pe0","ph":"X","pid":0,"tid":9,"ts":1,"dur":2}"#);
+        assert!(lint_bus_events(&no_bytes).is_err());
     }
 }

@@ -21,9 +21,11 @@ use rtos_model::{
     CycleOutcome, MissPolicy, Priority, Rtos, SchedAlg, TaskParams, TaskStats, TimeSlice,
     WatchdogAction,
 };
+use sldl_sim::bus::{Arbitration, BusConfig};
 use sldl_sim::prelude::*;
 use vocoder::{
-    simulate_architecture, simulate_unscheduled, VocoderConfig, WatchdogSpec, FRAME_PERIOD,
+    simulate_architecture, simulate_split, simulate_unscheduled, SplitConfig, VocoderConfig,
+    WatchdogSpec, FRAME_PERIOD,
 };
 
 use crate::json::Json;
@@ -42,6 +44,23 @@ pub enum Workload {
     VocoderArchitecture,
     /// The vocoder *implementation model* (cycle-counting ISS).
     VocoderImpl,
+    /// The vocoder split across two PEs connected by an arbitrated bus
+    /// (encoder + status task vs. decoder) — the communication-refined
+    /// model. `width` 0 and `clock_ns` 0 give the ideal zero-latency bus.
+    VocoderSplit {
+        /// Bus clock period in nanoseconds (0 = infinitely fast).
+        clock_ns: u64,
+        /// Bus data width in bytes per beat (0 = infinitely wide).
+        width: u32,
+        /// Per-transfer setup cost in nanoseconds.
+        setup_ns: u64,
+        /// Bus arbitration policy.
+        arbitration: Arbitration,
+        /// PE index (0 or 1) the encoder runs on.
+        enc_pe: usize,
+        /// PE index (0 or 1) the decoder runs on.
+        dec_pe: usize,
+    },
     /// A synthetic periodic task set (UUniFast utilizations, log-uniform
     /// periods) generated from the scenario seed and run to a horizon —
     /// the ablation-A2 workload.
@@ -226,6 +245,25 @@ impl ScenarioSpec {
             Workload::VocoderUnscheduled => self.run_vocoder(false),
             Workload::VocoderArchitecture => self.run_vocoder(true),
             Workload::VocoderImpl => self.run_vocoder_impl(),
+            Workload::VocoderSplit {
+                clock_ns,
+                width,
+                setup_ns,
+                arbitration,
+                enc_pe,
+                dec_pe,
+            } => self.run_vocoder_split(&SplitConfig {
+                bus: BusConfig::new(
+                    "pebus",
+                    Duration::from_nanos(*clock_ns),
+                    *width,
+                    Duration::from_nanos(*setup_ns),
+                    *arbitration,
+                ),
+                enc_pe: *enc_pe,
+                dec_pe: *dec_pe,
+                ..SplitConfig::default()
+            }),
             Workload::TaskSet {
                 tasks,
                 utilization,
@@ -293,6 +331,84 @@ impl ScenarioSpec {
                 }
                 o.kernel_stats = Some(run.kernel_stats.clone());
                 o.records = run.records;
+                o
+            }
+            Err(e) => ScenarioOutcome::failed(describe_run_error(&e)),
+        }
+    }
+
+    fn run_vocoder_split(&self, split: &SplitConfig) -> ScenarioOutcome {
+        let cfg = self.vocoder_config();
+        let offered_util = cfg.timing.utilization(FRAME_PERIOD);
+        match simulate_split(&cfg, split, self.sched, self.slice) {
+            Ok(run) => {
+                let mut o = ScenarioOutcome::completed();
+                let base = &run.run;
+                o.set("frames", base.transcode_delays.len() as f64);
+                o.set("faults_injected", base.faults_injected as f64);
+                o.set("context_switches", base.context_switches as f64);
+                o.set("end_time_us", base.end_time.as_micros() as f64);
+                o.set("mean_snr_db", base.mean_snr_db);
+                o.set("utilization_offered", offered_util);
+                if !base.transcode_delays.is_empty() {
+                    o.set(
+                        "mean_transcode_delay_ms",
+                        base.mean_transcode_delay().as_secs_f64() * 1e3,
+                    );
+                    o.set(
+                        "max_transcode_delay_ms",
+                        base.max_transcode_delay().unwrap_or_default().as_secs_f64() * 1e3,
+                    );
+                    let late = base
+                        .transcode_delays
+                        .iter()
+                        .filter(|d| **d > FRAME_PERIOD)
+                        .count();
+                    o.set("late_frames", late as f64);
+                }
+                o.set("acks_received", run.acks_received as f64);
+                o.set("bus_transactions", run.bus.transactions as f64);
+                o.set("bus_bytes", run.bus.bytes as f64);
+                o.set("bus_busy_us", run.bus.busy.as_secs_f64() * 1e6);
+                o.set("bus_max_wait_us", run.bus.max_wait.as_secs_f64() * 1e6);
+                o.set("bus_contended", run.bus.contended as f64);
+                // Deterministic throughput: payload bytes per *simulated*
+                // second — the perf-gated headline metric of comm sweeps.
+                let end_s = base.end_time.as_secs_f64();
+                if end_s > 0.0 {
+                    o.set("bus_bytes_per_sec", run.bus.bytes as f64 / end_s);
+                }
+                o.set(
+                    "subframe_grants_to_senders",
+                    run.subframe_fairness.grants_to_senders as f64,
+                );
+                o.set(
+                    "subframe_grants_to_receivers",
+                    run.subframe_fairness.grants_to_receivers as f64,
+                );
+                o.set(
+                    "ack_grants_to_senders",
+                    run.ack_fairness.grants_to_senders as f64,
+                );
+                o.set(
+                    "ack_grants_to_receivers",
+                    run.ack_fairness.grants_to_receivers as f64,
+                );
+                let isr: u64 = run.pe_metrics.iter().map(|(_, m)| m.isr_notifies).sum();
+                let irets: u64 = run
+                    .pe_metrics
+                    .iter()
+                    .map(|(_, m)| m.interrupt_returns)
+                    .sum();
+                o.set("isr_notifies", isr as f64);
+                o.set("interrupt_returns", irets as f64);
+                o.tasks = run
+                    .pe_metrics
+                    .iter()
+                    .flat_map(|(_, m)| m.tasks.clone())
+                    .collect();
+                o.kernel_stats = Some(base.kernel_stats.clone());
+                o.records = base.records.clone();
                 o
             }
             Err(e) => ScenarioOutcome::failed(describe_run_error(&e)),
@@ -596,6 +712,22 @@ fn workload_to_json(w: &Workload) -> Json {
         Workload::VocoderUnscheduled => kind("vocoder_unscheduled"),
         Workload::VocoderArchitecture => kind("vocoder_architecture"),
         Workload::VocoderImpl => kind("vocoder_impl"),
+        Workload::VocoderSplit {
+            clock_ns,
+            width,
+            setup_ns,
+            arbitration,
+            enc_pe,
+            dec_pe,
+        } => Json::obj([
+            ("kind", Json::str("vocoder_split")),
+            ("clock_ns", Json::U64(*clock_ns)),
+            ("width", Json::U64(u64::from(*width))),
+            ("setup_ns", Json::U64(*setup_ns)),
+            ("arbitration", Json::str(arbitration.as_str())),
+            ("enc_pe", Json::U64(*enc_pe as u64)),
+            ("dec_pe", Json::U64(*dec_pe as u64)),
+        ]),
         Workload::TaskSet {
             tasks,
             utilization,
@@ -620,6 +752,21 @@ fn workload_from_json(j: &Json) -> Result<Workload, String> {
         "vocoder_unscheduled" => Ok(Workload::VocoderUnscheduled),
         "vocoder_architecture" => Ok(Workload::VocoderArchitecture),
         "vocoder_impl" => Ok(Workload::VocoderImpl),
+        "vocoder_split" => Ok(Workload::VocoderSplit {
+            clock_ns: u64_field(j, "clock_ns")?,
+            width: u32::try_from(u64_field(j, "width")?)
+                .map_err(|_| "spec: workload `width` out of range".to_string())?,
+            setup_ns: u64_field(j, "setup_ns")?,
+            arbitration: match j.get("arbitration").and_then(Json::as_str).unwrap_or("") {
+                "fixed_priority" => Arbitration::FixedPriority,
+                "round_robin" => Arbitration::RoundRobin,
+                other => return Err(format!("spec: unknown arbitration `{other}`")),
+            },
+            enc_pe: usize::try_from(u64_field(j, "enc_pe")?)
+                .map_err(|_| "spec: workload `enc_pe` out of range".to_string())?,
+            dec_pe: usize::try_from(u64_field(j, "dec_pe")?)
+                .map_err(|_| "spec: workload `dec_pe` out of range".to_string())?,
+        }),
         "task_set" => Ok(Workload::TaskSet {
             tasks: usize::try_from(u64_field(j, "tasks")?)
                 .map_err(|_| "spec: workload `tasks` out of range".to_string())?,
@@ -1133,6 +1280,46 @@ mod tests {
     }
 
     #[test]
+    fn vocoder_split_runs_and_reports_bus_metrics() {
+        let ideal = Workload::VocoderSplit {
+            clock_ns: 0,
+            width: 0,
+            setup_ns: 0,
+            arbitration: Arbitration::FixedPriority,
+            enc_pe: 0,
+            dec_pe: 1,
+        };
+        let o = ScenarioSpec::new("t", ideal).frames(3).run();
+        assert!(o.completed, "{}", o.status);
+        assert_eq!(o.metric("frames"), Some(3.0));
+        let subs = 3.0 * f64::from(VocoderConfig::default().timing.subframes);
+        assert_eq!(o.metric("acks_received"), Some(subs));
+        assert_eq!(o.metric("bus_transactions"), Some(2.0 * subs));
+        assert_eq!(o.metric("bus_busy_us"), Some(0.0));
+        assert!(o.metric("bus_bytes_per_sec").unwrap() > 0.0);
+        assert!(o.metric("isr_notifies").unwrap() > 0.0);
+
+        let timed = Workload::VocoderSplit {
+            clock_ns: 2_000,
+            width: 1,
+            setup_ns: 4_000,
+            arbitration: Arbitration::RoundRobin,
+            enc_pe: 0,
+            dec_pe: 1,
+        };
+        let t = ScenarioSpec::new("t", timed).frames(3).run();
+        assert!(t.completed, "{}", t.status);
+        assert_eq!(t.metric("frames"), Some(3.0));
+        assert!(t.metric("bus_busy_us").unwrap() > 0.0);
+        // Frame arrivals pace the end time; the bus cost shows up in the
+        // per-frame transcoding delay instead.
+        assert!(
+            t.metric("mean_transcode_delay_ms").unwrap()
+                > o.metric("mean_transcode_delay_ms").unwrap()
+        );
+    }
+
+    #[test]
     fn task_set_generation_is_seeded() {
         let spec = ScenarioSpec::new(
             "t",
@@ -1202,6 +1389,14 @@ mod tests {
         let workloads = [
             Workload::VocoderUnscheduled,
             Workload::VocoderImpl,
+            Workload::VocoderSplit {
+                clock_ns: 500,
+                width: 4,
+                setup_ns: 2_000,
+                arbitration: Arbitration::RoundRobin,
+                enc_pe: 1,
+                dec_pe: 0,
+            },
             Workload::TaskSet {
                 tasks: 5,
                 utilization: 0.75,

@@ -78,6 +78,14 @@ pub struct MetricsSnapshot {
     /// counting and aborting watchdogs; see
     /// [`Rtos::watchdog`](crate::Rtos::watchdog)).
     pub watchdog_trips: u64,
+    /// Event notifications delivered from interrupt context — the caller
+    /// was not a task of this instance (an ISR process, or a task of a
+    /// remote PE waking this one across a bus). Counts the ISR-side
+    /// hand-offs of the interrupt-driven receive path.
+    pub isr_notifies: u64,
+    /// `interrupt_return` invocations on this instance (the ISR epilogue
+    /// dispatch points of the paper's Fig. 3(b)).
+    pub interrupt_returns: u64,
 }
 
 impl MetricsSnapshot {

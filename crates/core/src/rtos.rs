@@ -235,6 +235,11 @@ struct OsState {
     cpu_busy: Duration,
     stats: Vec<TaskStats>,
     watchdog_trips: u64,
+    /// Event notifications delivered from interrupt context (the caller
+    /// was not a task of this instance — an ISR process or a remote PE).
+    isr_notifies: u64,
+    /// `interrupt_return` invocations (ISR epilogue dispatch points).
+    interrupt_returns: u64,
     /// When set, every dispatch asserts scheduler conformance (exactly one
     /// running task, dispatched task is Ready, rank-minimal pick) and
     /// reports breaches as [`RunError::InvariantViolation`] instead of
@@ -334,6 +339,8 @@ impl Rtos {
                     cpu_busy: Duration::ZERO,
                     stats: Vec::new(),
                     watchdog_trips: 0,
+                    isr_notifies: 0,
+                    interrupt_returns: 0,
                     conformance: false,
                 }),
             }),
@@ -391,6 +398,8 @@ impl Rtos {
         st.cpu_busy = Duration::ZERO;
         st.stats.clear();
         st.watchdog_trips = 0;
+        st.isr_notifies = 0;
+        st.interrupt_returns = 0;
     }
 
     /// Starts multi-task scheduling with the given algorithm (the paper's
@@ -458,6 +467,7 @@ impl Rtos {
     /// urgent ready task — typically one the ISR just woke — is dispatched.
     pub fn interrupt_return(&self, ctx: &ProcCtx) {
         let mut st = self.inner.state.lock();
+        st.interrupt_returns += 1;
         self.dispatch_if_idle(&mut st, ctx);
     }
 
@@ -478,6 +488,8 @@ impl Rtos {
             taken_at: SimTime::ZERO, // patched below; needs a ctx-free time
             tasks: st.stats.clone(),
             watchdog_trips: st.watchdog_trips,
+            isr_notifies: st.isr_notifies,
+            interrupt_returns: st.interrupt_returns,
         }
     }
 
@@ -1103,6 +1115,7 @@ impl Rtos {
             st.waiter_scratch = woken;
             let is_task = st.by_pid.get(&ctx.pid()).copied() == st.running && st.running.is_some();
             if !is_task {
+                st.isr_notifies += 1;
                 self.dispatch_if_idle(&mut st, ctx);
             }
             is_task

@@ -21,13 +21,15 @@ use std::sync::Arc;
 use rtos_model::{Priority, Rtos, SchedAlg, TaskId, TaskParams, TimeSlice};
 use sldl_sim::{Child, Handshake, ProcCtx, RecordKind, Semaphore, Simulation, TraceConfig};
 
+use crate::comm::{BusChannel, BusMap, SharedBus};
 use crate::cross::CrossRendezvous;
-use crate::run::{ModelRun, PeMetrics, RunConfig, RunModelError};
+use crate::run::{ChannelFairness, ModelRun, PeMetrics, RunConfig, RunModelError};
 use crate::spec::{Action, Behavior, ChannelKind, SystemSpec};
 
 enum ArchChan {
     Rendezvous(Handshake<Rtos>),
     Cross(CrossRendezvous),
+    Bus(BusChannel<()>),
     Sem(Semaphore<Rtos>),
 }
 
@@ -36,6 +38,7 @@ impl ArchChan {
         match self {
             ArchChan::Rendezvous(h) => h.send(ctx),
             ArchChan::Cross(c) => c.send(ctx),
+            ArchChan::Bus(b) => b.send(ctx, ()),
             ArchChan::Sem(_) => panic!("send on semaphore channel"),
         }
     }
@@ -44,6 +47,9 @@ impl ArchChan {
         match self {
             ArchChan::Rendezvous(h) => h.recv(ctx),
             ArchChan::Cross(c) => c.recv(ctx),
+            ArchChan::Bus(b) => {
+                b.recv(ctx);
+            }
             ArchChan::Sem(_) => panic!("recv on semaphore channel"),
         }
     }
@@ -89,7 +95,28 @@ pub fn run_architecture(
     slice: TimeSlice,
     cfg: &RunConfig,
 ) -> Result<ModelRun, RunModelError> {
-    run_architecture_inner(spec, alg, slice, std::time::Duration::ZERO, cfg)
+    run_architecture_inner(spec, alg, slice, std::time::Duration::ZERO, cfg, None)
+}
+
+/// [`run_architecture`] with an explicit communication architecture:
+/// every cross-PE rendezvous assigned in `map` is lowered onto a timed,
+/// arbitrated bus transaction ([`BusChannel`]); unassigned channels keep
+/// the abstract [`CrossRendezvous`]. With [`BusMap::ideal`] — or with
+/// every assigned bus configured zero-cost — the run is structurally
+/// identical to [`run_architecture`].
+///
+/// # Errors
+///
+/// Returns [`RunModelError::Invalid`] if the spec fails validation and
+/// [`RunModelError::Sim`] if a process panics during simulation.
+pub fn run_architecture_with_comm(
+    spec: &SystemSpec,
+    alg: SchedAlg,
+    slice: TimeSlice,
+    cfg: &RunConfig,
+    map: &BusMap,
+) -> Result<ModelRun, RunModelError> {
+    run_architecture_inner(spec, alg, slice, std::time::Duration::ZERO, cfg, Some(map))
 }
 
 /// [`run_architecture`] with a modeled kernel cost per context switch
@@ -100,7 +127,7 @@ pub(crate) fn run_architecture_configured(
     slice: TimeSlice,
     switch_cost: std::time::Duration,
 ) -> Result<ModelRun, RunModelError> {
-    run_architecture_inner(spec, alg, slice, switch_cost, &RunConfig::default())
+    run_architecture_inner(spec, alg, slice, switch_cost, &RunConfig::default(), None)
 }
 
 fn run_architecture_inner(
@@ -109,6 +136,7 @@ fn run_architecture_inner(
     slice: TimeSlice,
     switch_cost: std::time::Duration,
     cfg: &RunConfig,
+    map: Option<&BusMap>,
 ) -> Result<ModelRun, RunModelError> {
     spec.validate()?;
     let mut sim = Simulation::builder().trace(TraceConfig::default()).build();
@@ -135,6 +163,11 @@ fn run_architecture_inner(
         collect_uses(&pe.root, pe_idx, &mut uses);
     }
 
+    // Instantiate the communication architecture's buses (if any).
+    let buses: Vec<SharedBus> = map
+        .map(|m| m.buses().iter().cloned().map(SharedBus::new).collect())
+        .unwrap_or_default();
+
     let chans: Arc<Vec<ArchChan>> = Arc::new(
         spec.channels
             .iter()
@@ -146,10 +179,23 @@ fn run_architecture_inner(
                         let s = unique_pe(&u.sender_pes, &c.name, "senders");
                         let r = unique_pe(&u.receiver_pes, &c.name, "receivers");
                         match (s, r) {
-                            (Some(s), Some(r)) if s != r => ArchChan::Cross(CrossRendezvous::new(
-                                oses[s].clone(),
-                                oses[r].clone(),
-                            )),
+                            (Some(s), Some(r)) if s != r => {
+                                match map.and_then(|m| m.binding(&c.name)) {
+                                    Some(b) => ArchChan::Bus(BusChannel::new(
+                                        &c.name,
+                                        oses[s].clone(),
+                                        oses[r].clone(),
+                                        &buses[b.bus],
+                                        b.bytes_per_msg,
+                                        b.priority,
+                                    )),
+                                    None => ArchChan::Cross(CrossRendezvous::named(
+                                        oses[s].clone(),
+                                        oses[r].clone(),
+                                        &c.name,
+                                    )),
+                                }
+                            }
                             (sr, _) => {
                                 let pe = sr.unwrap_or(0);
                                 ArchChan::Rendezvous(Handshake::new(oses[pe].clone()))
@@ -220,6 +266,24 @@ fn run_architecture_inner(
         None => sim.run()?,
     };
     let end = report.end_time;
+    // Cross-channel fairness counters, in channel order.
+    let channel_fairness: Vec<ChannelFairness> = spec
+        .channels
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| {
+            let fairness = match &chans[i] {
+                ArchChan::Cross(x) => x.fairness(),
+                ArchChan::Bus(b) => b.fairness(),
+                _ => return None,
+            };
+            Some(ChannelFairness {
+                channel: c.name.clone(),
+                grants_to_senders: fairness.grants_to_senders,
+                grants_to_receivers: fairness.grants_to_receivers,
+            })
+        })
+        .collect();
     Ok(ModelRun {
         report,
         records: trace.snapshot(),
@@ -232,6 +296,8 @@ fn run_architecture_inner(
                 metrics: os.metrics_at(end),
             })
             .collect(),
+        bus_stats: buses.iter().map(SharedBus::stats).collect(),
+        channel_fairness,
     })
 }
 

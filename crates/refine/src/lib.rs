@@ -36,6 +36,7 @@
 
 mod architecture;
 pub mod check;
+pub mod comm;
 mod cross;
 pub mod explore;
 mod figure3;
@@ -43,12 +44,13 @@ mod run;
 mod spec;
 mod unscheduled;
 
-pub use architecture::run_architecture;
+pub use architecture::{run_architecture, run_architecture_with_comm};
 pub use check::{check, Constraint, Violation};
-pub use cross::CrossRendezvous;
+pub use comm::{BusBinding, BusChannel, BusMap, SharedBus};
+pub use cross::{CrossFairness, CrossRendezvous};
 pub use explore::{explore, Candidate, Evaluation};
 pub use figure3::{figure3_spec, Figure3Delays};
-pub use run::{ModelRun, PeMetrics, RunConfig, RunModelError};
+pub use run::{ChannelFairness, ModelRun, PeMetrics, RunConfig, RunModelError};
 pub use spec::{
     Action, Behavior, ChanId, ChannelKind, ChannelSpec, InterruptSpec, PeSpec, SystemSpec,
     ValidateSpecError,

@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use rtos_model::MetricsSnapshot;
+use sldl_sim::bus::BusStats;
 use sldl_sim::trace::Segment;
 use sldl_sim::{Record, Report, RunError, SimTime};
 
@@ -25,6 +26,18 @@ pub struct PeMetrics {
     pub metrics: MetricsSnapshot,
 }
 
+/// Cumulative grant counters of one cross-PE channel (which side arrived
+/// second and was granted by an already-waiting partner).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelFairness {
+    /// Channel name.
+    pub channel: String,
+    /// Grants handed to blocked senders (receiver arrived second).
+    pub grants_to_senders: u64,
+    /// Grants handed to blocked receivers (sender arrived second).
+    pub grants_to_receivers: u64,
+}
+
 /// Result of executing a model (unscheduled or architecture).
 #[derive(Debug, Clone)]
 #[non_exhaustive]
@@ -35,6 +48,12 @@ pub struct ModelRun {
     pub records: Vec<Record>,
     /// Per-PE RTOS metrics (empty for the unscheduled model).
     pub pe_metrics: Vec<PeMetrics>,
+    /// Per-bus transaction statistics, in [`BusMap`](crate::BusMap) bus
+    /// order (empty without a communication architecture).
+    pub bus_stats: Vec<BusStats>,
+    /// Cross-PE channel fairness counters, in channel order (empty for
+    /// single-PE and unscheduled models).
+    pub channel_fairness: Vec<ChannelFairness>,
 }
 
 impl ModelRun {
@@ -142,6 +161,8 @@ mod tests {
                 },
             ],
             pe_metrics: vec![],
+            bus_stats: vec![],
+            channel_fairness: vec![],
         };
         assert_eq!(run.end_time(), SimTime::from_micros(10));
         assert_eq!(run.segments()["a"].len(), 1);

@@ -94,6 +94,8 @@ pub fn run_unscheduled(spec: &SystemSpec, cfg: &RunConfig) -> Result<ModelRun, R
         report,
         records: trace.snapshot(),
         pe_metrics: Vec::new(),
+        bus_stats: Vec::new(),
+        channel_fairness: Vec::new(),
     })
 }
 

@@ -69,6 +69,7 @@
 //! * [`RunError::InvariantViolation`] — structured reporting of oracle
 //!   and layer-conformance violations, naming the invariant and subject.
 
+pub mod bus;
 pub mod channel;
 pub mod chaos;
 mod error;
@@ -94,6 +95,7 @@ mod wheel;
 /// kernel self-invalidate instead of silently resurfacing.
 pub const KERNEL_SCHEMA_REV: u32 = 1;
 
+pub use bus::{Arbitration, Bus, BusConfig, BusStats, MasterGrants, MasterId};
 pub use channel::{Handshake, Queue, Semaphore, SldlSync, SyncLayer};
 pub use chaos::{ChaosPlan, ChaosRecord, InjectedChaos, KernelInvariants};
 pub use error::{AbortReason, ModelError, RunError, WaitEdge};

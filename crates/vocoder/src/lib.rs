@@ -33,6 +33,7 @@ mod codec;
 pub mod dsp;
 mod frame;
 mod scenario;
+mod split;
 mod timing;
 
 pub use codec::{Decoder, EncodedFrame, Encoder};
@@ -40,4 +41,5 @@ pub use frame::{Frame, SpeechSource, FRAME_PERIOD, FRAME_SAMPLES};
 pub use scenario::{
     simulate_architecture, simulate_unscheduled, VocoderConfig, VocoderRun, WatchdogSpec,
 };
+pub use split::{simulate_split, SplitConfig, SplitRun};
 pub use timing::{CodecTiming, StageTiming};

@@ -31,8 +31,8 @@ use crate::timing::CodecTiming;
 /// A message from encoder to decoder: one subframe's worth of progress;
 /// the final subframe of each frame carries the encoded payload.
 #[derive(Debug, Clone)]
-struct SubframeMsg {
-    payload: Option<Box<EncodedFrame>>,
+pub(crate) struct SubframeMsg {
+    pub(crate) payload: Option<Box<EncodedFrame>>,
 }
 
 /// Configuration of a vocoder simulation.
@@ -147,10 +147,10 @@ impl VocoderRun {
 
 /// Shared measurement sink.
 #[derive(Default)]
-struct Sink {
-    delays: Vec<Duration>,
-    snr_sum: f64,
-    snr_count: u32,
+pub(crate) struct Sink {
+    pub(crate) delays: Vec<Duration>,
+    pub(crate) snr_sum: f64,
+    pub(crate) snr_count: u32,
 }
 
 /// Drives the data path shared by both models. `enc_step`/`dec_step` model
@@ -241,7 +241,7 @@ fn spawn_pipeline<L, E, D>(
     sim.spawn(wrap_task(decoder_child, "decoder"));
 }
 
-fn finish(
+pub(crate) fn finish(
     report: Result<sldl_sim::Report, RunError>,
     sink: &Arc<Mutex<Sink>>,
     metrics: Option<MetricsSnapshot>,

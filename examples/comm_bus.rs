@@ -1,0 +1,153 @@
+//! Communication refinement onto an arbitrated bus: the abstract
+//! cross-PE rendezvous of the architecture model is lowered onto a
+//! timed, shared bus — "the communication refinement step replaces the
+//! abstract communication channels with a model of the actual
+//! communication architecture" — and the bus is then explored by width
+//! without touching the application spec.
+//!
+//! Run with `cargo run --example comm_bus`.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use rtos_sld::refine::{
+    run_architecture, run_architecture_with_comm, Action, Behavior, BusBinding, BusMap,
+    ChannelKind, PeSpec, RunConfig, SystemSpec,
+};
+use rtos_sld::rtos::{Priority, SchedAlg, TimeSlice};
+use rtos_sld::sim::bus::{Arbitration, BusConfig};
+
+fn us(n: u64) -> Duration {
+    Duration::from_micros(n)
+}
+
+/// A DSP streams processed blocks to a controller; for each block the
+/// controller sends a telemetry record back on the same bus. Both ends
+/// split the backchannel into its own task (paced by a semaphore permit,
+/// the paper's Fig. 3 `ISR → sem → driver` shape) so telemetry overlaps
+/// the block stream — on a narrow bus the telemetry transfer is still in
+/// flight when the DSP requests the bus for the next block.
+fn build_spec() -> SystemSpec {
+    let mut spec = SystemSpec::new();
+    let blocks = spec.add_channel("blocks", ChannelKind::Rendezvous);
+    let status = spec.add_channel("status", ChannelKind::Rendezvous);
+    let pending = spec.add_channel("pending", ChannelKind::Semaphore { initial: 0 });
+
+    let mut dsp_actions = Vec::new();
+    let mut ctrl_actions = Vec::new();
+    let mut telemetry_actions = Vec::new();
+    for _ in 0..4 {
+        dsp_actions.push(Action::compute("fir", us(120)));
+        dsp_actions.push(Action::Send(blocks));
+        ctrl_actions.push(Action::Recv(blocks));
+        ctrl_actions.push(Action::compute("check", us(100)));
+        ctrl_actions.push(Action::Release(pending));
+        telemetry_actions.push(Action::Acquire(pending));
+        telemetry_actions.push(Action::compute("pack", us(10)));
+        telemetry_actions.push(Action::Send(status));
+    }
+
+    // The monitor runs at interrupt level (above the stream) so the next
+    // telemetry receive is re-posted the moment one is delivered.
+    let mut dsp_prio = HashMap::new();
+    dsp_prio.insert("monitor".into(), Priority(1));
+    dsp_prio.insert("stream".into(), Priority(2));
+    spec.add_pe(PeSpec {
+        name: "dsp".into(),
+        root: Behavior::Par(vec![
+            Behavior::leaf("monitor", vec![Action::Recv(status); 4]),
+            Behavior::leaf("stream", dsp_actions),
+        ]),
+        priorities: dsp_prio,
+    });
+    let mut ctrl_prio = HashMap::new();
+    ctrl_prio.insert("protocol".into(), Priority(1));
+    ctrl_prio.insert("telemetry".into(), Priority(2));
+    spec.add_pe(PeSpec {
+        name: "ctrl".into(),
+        root: Behavior::Par(vec![
+            Behavior::leaf("protocol", ctrl_actions),
+            Behavior::leaf("telemetry", telemetry_actions),
+        ]),
+        priorities: ctrl_prio,
+    });
+    spec
+}
+
+/// Maps both channels onto one bus of the given width (0 = ideal).
+fn comm_map(width: u32) -> BusMap {
+    let mut map = BusMap::default();
+    let cfg = if width == 0 {
+        BusConfig::ideal("sysbus")
+    } else {
+        BusConfig::new("sysbus", us(1), width, us(4), Arbitration::FixedPriority)
+    };
+    let bus = map.add_bus(cfg);
+    map.assign(
+        "blocks",
+        BusBinding {
+            bus,
+            bytes_per_msg: 256,
+            priority: 1,
+        },
+    );
+    map.assign(
+        "status",
+        BusBinding {
+            bus,
+            bytes_per_msg: 64,
+            priority: 2,
+        },
+    );
+    map
+}
+
+fn main() {
+    let spec = build_spec();
+    let run = |map: Option<&BusMap>| match map {
+        Some(map) => run_architecture_with_comm(
+            &spec,
+            SchedAlg::PriorityPreemptive,
+            TimeSlice::WholeDelay,
+            &RunConfig::default(),
+            map,
+        )
+        .expect("refined model"),
+        None => run_architecture(
+            &spec,
+            SchedAlg::PriorityPreemptive,
+            TimeSlice::WholeDelay,
+            &RunConfig::default(),
+        )
+        .expect("architecture model"),
+    };
+
+    let abstract_run = run(None);
+    println!("abstract rendezvous:      end {}", abstract_run.end_time());
+
+    // The ideal bus is the equivalence anchor: same end time, same trace.
+    let ideal = run(Some(&comm_map(0)));
+    println!(
+        "ideal (zero-cost) bus:    end {}  [records identical: {}]\n",
+        ideal.end_time(),
+        ideal.records == abstract_run.records
+    );
+
+    println!("width  end time      bus busy   max wait  contended");
+    for width in [32, 8, 2, 1] {
+        let refined = run(Some(&comm_map(width)));
+        let stats = &refined.bus_stats[0];
+        println!(
+            "{width:>5}  {:>11}  {:>6} us  {:>5} us  {:>9}",
+            refined.end_time().to_string(),
+            stats.busy.as_micros(),
+            stats.max_wait.as_micros(),
+            stats.contended
+        );
+    }
+    println!(
+        "\nNarrowing the bus stretches transfers and surfaces contention \
+         between\nthe block stream and the status backchannel — explored \
+         entirely in the\ncommunication map, with the application untouched."
+    );
+}
